@@ -1,0 +1,57 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments.ablations import (
+    run_interleave_ablation,
+    run_mshr_org_ablation,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+)
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+def test_ablation_scheduler(benchmark):
+    """FR-FCFS (the paper's assumption) vs plain FIFO."""
+    scale, mixes = bench_scale(), bench_mixes(default_groups=("H", "VH"))
+    result = run_once(
+        benchmark, lambda: run_scheduler_ablation(scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+    # Open-row-first scheduling never loses to FIFO on these workloads.
+    assert result.gm("fcfs") <= 1.03
+
+
+def test_ablation_interleave(benchmark):
+    """Streamlined page-interleaved banking vs conventional line banking."""
+    scale, mixes = bench_scale(), bench_mixes(default_groups=("H", "VH"))
+    result = run_once(
+        benchmark, lambda: run_interleave_ablation(scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+    # The shared request bus of conventional banking costs performance.
+    assert result.gm("line-interleaved") <= 1.05
+
+
+def test_ablation_prefetch(benchmark):
+    """Table 1's prefetchers on vs off."""
+    scale, mixes = bench_scale(), bench_mixes(default_groups=("H", "VH"))
+    result = run_once(
+        benchmark, lambda: run_prefetch_ablation(scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+    assert result.gm("prefetch-off") > 0  # report-only: sign varies by mix
+
+
+def test_ablation_mshr_organization(benchmark):
+    """VBF vs ideal CAM vs plain linear probing at 8x capacity."""
+    scale, mixes = bench_scale(), bench_mixes(default_groups=("H", "VH"))
+    result = run_once(
+        benchmark, lambda: run_mshr_org_ablation(scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+    assert result.probes("vbf") <= result.probes("linear-probe")
+    assert result.gm("vbf") >= result.gm("linear-probe") - 0.02

@@ -1,0 +1,33 @@
+"""Regenerates Figure 4: simple 3D-stacked memory speedups over 2D.
+
+Paper: 3D 1.35x, 3D-wide 1.72x, 3D-fast 2.17x GM over the H/VH mixes;
+each step contributes roughly equally; moderate mixes gain less.
+"""
+
+from repro.experiments.figure4 import run_figure4
+from repro.workloads.mixes import MIXES
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+def test_figure4(benchmark):
+    scale = bench_scale()
+    mixes = bench_mixes()
+
+    result = run_once(benchmark, lambda: run_figure4(scale=scale, mixes=mixes))
+    print()
+    print(result.format())
+
+    groups = {m: MIXES[m].group for m in result.mixes}
+    hv = [m for m in result.mixes if groups[m] in ("H", "VH")]
+    if hv:
+        gm_3d = result.gm("3D", ("H", "VH"))
+        gm_wide = result.gm("3D-wide", ("H", "VH"))
+        gm_fast = result.gm("3D-fast", ("H", "VH"))
+        # The paper's ordering and a clear win for the full combination.
+        assert 1.0 < gm_3d < gm_wide < gm_fast
+        assert gm_fast > 1.5
+    moderate = [m for m in result.mixes if groups[m] == "M"]
+    if moderate and hv:
+        gm_fast_m = result.gm("3D-fast", ("M",))
+        assert gm_fast_m < result.gm("3D-fast", ("H", "VH"))

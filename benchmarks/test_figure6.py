@@ -1,0 +1,42 @@
+"""Regenerates Figure 6: rank/MC grid (a) and row-buffer sweep (b).
+
+Paper GM(H,VH) over 3D-fast: 2MC 1.13x, 4MC 1.32x, 16 ranks alone
++0.4%, extra L2 ~nothing; row-buffer entries take the two highlighted
+configs to 1.55x / 1.75x with most of the gain from the first entry.
+"""
+
+from repro.experiments.figure6 import run_figure6a, run_figure6b
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+def test_figure6a_ranks_and_mcs(benchmark):
+    scale = bench_scale()
+    mixes = bench_mixes(default_groups=("H", "VH"))
+
+    result = run_once(benchmark, lambda: run_figure6a(scale=scale, mixes=mixes))
+    print()
+    print(result.format())
+
+    # Shape: MC scaling dominates, rank scaling is minor, more L2 does
+    # almost nothing for memory-intensive workloads.
+    assert result.gm("4MC-16R") > result.gm("1MC-16R")
+    assert result.gm("4MC-16R") > 1.1
+    assert result.gm("+1M-L2") < 1.1
+
+
+def test_figure6b_row_buffer_caches(benchmark):
+    scale = bench_scale()
+    mixes = bench_mixes(default_groups=("H", "VH"))
+
+    result = run_once(benchmark, lambda: run_figure6b(scale=scale, mixes=mixes))
+    print()
+    print(result.format())
+
+    for family in ("2MC-8R", "4MC-16R"):
+        one = result.gm(f"{family}-1RB")
+        two = result.gm(f"{family}-2RB")
+        four = result.gm(f"{family}-4RB")
+        # Entries help (or are neutral) and never hurt meaningfully.
+        assert two > one * 0.97
+        assert four > one * 0.97

@@ -1,0 +1,33 @@
+"""Regenerates Figure 7: L2 MSHR capacity scaling + dynamic tuning.
+
+Paper shape: 2x/4x help the memory-intensive mixes a lot, 8x saturates
+(and can hurt HM2/M2-like mixes via L2 churn); dynamic capacity tuning
+keeps the wins without the losses.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+@pytest.mark.parametrize("panel", ["dual-mc", "quad-mc"])
+def test_figure7(benchmark, panel):
+    scale = bench_scale()
+    mixes = bench_mixes()
+
+    result = run_once(
+        benchmark, lambda: run_figure7(panel=panel, scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+
+    hv = [m for m in result.mixes if m.startswith(("H1", "H2", "H3", "VH"))]
+    if hv:
+        gm4 = result.gm_improvement("4xMSHR", ("H", "VH"))
+        gm8 = result.gm_improvement("8xMSHR", ("H", "VH"))
+        dyn = result.gm_improvement("Dynamic", ("H", "VH"))
+        assert gm4 > 3.0  # bigger MSHRs clearly help
+        assert gm8 < gm4 + 12.0  # saturation beyond 4x
+        assert dyn > -2.0  # dynamic tuning never loses overall

@@ -1,0 +1,19 @@
+"""Extension study bench: spend the stack on cache vs memory."""
+
+from repro.experiments.stack_study import run_stack_study
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+def test_stack_study(benchmark):
+    scale, mixes = bench_scale(), bench_mixes(default_groups=("H", "VH"))
+    result = run_once(
+        benchmark, lambda: run_stack_study(scale=scale, mixes=mixes)
+    )
+    print()
+    print(result.format())
+
+    # Paper Section 6's ranking on memory-intensive workloads:
+    # stacked cache < conventionally stacked memory < re-architected.
+    assert result.gm("3D-fast") > result.gm("2D+L3")
+    assert result.gm("quad-MC") >= result.gm("3D-fast") * 0.95

@@ -1,0 +1,43 @@
+"""Regenerates Table 2: benchmark MPKI (a) and baseline HMIPC (b)."""
+
+import os
+
+from repro.experiments.table2 import run_table2a, run_table2b
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.mixes import MIXES
+
+from conftest import bench_mixes, bench_scale, run_once
+
+
+def test_table2a_standalone_mpki(benchmark):
+    scale = bench_scale()
+    names = os.environ.get("REPRO_BENCHMARKS")
+    names = [n.strip() for n in names.split(",")] if names else sorted(BENCHMARKS)
+
+    result = run_once(benchmark, lambda: run_table2a(scale=scale, benchmarks=names))
+    print()
+    print(result.format())
+
+    # Shape: measured MPKI must preserve the paper's coarse ordering.
+    mpki = result.mpki
+    if {"S.copy", "milc", "namd"} <= set(mpki):
+        assert mpki["S.copy"] > mpki["milc"] > mpki["namd"]
+    if {"tigr", "mcf"} <= set(mpki):
+        assert mpki["tigr"] > mpki["mcf"]
+
+
+def test_table2b_baseline_hmipc(benchmark):
+    scale = bench_scale()
+    mixes = bench_mixes()
+
+    result = run_once(benchmark, lambda: run_table2b(scale=scale, mixes=mixes))
+    print()
+    print(result.format())
+
+    measured = result.hmipc
+    groups = {name: MIXES[name].group for name in measured}
+    vh = [v for n, v in measured.items() if groups[n] == "VH"]
+    m = [v for n, v in measured.items() if groups[n] == "M"]
+    if vh and m:
+        # VH mixes are far slower than M mixes on the 2D baseline.
+        assert max(vh) < min(m)

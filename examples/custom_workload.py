@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bringing your own workload: custom generator -> trace file -> machine.
+
+Shows the extension path a user takes to evaluate their own application
+on the simulated 3D-stacked memory system:
+
+1. write a generator producing :class:`repro.cpu.trace.TraceItem`s
+   (here: a blocked matrix-multiply-like pattern),
+2. capture it to a trace file for reproducibility / external tools,
+3. build a :class:`~repro.system.machine.Machine` whose core 0 replays
+   the file while the other cores run Table-2 benchmarks,
+4. compare memory organizations.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import itertools
+import tempfile
+from pathlib import Path
+
+from repro import config_2d, config_quad_mc
+from repro.cpu.trace import TraceItem
+from repro.system.machine import Machine
+from repro.workloads.tracefile import capture, read_trace
+
+
+def blocked_matmul_trace(base, n=256, block=16, element=8, gap=2):
+    """C += A*B with square blocking: bursts of reuse, then new blocks.
+
+    The access pattern alternates high-locality block sweeps (cache
+    friendly) with block transitions (misses), like a tiled GEMM.
+    """
+    row_bytes = n * element
+    a, b, c = base, base + n * row_bytes, base + 2 * n * row_bytes
+    while True:
+        for bi in range(0, n, block):
+            for bj in range(0, n, block):
+                for bk in range(0, n, block):
+                    for i in range(bi, bi + block):
+                        for k in range(bk, bk + block):
+                            yield TraceItem(gap, a + i * row_bytes + k * element, False, 0x500)
+                            for j in range(bj, bj + block, 8):
+                                yield TraceItem(gap, b + k * row_bytes + j * element, False, 0x508)
+                                yield TraceItem(gap, c + i * row_bytes + j * element, True, 0x510)
+
+
+def main() -> None:
+    # 1-2: generate and capture a trace snapshot.
+    trace_path = Path(tempfile.gettempdir()) / "blocked_matmul.trace.gz"
+    count = capture(blocked_matmul_trace(0), 30_000, trace_path)
+    print(f"captured {count} references to {trace_path}")
+
+    sample = list(itertools.islice(read_trace(trace_path), 5))
+    print("first records:", [(t.gap, hex(t.addr), t.is_write) for t in sample])
+
+    # 3-4: run it as core 0 alongside three Table-2 benchmarks.
+    for config in (config_2d(), config_quad_mc()):
+        machine = Machine(
+            config,
+            ["gzip", "mcf", "S.all", "qsort"],  # placeholder for wiring
+            workload_name="matmul+mix",
+        )
+        # Replace core 0's trace with the replayed file.
+        machine.cores[0].trace = read_trace(trace_path, loop=True)
+        result = machine.run(
+            warmup_instructions=3_000, measure_instructions=10_000
+        )
+        mm = result.cores[0]
+        print(
+            f"{config.name:10s} matmul IPC {mm.ipc:5.3f} "
+            f"(L2 MPKI {mm.l2_mpki:5.1f}, "
+            f"avg load latency {mm.avg_load_latency:5.1f} cyc); "
+            f"workload HMIPC {result.hmipc:.3f}"
+        )
+    print(
+        "\nThe tiled kernel is latency-sensitive (modest MPKI, little"
+        "\nmemory-level parallelism), so what the stacked organization"
+        "\nbuys it shows up directly in the average load latency column"
+        "\n— the contended off-chip round trip collapses to an on-stack"
+        "\none."
+    )
+
+
+if __name__ == "__main__":
+    main()

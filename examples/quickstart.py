@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on 2D and 3D-stacked memory.
+
+Runs the paper's H1 mix (Stream + libquantum + wupwise + mcf) on the
+off-chip 2D baseline and on the full 3D-fast stacked organization, then
+prints per-core IPC, MPKI, and the headline speedup.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import config_2d, config_3d_fast, run_workload
+from repro.workloads import MIXES
+
+
+def main() -> None:
+    mix = MIXES["H1"]
+    print(f"Workload {mix.name}: {', '.join(mix.benchmarks)}")
+    print("(memory-intensive mix from Table 2b; paper 2D HMIPC "
+          f"{mix.paper_hmipc})\n")
+
+    results = {}
+    for config in (config_2d(), config_3d_fast()):
+        result = run_workload(
+            config,
+            mix.benchmarks,
+            warmup_instructions=5_000,
+            measure_instructions=20_000,
+            workload_name=mix.name,
+        )
+        results[config.name] = result
+        print(f"--- {config.name} ---")
+        for core in result.cores:
+            print(
+                f"  core {core.benchmark:12s} IPC {core.ipc:5.3f}   "
+                f"L2 MPKI {core.l2_mpki:6.1f}"
+            )
+        print(
+            f"  HMIPC {result.hmipc:.3f}   "
+            f"DRAM row-buffer hit rate {result.dram_row_hit_rate:.2f}\n"
+        )
+
+    speedup = results["3D-fast"].hmipc / results["2D"].hmipc
+    print(f"3D-fast speedup over 2D on {mix.name}: {speedup:.2f}x")
+    print("(paper Figure 4: ~2.2x GM over the memory-intensive mixes)")
+
+
+if __name__ == "__main__":
+    main()

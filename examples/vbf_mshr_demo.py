@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Vector Bloom Filter walkthrough + probe-count study.
+
+Part 1 replays the paper's Figure 8 example step by step on the real
+data structure, printing the VBF bit table after every operation.
+
+Part 2 measures search probes per access for the plain linear-probing
+MSHR vs the VBF-accelerated MSHR across occupancy levels — the paper's
+core argument that the VBF makes a direct-mapped MSHR practical.
+
+Usage::
+
+    python examples/vbf_mshr_demo.py
+"""
+
+import random
+
+from repro.mshr import DirectMappedMshr, VbfMshr
+
+
+def show_vbf(mshr: VbfMshr) -> None:
+    print("      " + " ".join(f"c{c}" for c in range(mshr.capacity)))
+    for row in range(mshr.capacity):
+        bits = [
+            "1 " if mshr.vbf.test(row, col) else ". "
+            for col in range(mshr.capacity)
+        ]
+        slot = mshr._slots[row]
+        held = f"<- slot holds {slot.line_addr // 64}" if slot else ""
+        print(f"row {row}: " + " ".join(bits) + f"  {held}")
+    print()
+
+
+def figure8_walkthrough() -> None:
+    print("=" * 64)
+    print("Part 1: Figure 8 walkthrough (8-entry VBF MSHR, homes mod 8)")
+    print("=" * 64)
+    mshr = VbfMshr(8)
+    line = lambda n: n * 64  # noqa: E731 - address n in the figure
+
+    for step, address in zip("abc", (13, 22, 29)):
+        mshr.allocate(line(address))
+        print(f"({step}) miss on address {address} -> home {address % 8}")
+    mshr.allocate(line(45))
+    print("(c') miss on address 45 -> home 5, displaced to slot 0")
+    show_vbf(mshr)
+
+    found, probes = mshr.search(line(29))
+    print(f"(d) search 29: found={found is not None}, probes={probes} "
+          "(paper: entries 5 then 7)")
+
+    mshr.deallocate(line(29))
+    print("(e) deallocate 29: row 5 column 2 cleared")
+    show_vbf(mshr)
+
+    found, probes = mshr.search(line(45))
+    print(f"(f) search 45: found={found is not None}, probes={probes} "
+          "(paper: 2 probes vs 4 for linear probing)\n")
+
+
+def probe_study() -> None:
+    print("=" * 64)
+    print("Part 2: probes per search vs occupancy (32-entry files)")
+    print("=" * 64)
+    rng = random.Random(11)
+    print(f"{'occupancy':>10s} {'linear-probe':>14s} {'vbf':>8s}")
+    for occupancy in (4, 8, 16, 24, 31):
+        linear = DirectMappedMshr(32)
+        vbf = VbfMshr(32)
+        lines = rng.sample(range(4096), occupancy)
+        for n in lines:
+            linear.allocate(n * 64)
+            vbf.allocate(n * 64)
+        # Search for every resident line and a batch of absent ones.
+        probes_linear = probes_vbf = searches = 0
+        for n in lines + rng.sample(range(4096, 8192), 16):
+            _, p = linear.search(n * 64)
+            probes_linear += p
+            _, p = vbf.search(n * 64)
+            probes_vbf += p
+            searches += 1
+        print(
+            f"{occupancy:>10d} {probes_linear / searches:>14.2f} "
+            f"{probes_vbf / searches:>8.2f}"
+        )
+    print(
+        "\nThe paper reports 2.21-2.31 probes/access in full-system runs"
+        "\n(including the mandatory first probe); linear probing pays the"
+        "\nfull scan on every miss."
+    )
+
+
+if __name__ == "__main__":
+    figure8_walkthrough()
+    probe_study()

@@ -1,0 +1,58 @@
+"""repro — reproduction of Loh, "3D-Stacked Memory Architectures for
+Multi-Core Processors" (ISCA 2008).
+
+Quick start::
+
+    from repro import config_3d_fast, run_workload
+    result = run_workload(config_3d_fast(), ["S.all"] * 4)
+    print(result.hmipc)
+
+Subpackages:
+
+* :mod:`repro.engine` — discrete-event simulation core.
+* :mod:`repro.dram` — banks, row-buffer caches, ranks, refresh, timing.
+* :mod:`repro.memctrl` — memory controllers, schedulers, interleaving.
+* :mod:`repro.cache` — L1/L2 caches and prefetchers.
+* :mod:`repro.mshr` — MSHR organizations incl. the Vector Bloom Filter.
+* :mod:`repro.cpu` — trace-driven out-of-order core model.
+* :mod:`repro.workloads` — Table 2's benchmarks and mixes.
+* :mod:`repro.stack3d` — die stacking geometry and thermal checks.
+* :mod:`repro.system` — configuration presets and machine assembly.
+* :mod:`repro.experiments` — regeneration of every figure and table.
+"""
+
+from .system import (
+    Machine,
+    MachineResult,
+    SystemConfig,
+    config_2d,
+    config_3d,
+    config_3d_fast,
+    config_3d_wide,
+    config_aggressive,
+    config_dual_mc,
+    config_quad_mc,
+    run_workload,
+    with_mshr,
+)
+from .workloads import BENCHMARKS, MIXES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "MIXES",
+    "Machine",
+    "MachineResult",
+    "SystemConfig",
+    "config_2d",
+    "config_3d",
+    "config_3d_fast",
+    "config_3d_wide",
+    "config_aggressive",
+    "config_dual_mc",
+    "config_quad_mc",
+    "run_workload",
+    "with_mshr",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Cache hierarchy: tag arrays, L1D, the shared banked L2, prefetchers."""
+
+from .array import CacheArray
+from .l1 import L1Cache
+from .l2 import BankedL2Cache
+from .l3 import StackedL3
+from .prefetch import CompositePrefetcher, IpStridePrefetcher, NextLinePrefetcher
+
+__all__ = [
+    "BankedL2Cache",
+    "CacheArray",
+    "CompositePrefetcher",
+    "IpStridePrefetcher",
+    "L1Cache",
+    "NextLinePrefetcher",
+    "StackedL3",
+]

@@ -1,0 +1,166 @@
+"""Per-core L1 data cache.
+
+Write policy is write-back / write-allocate; a store miss issues a
+read-for-ownership to the L2 and marks the line dirty on fill.  Misses
+allocate in a small L1 MSHR file (8 entries in Table 1); when it is full
+the access is rejected and the core stalls until an entry frees — this
+is the backpressure path that lets faster memory expose the L2 MHA as
+the next bottleneck (Section 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..common.request import AccessType, MemoryRequest
+from ..common.stats import StatRegistry
+from ..engine.simulator import Engine
+from ..mshr.base import MshrFile
+from .array import CacheArray
+from .l2 import BankedL2Cache
+from .prefetch import CompositePrefetcher
+
+
+class L1Cache:
+    """One core's L1D: tag array + MSHR file + L2 port."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        array: CacheArray,
+        mshr: MshrFile,
+        l2: BankedL2Cache,
+        registry: Optional[StatRegistry] = None,
+        latency: int = 3,
+        prefetcher: Optional[CompositePrefetcher] = None,
+    ) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.array = array
+        self.mshr = mshr
+        self.l2 = l2
+        registry = registry if registry is not None else StatRegistry()
+        self.stats = registry.group(f"l1.core{core_id}")
+        self.latency = latency
+        self.prefetcher = prefetcher
+        self._free_waiters: Deque[Callable[[], None]] = deque()
+        # line -> dirty-on-fill flag for in-flight fetches (RFO tracking).
+        self._fill_dirty: Dict[int, bool] = {}
+
+    def access(self, request: MemoryRequest) -> bool:
+        """Attempt an access; False when the L1 MSHR rejects it (stall).
+
+        On acceptance the request's callback fires when the load data is
+        available (stores complete at tag time — the store buffer hides
+        their latency from commit, though they still consume MSHRs and
+        generate fills).
+        """
+        now = self.engine.now
+        line = self.array.align(request.addr)
+        self.stats.add("accesses")
+        if self.array.lookup(line):
+            self.stats.add("hits")
+            if request.is_write:
+                self.array.mark_dirty(line)
+            request.complete(now + self.latency)
+            self._train_prefetcher(request, was_miss=False)
+            return True
+
+        # Miss path.
+        entry, _ = self.mshr.search(line)
+        if entry is not None:
+            self.stats.add("secondary_misses")
+            entry.merge(request)
+            if request.is_write:
+                self._fill_dirty[line] = True
+            return True
+
+        new_entry, _ = self.mshr.allocate(line)
+        if new_entry is None:
+            self.stats.add("mshr_rejects")
+            return False
+
+        self.stats.add("misses")
+        new_entry.merge(request)
+        self._fill_dirty[line] = request.is_write
+        fetch = MemoryRequest(
+            line,
+            AccessType.READ,
+            core_id=self.core_id,
+            pc=request.pc,
+            created_at=now,
+            callback=lambda mr, e=new_entry: self._fill(e, mr),
+        )
+        self.engine.schedule(self.latency, self.l2.access, fetch)
+        self._train_prefetcher(request, was_miss=True)
+        return True
+
+    def on_mshr_free(self, callback: Callable[[], None]) -> None:
+        """One-shot notification when an MSHR entry deallocates."""
+        self._free_waiters.append(callback)
+
+    def back_invalidate(self, line_addr: int) -> bool:
+        """Inclusion victim from the L2: drop our copy.
+
+        Returns True when the dropped copy was dirty — the caller (L2)
+        must then write the line back to memory on our behalf, since its
+        own copy is being evicted too.
+        """
+        dirty = self.array.invalidate(line_addr)
+        if dirty is None:
+            return False
+        self.stats.add("back_invalidations")
+        return dirty
+
+    def _fill(self, entry, mem_request: MemoryRequest) -> None:
+        now = self.engine.now
+        line = entry.line_addr
+        dirty = self._fill_dirty.pop(line, False)
+        # Any merged store also dirties the line.
+        dirty = dirty or any(r.is_write for r in entry.requests)
+        victim = self.array.fill(line, dirty=dirty)
+        if victim is not None and victim[1]:
+            self.stats.add("writebacks")
+            writeback = MemoryRequest(
+                victim[0],
+                AccessType.WRITEBACK,
+                core_id=self.core_id,
+                created_at=now,
+            )
+            self.l2.access(writeback)
+        self.mshr.deallocate(line)
+        for waiting in entry.requests:
+            waiting.complete(now)
+        while self._free_waiters and not self.mshr.is_full:
+            self._free_waiters.popleft()()
+
+    def _train_prefetcher(self, request: MemoryRequest, was_miss: bool) -> None:
+        """L1 prefetch (next-line + IP-stride in Table 1) into the L1."""
+        if self.prefetcher is None or request.access is AccessType.PREFETCH:
+            return
+        for candidate in self.prefetcher.observe(request.addr, request.pc, was_miss):
+            line = self.array.align(candidate)
+            if self.array.probe(line) or self.mshr.is_full:
+                continue
+            if self.mshr.contains(line):
+                continue
+            entry, _ = self.mshr.allocate(line)
+            if entry is None:
+                continue
+            self.stats.add("prefetches_issued")
+            self._fill_dirty[line] = False
+            fetch = MemoryRequest(
+                line,
+                AccessType.PREFETCH,
+                core_id=self.core_id,
+                pc=request.pc,
+                created_at=self.engine.now,
+                callback=lambda mr, e=entry: self._fill(e, mr),
+            )
+            self.l2.access(fetch)
+
+    def miss_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("misses") / accesses if accesses else 0.0

@@ -1,0 +1,310 @@
+"""The shared, banked L2 cache and its miss handling architecture.
+
+Organization follows Figure 5(b): 16 banks, each bank aligned (in the
+streamlined page-interleaved mode) with exactly one MSHR bank and one
+memory controller, so a miss in L2 bank *b* allocates only in the MSHR
+bank feeding its MC and never crosses a global bus.  The
+line-interleaved mode (conventional 64 B banking) is retained for the
+ablation: there every bank may talk to every MC, modelled by a shared
+command/request bus that every miss must cross before reaching its MC.
+
+Timing model per access: the target bank serializes accesses
+(``bank_occupancy`` cycles apart), tags resolve after ``latency`` cycles,
+and MSHR operations cost their probe count in cycles (one probe per
+cycle, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..common.request import AccessType, MemoryRequest
+from ..common.stats import StatRegistry
+from ..common.units import log2int
+from ..engine.simulator import Engine
+from ..interconnect.bus import Bus
+from ..memctrl.memsys import MainMemory
+from ..mshr.base import MshrEntry, MshrFile
+from .array import CacheArray
+from .prefetch import CompositePrefetcher
+
+
+class BankedL2Cache:
+    """Shared L2: banked tag arrays + banked MSHRs + memory interface."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        array: CacheArray,
+        memory: MainMemory,
+        mshr_files: Sequence[MshrFile],
+        registry: Optional[StatRegistry] = None,
+        num_banks: int = 16,
+        interleave: str = "page",
+        latency: int = 9,
+        bank_occupancy: int = 2,
+        routing_latency: int = 2,
+        page_size: int = 4096,
+        prefetcher: Optional[CompositePrefetcher] = None,
+        request_bus: Optional[Bus] = None,
+        mshr_latency_enabled: bool = True,
+    ) -> None:
+        if interleave not in ("page", "line"):
+            raise ValueError("interleave must be 'page' or 'line'")
+        if num_banks < 1 or latency < 1 or bank_occupancy < 1:
+            raise ValueError("num_banks, latency, bank_occupancy must be >= 1")
+        self.engine = engine
+        self.array = array
+        self.memory = memory
+        self.mshr_files = list(mshr_files)
+        registry = registry if registry is not None else StatRegistry()
+        self.stats = registry.group("l2")
+        self.num_banks = num_banks
+        self.interleave = interleave
+        self.latency = latency
+        self.bank_occupancy = bank_occupancy
+        self.routing_latency = routing_latency
+        self.line_size = array.line_size
+        self._line_shift = log2int(self.line_size)
+        self._page_shift = log2int(page_size)
+        self.prefetcher = prefetcher
+        self.request_bus = request_bus
+        self.mshr_latency_enabled = mshr_latency_enabled
+        self._bank_free_at: List[int] = [0] * num_banks
+        self._mshr_waiters: List[Deque[MemoryRequest]] = [
+            deque() for _ in self.mshr_files
+        ]
+        # Inclusion: caches above us, notified when we evict a line so
+        # they drop (and surrender dirty data from) their copies.
+        self._inclusion_listeners: List = []
+        # Lines brought in by prefetch and not yet demanded (for accuracy
+        # stats).
+        self._prefetched_lines: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Address routing
+    # ------------------------------------------------------------------
+    def bank_index(self, addr: int) -> int:
+        """Which L2 bank serves ``addr`` (Section 4.1's interleaving)."""
+        if self.interleave == "page":
+            return (addr >> self._page_shift) % self.num_banks
+        return (addr >> self._line_shift) % self.num_banks
+
+    def mshr_bank_index(self, addr: int) -> int:
+        """MSHR banking mirrors the memory-controller interleaving."""
+        if len(self.mshr_files) == 1:
+            return 0
+        if len(self.mshr_files) == self.memory.num_mcs:
+            return self.memory.mapping.mc_index(addr)
+        return (addr >> self._page_shift) % len(self.mshr_files)
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def access(self, request: MemoryRequest) -> None:
+        """Accept a request from an L1 (or the prefetcher).
+
+        READ/PREFETCH requests are completed when their data is available
+        at the L2 edge; WRITEBACKs are posted and complete at tag time.
+        """
+        bank = self.bank_index(request.addr)
+        arrival = self.engine.now + self.routing_latency
+        start = max(arrival, self._bank_free_at[bank])
+        self._bank_free_at[bank] = start + self.bank_occupancy
+        self.engine.schedule_at(start + self.latency, self._tag_check, request)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _tag_check(self, request: MemoryRequest) -> None:
+        now = self.engine.now
+        line = self.array.align(request.addr)
+        self.stats.add("accesses")
+        demand = request.access.is_demand
+        if demand:
+            self.stats.add(f"core{request.core_id}_demand_accesses")
+        hit = self.array.lookup(line)
+
+        if request.access is AccessType.WRITEBACK:
+            if hit:
+                self.array.mark_dirty(line)
+                self.stats.add("writeback_hits")
+            else:
+                # Non-inclusive corner: forward straight to memory.
+                self.stats.add("writeback_misses")
+                self._post_memory_writeback(line)
+            request.complete(now)
+            return
+
+        if hit:
+            self.stats.add("hits")
+            self._note_prefetch_usefulness(line)
+            if demand:
+                self._train_prefetcher(request, was_miss=False)
+            request.complete(now + self.routing_latency)
+            return
+
+        self.stats.add("misses")
+        if demand:
+            self.stats.add(f"core{request.core_id}_demand_misses")
+            self._train_prefetcher(request, was_miss=True)
+        elif request.access is AccessType.PREFETCH:
+            self.stats.add("prefetch_misses")
+        self._mshr_path(request)
+
+    def _mshr_path(self, request: MemoryRequest) -> None:
+        """Search/allocate the MSHR bank; stall the request when full."""
+        line = self.array.align(request.addr)
+        bank_idx = self.mshr_bank_index(request.addr)
+        file = self.mshr_files[bank_idx]
+
+        entry, probes = file.search(line)
+        if entry is not None:
+            entry.merge(request)
+            if request.access.is_demand and entry.is_prefetch:
+                # A demand merged into a prefetch entry: the prefetch was
+                # timely enough to hide part of the miss.
+                entry.is_prefetch = False
+                self.stats.add("prefetch_partial_hits")
+            self.stats.add("mshr_merges")
+            return
+
+        new_entry, alloc_probes = file.allocate(line)
+        probes += alloc_probes
+        if new_entry is None:
+            self.stats.add("mshr_stalls")
+            request.annotations["mshr_stall_start"] = self.engine.now
+            self._mshr_waiters[bank_idx].append(request)
+            return
+
+        new_entry.merge(request)
+        new_entry.is_prefetch = request.access is AccessType.PREFETCH
+        stall_start = request.annotations.pop("mshr_stall_start", None)
+        if stall_start is not None:
+            self.stats.add("mshr_stall_cycles", self.engine.now - stall_start)
+        mem_request = MemoryRequest(
+            line,
+            AccessType.READ,
+            core_id=request.core_id,
+            pc=request.pc,
+            created_at=self.engine.now,
+            callback=lambda mr, e=new_entry, b=bank_idx: self._fill(e, b, mr),
+        )
+        delay = probes if self.mshr_latency_enabled else 1
+        self.engine.schedule(delay, self._send_to_memory, mem_request)
+
+    def _send_to_memory(self, mem_request: MemoryRequest) -> None:
+        if self.request_bus is not None:
+            # Conventional line-interleaved banking: every bank shares one
+            # command bus to all MCs (8 B command/address beat).
+            _, arrival = self.request_bus.transfer(8, self.engine.now)
+            self.engine.schedule_at(arrival, self._enqueue_memory, mem_request)
+            return
+        self._enqueue_memory(mem_request)
+
+    def _enqueue_memory(self, mem_request: MemoryRequest) -> None:
+        if not self.memory.enqueue(mem_request):
+            self.stats.add("mrq_full_retries")
+            self.memory.wait_for_space(
+                mem_request.addr,
+                lambda: self._enqueue_memory(mem_request),
+            )
+
+    def _fill(self, entry: MshrEntry, bank_idx: int, mem_request: MemoryRequest) -> None:
+        """Memory returned the line: fill, deallocate, respond, wake."""
+        now = self.engine.now
+        line = entry.line_addr
+        victim = self.array.fill(line, dirty=False)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            self.stats.add("evictions")
+            self._prefetched_lines.pop(victim_line, None)
+            # Inclusion: the L1s must drop their copies; a dirty L1 copy
+            # supersedes whatever we held and must reach memory.
+            for upper in self._inclusion_listeners:
+                if upper.back_invalidate(victim_line):
+                    victim_dirty = True
+                    self.stats.add("inclusion_dirty_recalls")
+            if victim_dirty:
+                self._post_memory_writeback(victim_line)
+        if entry.is_prefetch:
+            self._prefetched_lines[line] = True
+            self.stats.add("prefetch_fills")
+
+        file = self.mshr_files[bank_idx]
+        probes = file.deallocate(line)
+        delay = probes if self.mshr_latency_enabled else 1
+
+        respond_at = now + delay + self.routing_latency
+        for waiting in entry.requests:
+            if waiting.access is AccessType.PREFETCH:
+                waiting.complete(respond_at - self.routing_latency)
+            else:
+                self.engine.schedule_at(respond_at, waiting.complete, respond_at)
+        self.engine.schedule(delay, self._drain_mshr_waiters, bank_idx)
+
+    def _drain_mshr_waiters(self, bank_idx: int) -> None:
+        waiters = self._mshr_waiters[bank_idx]
+        file = self.mshr_files[bank_idx]
+        while waiters and not file.is_full:
+            request = waiters.popleft()
+            self._mshr_path(request)
+            # _mshr_path may have re-queued it (e.g. hierarchical bank
+            # conflict); stop to preserve order and avoid spinning.
+            if waiters and waiters[-1] is request:
+                break
+
+    # ------------------------------------------------------------------
+    # Writebacks and prefetch
+    # ------------------------------------------------------------------
+    def _post_memory_writeback(self, line: int) -> None:
+        self.stats.add("memory_writebacks")
+        wb = MemoryRequest(
+            line,
+            AccessType.WRITEBACK,
+            created_at=self.engine.now,
+        )
+        self._enqueue_memory(wb)
+
+    def _note_prefetch_usefulness(self, line: int) -> None:
+        if self._prefetched_lines.pop(line, None) is not None:
+            self.stats.add("prefetch_useful")
+
+    def _train_prefetcher(self, request: MemoryRequest, was_miss: bool) -> None:
+        if self.prefetcher is None:
+            return
+        candidates = self.prefetcher.observe(request.addr, request.pc, was_miss)
+        for candidate in candidates:
+            line = self.array.align(candidate)
+            if self.array.probe(line):
+                continue
+            bank_idx = self.mshr_bank_index(line)
+            if self.mshr_files[bank_idx].is_full:
+                continue  # never stall the pipe for a prefetch
+            entry, _ = self.mshr_files[bank_idx].search(line)
+            if entry is not None:
+                continue
+            self.stats.add("prefetches_issued")
+            prefetch = MemoryRequest(
+                line,
+                AccessType.PREFETCH,
+                core_id=request.core_id,
+                pc=request.pc,
+                created_at=self.engine.now,
+            )
+            self.access(prefetch)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def miss_rate(self) -> float:
+        accesses = self.stats.get("accesses")
+        return self.stats.get("misses") / accesses if accesses else 0.0
+
+    def mshr_occupancy(self) -> int:
+        return sum(f.occupancy for f in self.mshr_files)
+
+    def register_upper_level(self, cache) -> None:
+        """Enrol an L1 for inclusion back-invalidation on L2 evictions."""
+        self._inclusion_listeners.append(cache)

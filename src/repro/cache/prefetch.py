@@ -1,0 +1,99 @@
+"""Prefetchers from Table 1: next-line and IP-based stride.
+
+A prefetcher observes demand accesses (address + PC + hit/miss) and
+suggests candidate line addresses.  The owning cache filters candidates
+against its own contents/MSHRs and injects PREFETCH requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class NextLinePrefetcher:
+    """On a demand miss, fetch the next sequential line(s)."""
+
+    def __init__(self, line_size: int = 64, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.line_size = line_size
+        self.degree = degree
+
+    def observe(self, addr: int, pc: int, was_miss: bool) -> List[int]:
+        if not was_miss:
+            return []
+        line = addr & ~(self.line_size - 1)
+        return [line + self.line_size * i for i in range(1, self.degree + 1)]
+
+
+class _StrideEntry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, last_addr: int) -> None:
+        self.last_addr = last_addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class IpStridePrefetcher:
+    """Classic per-PC stride detector (Intel's "IP-based stride", ref [9]).
+
+    A table indexed by PC tracks the last address and detected stride;
+    after ``threshold`` consecutive confirmations it prefetches
+    ``degree`` strides ahead.
+    """
+
+    def __init__(
+        self,
+        line_size: int = 64,
+        table_size: int = 256,
+        threshold: int = 2,
+        degree: int = 2,
+    ) -> None:
+        if table_size < 1 or threshold < 1 or degree < 1:
+            raise ValueError("table_size, threshold and degree must be >= 1")
+        self.line_size = line_size
+        self.table_size = table_size
+        self.threshold = threshold
+        self.degree = degree
+        self._table: Dict[int, _StrideEntry] = {}
+
+    def observe(self, addr: int, pc: int, was_miss: bool) -> List[int]:
+        slot = pc % self.table_size
+        entry = self._table.get(slot)
+        if entry is None:
+            self._table[slot] = _StrideEntry(addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.threshold)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        if entry.confidence < self.threshold or entry.stride == 0:
+            return []
+        candidates = []
+        mask = ~(self.line_size - 1)
+        for i in range(1, self.degree + 1):
+            target = addr + entry.stride * i
+            if target >= 0:
+                candidates.append(target & mask)
+        return candidates
+
+
+class CompositePrefetcher:
+    """Fan-in of several prefetchers with de-duplication of candidates."""
+
+    def __init__(self, prefetchers: Optional[List[object]] = None) -> None:
+        self.prefetchers = list(prefetchers or [])
+
+    def observe(self, addr: int, pc: int, was_miss: bool) -> List[int]:
+        seen = set()
+        merged: List[int] = []
+        for prefetcher in self.prefetchers:
+            for candidate in prefetcher.observe(addr, pc, was_miss):
+                if candidate not in seen:
+                    seen.add(candidate)
+                    merged.append(candidate)
+        return merged

@@ -1,0 +1,73 @@
+"""Translation lookaside buffer (Table 1: 64-entry 4-way DTLB).
+
+The core model translates virtual addresses through a per-core DTLB
+before the L1 access; a miss costs a page-table walk, modelled as a
+fixed penalty (the walk mostly hits the L2 in practice).  Table 1's
+DTLB: 64-entry, 4-way set-associative.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..common.stats import StatGroup
+from ..common.units import is_power_of_two, log2int
+
+
+class Tlb:
+    """Set-associative TLB over virtual page numbers (LRU per set)."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        assoc: int = 4,
+        page_size: int = 4096,
+        walk_penalty: int = 30,
+        stats: Optional[StatGroup] = None,
+        name: str = "dtlb",
+    ) -> None:
+        if entries <= 0 or assoc <= 0 or entries % assoc:
+            raise ValueError("entries must divide evenly into assoc ways")
+        if not is_power_of_two(page_size):
+            raise ValueError("page size must be a power of two")
+        if walk_penalty < 0:
+            raise ValueError("walk penalty cannot be negative")
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.walk_penalty = walk_penalty
+        self._page_shift = log2int(page_size)
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.stats = stats if stats is not None else StatGroup(name)
+
+    def access(self, vaddr: int) -> int:
+        """Translate-latency for this access: 0 on a hit, walk penalty on
+        a miss (the entry is filled)."""
+        vpn = vaddr >> self._page_shift
+        set_idx = vpn % self.num_sets
+        tlb_set = self._sets.setdefault(set_idx, OrderedDict())
+        if vpn in tlb_set:
+            tlb_set.move_to_end(vpn)
+            self.stats.add("hits")
+            return 0
+        self.stats.add("misses")
+        if len(tlb_set) >= self.assoc:
+            tlb_set.popitem(last=False)
+        tlb_set[vpn] = True
+        return self.walk_penalty
+
+    def contains(self, vaddr: int) -> bool:
+        vpn = vaddr >> self._page_shift
+        return vpn in self._sets.get(vpn % self.num_sets, ())
+
+    def flush(self) -> None:
+        """Drop every translation (context switch)."""
+        self._sets.clear()
+        self.stats.add("flushes")
+
+    def miss_rate(self) -> float:
+        hits = self.stats.get("hits")
+        misses = self.stats.get("misses")
+        total = hits + misses
+        return misses / total if total else 0.0

@@ -1,0 +1,330 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list {benchmarks,mixes,configs}`` — show what is available.
+* ``run --config 3d-fast --mix H1``   — simulate one workload and print
+  per-core results (``--benchmarks a,b,c,d`` for a custom mix).
+* ``analyze --config 2d --mix VH2``   — run once and print a bottleneck
+  report.
+* ``figure {4,6a,6b,7,9}``            — regenerate a figure.
+* ``table {2a,2b}``                   — regenerate a table.
+* ``fairness --config quad-mc``       — solo-vs-mixed fairness metrics.
+* ``report --output results/``        — regenerate everything.
+* ``ablation {scheduler,interleave,prefetch,replacement,mshr}``
+
+All experiment commands accept ``--scale`` (smoke/default/large),
+``--mixes`` (comma-separated) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .experiments import (
+    run_figure4,
+    run_full_suite,
+    run_figure6a,
+    run_figure6b,
+    run_figure7,
+    run_figure9,
+    run_interleave_ablation,
+    run_mshr_org_ablation,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+    run_table2a,
+    run_table2b,
+)
+from .system.config import (
+    SystemConfig,
+    config_2d,
+    config_3d,
+    config_3d_fast,
+    config_3d_wide,
+    config_dual_mc,
+    config_quad_mc,
+)
+from .system.machine import run_workload
+from .system.scale import get_scale
+from .workloads.benchmarks import BENCHMARKS
+from .workloads.mixes import MIX_ORDER, MIXES
+
+CONFIGS: Dict[str, Callable[[], SystemConfig]] = {
+    "2d": config_2d,
+    "3d": config_3d,
+    "3d-wide": config_3d_wide,
+    "3d-fast": config_3d_fast,
+    "dual-mc": config_dual_mc,
+    "quad-mc": config_quad_mc,
+}
+
+
+def _mixes_arg(value: Optional[str]):
+    if not value:
+        return None
+    return [MIXES[name.strip()] for name in value.split(",")]
+
+
+def _cmd_list(args) -> int:
+    if args.what == "benchmarks":
+        print(f"{'name':12s} {'suite':14s} {'paper MPKI':>10s}")
+        for spec in sorted(
+            BENCHMARKS.values(), key=lambda s: -s.paper_mpki
+        ):
+            print(f"{spec.name:12s} {spec.suite:14s} {spec.paper_mpki:>10.1f}")
+    elif args.what == "mixes":
+        print(f"{'mix':5s} {'group':6s} {'paper HMIPC':>11s}  benchmarks")
+        for name in MIX_ORDER:
+            mix = MIXES[name]
+            print(
+                f"{mix.name:5s} {mix.group:6s} {mix.paper_hmipc:>11.3f}  "
+                + ", ".join(mix.benchmarks)
+            )
+    else:
+        for name, factory in CONFIGS.items():
+            config = factory()
+            print(
+                f"{name:10s} timing={config.dram_timing:12s} "
+                f"bus={config.memory_bus:5s} MCs={config.num_mcs} "
+                f"ranks={config.total_ranks} RB={config.row_buffer_entries} "
+                f"MSHR/bank={config.l2_mshr_per_bank}"
+            )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = CONFIGS[args.config]()
+    if args.benchmarks:
+        benchmarks = [b.strip() for b in args.benchmarks.split(",")]
+        if len(benchmarks) != config.num_cores:
+            raise SystemExit(
+                f"--benchmarks needs {config.num_cores} names, "
+                f"got {len(benchmarks)}"
+            )
+        workload_name = "custom"
+    else:
+        mix = MIXES[args.mix]
+        benchmarks = list(mix.benchmarks)
+        workload_name = mix.name
+    scale = get_scale(args.scale)
+    result = run_workload(
+        config,
+        benchmarks,
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=args.seed,
+        workload_name=workload_name,
+    )
+    print(f"config {config.name}, workload {workload_name} ({scale.name} scale)")
+    for core in result.cores:
+        print(
+            f"  core {core.benchmark:12s} IPC {core.ipc:6.3f}  "
+            f"L2 MPKI {core.l2_mpki:7.1f}"
+        )
+    print(f"HMIPC               {result.hmipc:.3f}")
+    print(f"DRAM row-hit rate   {result.dram_row_hit_rate:.2f}")
+    print(f"MSHR probes/access  {result.mshr_avg_probes:.2f}")
+    print(
+        "DRAM dynamic energy "
+        f"{result.extra['dram_dynamic_nj_per_access']:.2f} nJ/access"
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    scale = get_scale(args.scale)
+    mixes = _mixes_arg(args.mixes)
+    seed, workers = args.seed, args.workers
+    if args.which == "4":
+        result = run_figure4(scale=scale, mixes=mixes, seed=seed, workers=workers)
+    elif args.which == "6a":
+        result = run_figure6a(scale=scale, mixes=mixes, seed=seed, workers=workers)
+    elif args.which == "6b":
+        result = run_figure6b(scale=scale, mixes=mixes, seed=seed, workers=workers)
+    elif args.which == "7":
+        result = run_figure7(
+            panel=args.panel, scale=scale, mixes=mixes, seed=seed, workers=workers
+        )
+    else:
+        result = run_figure9(
+            panel=args.panel, scale=scale, mixes=mixes, seed=seed, workers=workers
+        )
+    print(result.format())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    scale = get_scale(args.scale)
+    if args.which == "2a":
+        result = run_table2a(scale=scale, seed=args.seed)
+    else:
+        result = run_table2b(
+            scale=scale, mixes=_mixes_arg(args.mixes), seed=args.seed,
+            workers=args.workers,
+        )
+    print(result.format())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .experiments.analysis import analyze
+    from .system.machine import Machine
+
+    config = CONFIGS[args.config]()
+    mix = MIXES[args.mix]
+    scale = get_scale(args.scale)
+    machine = Machine(
+        config, list(mix.benchmarks), seed=args.seed, workload_name=mix.name
+    )
+    result = machine.run(
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+    )
+    print(f"config {config.name}, workload {mix.name}: HMIPC {result.hmipc:.3f}\n")
+    print(analyze(machine).format())
+    return 0
+
+
+def _cmd_fairness(args) -> int:
+    from .experiments.fairness import fairness_study
+
+    result = fairness_study(
+        CONFIGS[args.config](),
+        MIXES[args.mix],
+        scale=get_scale(args.scale),
+        seed=args.seed,
+    )
+    print(result.format())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    reports = run_full_suite(
+        scale=get_scale(args.scale),
+        mixes=_mixes_arg(args.mixes),
+        seed=args.seed,
+        workers=args.workers,
+        output_dir=args.output,
+        only=args.only.split(",") if args.only else None,
+    )
+    for name, text in reports.items():
+        print(f"\n===== {name} =====")
+        print(text)
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments import run_replacement_ablation
+
+    runners = {
+        "scheduler": run_scheduler_ablation,
+        "interleave": run_interleave_ablation,
+        "prefetch": run_prefetch_ablation,
+        "replacement": run_replacement_ablation,
+        "mshr": run_mshr_org_ablation,
+    }
+    result = runners[args.which](
+        scale=get_scale(args.scale),
+        mixes=_mixes_arg(args.mixes),
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(result.format())
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "large"])
+    parser.add_argument("--mixes", default=None,
+                        help="comma-separated mix names (default: per-figure)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Loh, '3D-Stacked Memory Architectures "
+        "for Multi-Core Processors' (ISCA 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list benchmarks/mixes/configs")
+    p_list.add_argument("what", choices=["benchmarks", "mixes", "configs"])
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("--config", default="3d-fast", choices=sorted(CONFIGS))
+    p_run.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    p_run.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark names (overrides --mix; one per core)",
+    )
+    p_run.add_argument("--scale", default="smoke",
+                       choices=["smoke", "default", "large"])
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("which", choices=["4", "6a", "6b", "7", "9"])
+    p_fig.add_argument("--panel", default="quad-mc",
+                       choices=["dual-mc", "quad-mc"])
+    _add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab.add_argument("which", choices=["2a", "2b"])
+    _add_common(p_tab)
+    p_tab.set_defaults(func=_cmd_table)
+
+    p_ana = sub.add_parser(
+        "analyze", help="run one workload and print a bottleneck report"
+    )
+    p_ana.add_argument("--config", default="3d-fast", choices=sorted(CONFIGS))
+    p_ana.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    p_ana.add_argument("--scale", default="smoke",
+                       choices=["smoke", "default", "large"])
+    p_ana.add_argument("--seed", type=int, default=42)
+    p_ana.set_defaults(func=_cmd_analyze)
+
+    p_fair = sub.add_parser(
+        "fairness", help="fairness metrics for one mix (solo vs mixed)"
+    )
+    p_fair.add_argument("--config", default="quad-mc", choices=sorted(CONFIGS))
+    p_fair.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    p_fair.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "large"])
+    p_fair.add_argument("--seed", type=int, default=42)
+    p_fair.set_defaults(func=_cmd_fairness)
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate every table/figure/ablation"
+    )
+    _add_common(p_rep)
+    p_rep.add_argument("--output", default=None,
+                       help="directory to write <name>.txt reports into")
+    p_rep.add_argument("--only", default=None,
+                       help="comma-separated experiment names")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_abl = sub.add_parser("ablation", help="run a design-choice ablation")
+    p_abl.add_argument(
+        "which",
+        choices=["scheduler", "interleave", "prefetch", "replacement", "mshr"],
+    )
+    _add_common(p_abl)
+    p_abl.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Shared primitives: units, addresses, requests and statistics."""
+
+from .address import PageAllocator, line_address, line_index
+from .request import AccessType, MemoryRequest
+from .stats import StatGroup, StatRegistry
+from .units import (
+    CPU_FREQ_GHZ,
+    CYCLE_TIME_NS,
+    GIB,
+    KIB,
+    MIB,
+    cycles_to_ns,
+    is_power_of_two,
+    log2int,
+    ms_to_cycles,
+    ns_to_cycles,
+)
+
+__all__ = [
+    "AccessType",
+    "MemoryRequest",
+    "PageAllocator",
+    "StatGroup",
+    "StatRegistry",
+    "line_address",
+    "line_index",
+    "CPU_FREQ_GHZ",
+    "CYCLE_TIME_NS",
+    "GIB",
+    "KIB",
+    "MIB",
+    "cycles_to_ns",
+    "is_power_of_two",
+    "log2int",
+    "ms_to_cycles",
+    "ns_to_cycles",
+]

@@ -1,0 +1,97 @@
+"""Lightweight statistics collection.
+
+Every simulated component owns a :class:`StatGroup` obtained from the
+machine-wide :class:`StatRegistry`.  Counters are plain attributes in a
+dict, so the hot path is a single dict update.  Per-core "freeze at N
+instructions, keep executing" (the paper's methodology, Section 2.4) is
+implemented by snapshotting a group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class StatGroup:
+    """A named bag of numeric counters with optional freezing."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+        self._frozen: Optional[Dict[str, float]] = None
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment counter ``key`` by ``amount`` (creates it at 0)."""
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set counter ``key`` to an absolute value."""
+        self._counters[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Read the *live* value of a counter."""
+        return self._counters.get(key, default)
+
+    def freeze(self) -> None:
+        """Snapshot current values; :meth:`value` reports the snapshot.
+
+        Mirrors the paper's methodology: when a program finishes its
+        instruction quota its statistics are frozen but it keeps running
+        to contend for shared resources.
+        """
+        self._frozen = dict(self._counters)
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._frozen is not None
+
+    def value(self, key: str, default: float = 0.0) -> float:
+        """Read a counter, honouring a freeze snapshot if one was taken."""
+        if self._frozen is not None:
+            return self._frozen.get(key, default)
+        return self._counters.get(key, default)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate over (key, reported value) pairs, honouring freezing."""
+        source = self._frozen if self._frozen is not None else self._counters
+        return iter(sorted(source.items()))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``value(numerator) / value(denominator)``, 0 when undefined."""
+        denom = self.value(denominator)
+        if denom == 0:
+            return 0.0
+        return self.value(numerator) / denom
+
+    def as_dict(self) -> Dict[str, float]:
+        """Reported values as a plain dict (copy)."""
+        source = self._frozen if self._frozen is not None else self._counters
+        return dict(source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StatGroup {self.name!r} {len(self._counters)} counters>"
+
+
+class StatRegistry:
+    """All stat groups for one simulated machine."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        """Get or create the group called ``name``."""
+        existing = self._groups.get(name)
+        if existing is None:
+            existing = StatGroup(name)
+            self._groups[name] = existing
+        return existing
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups
+
+    def groups(self) -> Iterator[StatGroup]:
+        return iter(self._groups.values())
+
+    def dump(self) -> Dict[str, Dict[str, float]]:
+        """All reported values, nested by group name."""
+        return {name: group.as_dict() for name, group in sorted(self._groups.items())}

@@ -1,0 +1,56 @@
+"""Unit helpers: clock conversion and size constants.
+
+The paper's processor runs at 3.333 GHz, so one CPU cycle is 0.3 ns.  All
+simulator timing is expressed in integer CPU cycles; DRAM datasheet
+parameters given in nanoseconds are converted with :func:`ns_to_cycles`,
+rounding *up* as the paper does ("everything is rounded up to be integral
+multiples of the CPU cycle time").
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Core clock of the baseline quad-core processor (Table 1).
+CPU_FREQ_GHZ = 10.0 / 3.0  # 3.333... GHz
+
+#: Duration of one CPU cycle in nanoseconds.
+CYCLE_TIME_NS = 1.0 / CPU_FREQ_GHZ  # 0.3 ns
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert nanoseconds to CPU cycles, rounding up (paper Section 3)."""
+    if ns < 0:
+        raise ValueError(f"negative duration: {ns} ns")
+    cycles = ns * CPU_FREQ_GHZ
+    # Guard against float fuzz like 36 ns -> 120.00000000000001 cycles.
+    nearest = round(cycles)
+    if abs(cycles - nearest) < 1e-9:
+        return int(nearest)
+    return int(math.ceil(cycles))
+
+
+def cycles_to_ns(cycles: int) -> float:
+    """Convert CPU cycles to nanoseconds."""
+    return cycles * CYCLE_TIME_NS
+
+
+def ms_to_cycles(ms: float) -> int:
+    """Convert milliseconds to CPU cycles (used for refresh periods)."""
+    return ns_to_cycles(ms * 1e6)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2int(value: int) -> int:
+    """Exact integer log2; raises for non-powers-of-two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

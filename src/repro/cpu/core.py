@@ -1,0 +1,268 @@
+"""Trace-driven simplified out-of-order core.
+
+The model keeps the three constraints that determine memory-system-bound
+performance and drops the rest of the microarchitecture:
+
+* **Front-end pacing** — instructions dispatch at most ``width`` per
+  cycle (Table 1: 4 micro-ops/cycle).
+* **ROB window** — a memory op can only be in flight while it is within
+  ``rob_size`` instructions of the oldest uncommitted memory op, which is
+  what bounds memory-level parallelism (96 entries in Table 1).  The L1
+  MSHR file (8 entries) bounds *distinct outstanding lines*.
+* **In-order commit** — loads block commit until their data returns;
+  stores drain through a store buffer and commit immediately.  Commit is
+  paced at ``base_cpi`` cycles per instruction, an aggregate stand-in for
+  execution-core effects (dependencies, branch mispredictions) that the
+  per-benchmark workload specs calibrate.
+
+The paper's measurement methodology is reproduced: statistics freeze when
+a core commits its instruction quota, but the core keeps executing so it
+continues to contend for the shared L2, MSHRs and memory.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from ..common.address import PageAllocator
+from ..common.request import AccessType, MemoryRequest
+from ..common.stats import StatRegistry
+from ..engine.simulator import Engine
+from ..cache.l1 import L1Cache
+from .trace import Trace, TraceItem
+
+
+class _InFlight:
+    """One dispatched memory op awaiting commit."""
+
+    __slots__ = ("icount", "is_write", "completed_time")
+
+    def __init__(self, icount: int, is_write: bool, completed_time: Optional[int]):
+        self.icount = icount
+        self.is_write = is_write
+        self.completed_time = completed_time
+
+
+class Core:
+    """One core executing an endless memory trace."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        trace: Trace,
+        l1: L1Cache,
+        allocator: PageAllocator,
+        registry: Optional[StatRegistry] = None,
+        width: int = 4,
+        rob_size: int = 96,
+        base_cpi: float = 0.4,
+        tlb=None,
+    ) -> None:
+        if width < 1 or rob_size < 1:
+            raise ValueError("width and rob_size must be >= 1")
+        if base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        self.engine = engine
+        self.core_id = core_id
+        self.trace = trace
+        self.l1 = l1
+        self.allocator = allocator
+        registry = registry if registry is not None else StatRegistry()
+        self.stats = registry.group(f"core{core_id}")
+        self.width = width
+        self.rob_size = rob_size
+        self.base_cpi = base_cpi
+        # Optional DTLB (Table 1): a miss delays the access by the walk
+        # penalty; the retry then hits because the walk filled the entry.
+        self.tlb = tlb
+
+        self.icount = 0  # instructions dispatched so far
+        self.committed = 0  # instructions committed so far
+        self._outstanding: Deque[_InFlight] = deque()
+        self._pending_item: Optional[TraceItem] = None
+        self._next_dispatch_time = 0
+        self._last_commit_time = 0
+        self._last_commit_icount = 0
+        self._dispatch_scheduled = False
+        self._commit_scheduled = False
+        self._rob_blocked = False
+        self._l1_blocked = False
+
+        # Measurement window (the paper's freeze-but-keep-running).
+        self._measure_start_icount: Optional[int] = None
+        self._measure_start_time: Optional[int] = None
+        self.measure_quota: Optional[int] = None
+        self.frozen = False
+        self.frozen_ipc: Optional[float] = None
+        # Invoked once when the measurement quota is reached (the machine
+        # uses it to snapshot shared-structure statistics per core).
+        self.on_frozen = None
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin fetching the trace (call once, at time 0 or later)."""
+        self._schedule_dispatch(self.engine.now)
+
+    def begin_measurement(self, quota: int) -> None:
+        """Start the measured window: IPC counts from this instant."""
+        if quota < 1:
+            raise ValueError("quota must be >= 1")
+        self._measure_start_icount = self.committed
+        self._measure_start_time = self.engine.now
+        self.measure_quota = quota
+        self.frozen = False
+        self.frozen_ipc = None
+
+    @property
+    def measurement_done(self) -> bool:
+        return self.frozen
+
+    @property
+    def ipc(self) -> float:
+        """Committed IPC over the measurement window (live or frozen)."""
+        if self.frozen_ipc is not None:
+            return self.frozen_ipc
+        if self._measure_start_time is None:
+            start_i, start_t = 0, 0
+        else:
+            start_i, start_t = self._measure_start_icount, self._measure_start_time
+        elapsed = self.engine.now - start_t
+        if elapsed <= 0:
+            return 0.0
+        return (self.committed - start_i) / elapsed
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _schedule_dispatch(self, at: int) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        self.engine.schedule_at(max(at, self.engine.now), self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if self._l1_blocked:
+            return
+        now = self.engine.now
+        if now < self._next_dispatch_time:
+            self._schedule_dispatch(self._next_dispatch_time)
+            return
+
+        item = self._pending_item
+        if item is None:
+            item = next(self.trace)
+        next_icount = self.icount + item.gap + 1
+
+        # ROB occupancy gate: the new op must fit in the window with the
+        # oldest uncommitted op.
+        if self._outstanding and (
+            next_icount - self._outstanding[0].icount >= self.rob_size
+        ):
+            self._pending_item = item
+            self._rob_blocked = True
+            self.stats.add("rob_stalls")
+            return  # resumed by commit
+
+        if self.tlb is not None:
+            walk_penalty = self.tlb.access(item.addr)
+            if walk_penalty:
+                self._pending_item = item
+                self._next_dispatch_time = now + walk_penalty
+                self.stats.add("tlb_walk_cycles", walk_penalty)
+                self._schedule_dispatch(self._next_dispatch_time)
+                return
+
+        paddr = self.allocator.translate(item.addr)
+        inflight = _InFlight(next_icount, item.is_write, None)
+        access = AccessType.WRITE if item.is_write else AccessType.READ
+        request = MemoryRequest(
+            paddr,
+            access,
+            core_id=self.core_id,
+            pc=item.pc,
+            created_at=now,
+            callback=lambda req, f=inflight: self._on_data(f, req),
+        )
+        if not self.l1.access(request):
+            self._pending_item = item
+            self._l1_blocked = True
+            self.stats.add("l1_mshr_stalls")
+            self.l1.on_mshr_free(self._resume_after_l1)
+            return
+
+        self._pending_item = None
+        self.icount = next_icount
+        self._outstanding.append(inflight)
+        if item.is_write:
+            # Stores commit from the store buffer without waiting for data.
+            inflight.completed_time = now
+            self._schedule_commit(now)
+        self.stats.add("dispatched_refs")
+        front_end = max(1, math.ceil((item.gap + 1) / self.width))
+        self._next_dispatch_time = now + front_end
+        self._schedule_dispatch(self._next_dispatch_time)
+
+    def _resume_after_l1(self) -> None:
+        self._l1_blocked = False
+        self._schedule_dispatch(self.engine.now)
+
+    def _on_data(self, inflight: _InFlight, request: MemoryRequest) -> None:
+        if inflight.completed_time is None:
+            inflight.completed_time = self.engine.now
+        self.stats.add("load_latency_sum", request.latency or 0)
+        self.stats.add("loads_completed")
+        self._schedule_commit(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def _schedule_commit(self, at: int) -> None:
+        if self._commit_scheduled:
+            return
+        self._commit_scheduled = True
+        self.engine.schedule_at(max(at, self.engine.now), self._commit)
+
+    def _commit(self) -> None:
+        self._commit_scheduled = False
+        now = self.engine.now
+        while self._outstanding:
+            head = self._outstanding[0]
+            if head.completed_time is None:
+                return  # waiting on load data; resumed by _on_data
+            pace = math.ceil((head.icount - self._last_commit_icount) * self.base_cpi)
+            target = max(head.completed_time, self._last_commit_time + max(1, pace))
+            if now < target:
+                self._schedule_commit(target)
+                return
+            self._outstanding.popleft()
+            self._last_commit_time = target
+            self._last_commit_icount = head.icount
+            self.committed = head.icount
+            self._check_quota()
+            if self._rob_blocked:
+                self._rob_blocked = False
+                self._schedule_dispatch(now)
+
+    def _check_quota(self) -> None:
+        if (
+            self.frozen
+            or self.measure_quota is None
+            or self._measure_start_icount is None
+        ):
+            return
+        done = self.committed - self._measure_start_icount
+        if done >= self.measure_quota:
+            self.frozen = True
+            elapsed = self.engine.now - (self._measure_start_time or 0)
+            self.frozen_ipc = done / elapsed if elapsed > 0 else 0.0
+            self.stats.set("measured_instructions", done)
+            self.stats.set("measured_cycles", elapsed)
+            if self.on_frozen is not None:
+                self.on_frozen(self)
+            self.stats.freeze()

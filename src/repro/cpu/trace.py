@@ -1,0 +1,33 @@
+"""Trace item type consumed by the core model.
+
+Workload generators yield an endless stream of :class:`TraceItem`; the
+core model executes them against the cache hierarchy.  ``gap`` is the
+number of non-memory instructions preceding this memory operation, so
+cumulative instruction counts (and therefore IPC and MPKI denominators)
+are reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class TraceItem(NamedTuple):
+    """One memory operation in a program's dynamic instruction stream."""
+
+    gap: int  # non-memory instructions since the previous memory op
+    addr: int  # virtual byte address
+    is_write: bool
+    pc: int  # instruction pointer of the memory op (for stride prefetch)
+
+
+#: Type alias for what generators produce.
+Trace = Iterator[TraceItem]
+
+
+def instructions_per_item(trace_sample: "list[TraceItem]") -> float:
+    """Average instructions represented per trace item (gap + the op)."""
+    if not trace_sample:
+        return 0.0
+    total = sum(item.gap + 1 for item in trace_sample)
+    return total / len(trace_sample)

@@ -1,0 +1,177 @@
+"""DRAM energy accounting.
+
+The paper motivates row-buffer caches and more, smaller ranks partly on
+power grounds ("each row buffer cache hit avoids the power needed to
+perform a full array access"; smaller banks give "simultaneous
+reductions in the dynamic power consumed per access").  This module
+turns the bank statistics the simulator already collects into an energy
+estimate, using a Micron-style current-based model reduced to per-event
+energies.
+
+Events and their costs (defaults are representative DDR2-scale values):
+
+* row activate + restore + precharge (a row miss): ``e_act_pre``
+* column read/write burst of one line: ``e_rd_wr``
+* dirty row-buffer eviction writeback to the array: ``e_restore``
+* one refresh command: ``e_refresh``
+* background/standby power: ``p_background_mw`` per bank
+
+True-3D arrays shorten bitlines/wordlines; the paper's cited stacking
+work models this as a substantial dynamic-energy reduction, exposed here
+as ``array_energy_scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..common.stats import StatRegistry
+from ..common.units import CYCLE_TIME_NS
+
+
+@dataclass(frozen=True)
+class DramEnergyParams:
+    """Per-event energies (nanojoules) and background power."""
+
+    e_act_pre_nj: float = 3.0  # ACT + restore + PRE for one 4 KiB row
+    e_rd_wr_nj: float = 1.0  # one 64 B column burst
+    e_restore_nj: float = 1.5  # dirty row-buffer eviction restore
+    e_refresh_nj: float = 3.0  # one all-bank refresh, per bank
+    p_background_mw: float = 2.0  # per-bank standby
+    array_energy_scale: float = 1.0  # <1.0 for true-3D split arrays
+
+    def scaled_for_true_3d(self, factor: float = 0.6) -> "DramEnergyParams":
+        """True-3D variant: array (ACT/restore/refresh) energy scaled."""
+        if not 0 < factor <= 1:
+            raise ValueError("scale factor must be in (0, 1]")
+        return DramEnergyParams(
+            e_act_pre_nj=self.e_act_pre_nj,
+            e_rd_wr_nj=self.e_rd_wr_nj,
+            e_restore_nj=self.e_restore_nj,
+            e_refresh_nj=self.e_refresh_nj,
+            p_background_mw=self.p_background_mw,
+            array_energy_scale=factor,
+        )
+
+
+@dataclass
+class EnergyReport:
+    """Breakdown of DRAM energy over a simulated interval."""
+
+    activate_nj: float = 0.0
+    burst_nj: float = 0.0
+    restore_nj: float = 0.0
+    refresh_nj: float = 0.0
+    background_nj: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+    elapsed_cycles: int = 0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.activate_nj + self.burst_nj + self.restore_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.refresh_nj + self.background_nj
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses
+
+    @property
+    def nj_per_access(self) -> float:
+        return self.dynamic_nj / self.accesses if self.accesses else 0.0
+
+    @property
+    def avg_power_mw(self) -> float:
+        """Average power over the interval, in milliwatts."""
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        seconds = self.elapsed_cycles * CYCLE_TIME_NS * 1e-9
+        return self.total_nj * 1e-9 / seconds * 1e3
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            activate_nj=self.activate_nj + other.activate_nj,
+            burst_nj=self.burst_nj + other.burst_nj,
+            restore_nj=self.restore_nj + other.restore_nj,
+            refresh_nj=self.refresh_nj + other.refresh_nj,
+            background_nj=self.background_nj + other.background_nj,
+            row_hits=self.row_hits + other.row_hits,
+            row_misses=self.row_misses + other.row_misses,
+            elapsed_cycles=max(self.elapsed_cycles, other.elapsed_cycles),
+        )
+
+
+class DramPowerModel:
+    """Converts bank activity counters into an :class:`EnergyReport`."""
+
+    def __init__(self, params: DramEnergyParams = DramEnergyParams()) -> None:
+        self.params = params
+
+    def report_for_bank(
+        self,
+        row_hits: float,
+        row_misses: float,
+        dirty_evictions: float,
+        elapsed_cycles: int,
+        refresh_interval: int,
+    ) -> EnergyReport:
+        """Energy for one bank given its counters over an interval."""
+        if elapsed_cycles < 0:
+            raise ValueError("elapsed cycles cannot be negative")
+        p = self.params
+        scale = p.array_energy_scale
+        refreshes = elapsed_cycles / refresh_interval if refresh_interval else 0
+        seconds = elapsed_cycles * CYCLE_TIME_NS * 1e-9
+        return EnergyReport(
+            activate_nj=row_misses * p.e_act_pre_nj * scale,
+            burst_nj=(row_hits + row_misses) * p.e_rd_wr_nj,
+            restore_nj=dirty_evictions * p.e_restore_nj * scale,
+            refresh_nj=refreshes * p.e_refresh_nj * scale,
+            background_nj=p.p_background_mw * 1e-3 * seconds * 1e9,
+            row_hits=int(row_hits),
+            row_misses=int(row_misses),
+            elapsed_cycles=elapsed_cycles,
+        )
+
+    def report_from_registry(
+        self,
+        registry: StatRegistry,
+        elapsed_cycles: int,
+        refresh_interval: int,
+        bank_prefix: str = "dram.",
+    ) -> EnergyReport:
+        """Aggregate energy across every bank stat group in a registry."""
+        total = EnergyReport(elapsed_cycles=elapsed_cycles)
+        for group in registry.groups():
+            if not group.name.startswith(bank_prefix):
+                continue
+            total = total + self.report_for_bank(
+                row_hits=group.get("row_hits"),
+                row_misses=group.get("row_misses"),
+                dirty_evictions=group.get("dirty_evictions"),
+                elapsed_cycles=elapsed_cycles,
+                refresh_interval=refresh_interval,
+            )
+        return total
+
+
+def compare_energy(reports: Iterable[tuple]) -> str:
+    """Format (label, EnergyReport) pairs as a comparison table."""
+    lines = [
+        f"{'organization':>16s} {'dyn nJ/acc':>11s} {'total mW':>9s} "
+        f"{'hit rate':>9s}"
+    ]
+    for label, report in reports:
+        hit_rate = (
+            report.row_hits / report.accesses if report.accesses else 0.0
+        )
+        lines.append(
+            f"{label:>16s} {report.nj_per_access:>11.2f} "
+            f"{report.avg_power_mw:>9.1f} {hit_rate:>9.2f}"
+        )
+    return "\n".join(lines)

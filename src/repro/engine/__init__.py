@@ -1,0 +1,6 @@
+"""Discrete-event simulation engine (integer cycle time)."""
+
+from .event import Event
+from .simulator import Engine, SimulationError
+
+__all__ = ["Engine", "Event", "SimulationError"]

@@ -1,0 +1,118 @@
+"""The discrete-event simulation engine.
+
+One :class:`Engine` instance drives a whole simulated machine.  Time is an
+integer number of CPU cycles (3.333 GHz in the paper's configuration; the
+engine itself is unit-agnostic).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .event import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """An integer-time discrete-event simulator.
+
+    Components schedule callbacks with :meth:`schedule` (relative delay)
+    or :meth:`schedule_at` (absolute cycle).  :meth:`run` drains the event
+    queue until a stop condition, an optional deadline, or queue
+    exhaustion.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0
+        self._seq = 0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}; current time is {self._now}"
+            )
+        event = Event(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.
+
+        Returns ``False`` when the queue is empty, ``True`` otherwise.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: stop (without firing) events scheduled after this cycle;
+                time is advanced to ``until`` when the deadline is reached.
+            stop_when: predicate checked after every event; the run stops
+                as soon as it returns ``True``.
+            max_events: safety valve against runaway simulations.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            fired += 1
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self._now}"
+                )
+        if until is not None and self._now < until:
+            self._now = until

@@ -1,0 +1,70 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .ablations import (
+    run_interleave_ablation,
+    run_mapping_ablation,
+    run_page_policy_ablation,
+    run_replacement_ablation,
+    run_mshr_org_ablation,
+    run_prefetch_ablation,
+    run_scheduler_ablation,
+)
+from .analysis import BottleneckReport, analyze, compare_reports
+from .charts import bar, grouped_bars, speedup_chart
+from .fairness import FairnessResult, fairness_study
+from .figure4 import Figure4Result, run_figure4
+from .full_run import run_full_suite
+from .persistence import load_table, save_table
+from .stack_study import StackStudyResult, run_stack_study
+from .sweep import SweepResult, sweep_field
+from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
+from .figure7 import Figure7Result, run_figure7
+from .figure9 import Figure9Result, run_figure9
+from .report import format_comparison, format_table
+from .runner import ResultTable, geometric_mean, harmonic_mean, run_matrix
+from .table2 import Table2aResult, Table2bResult, run_table2a, run_table2b
+
+__all__ = [
+    "BottleneckReport",
+    "analyze",
+    "bar",
+    "compare_reports",
+    "FairnessResult",
+    "fairness_study",
+    "grouped_bars",
+    "speedup_chart",
+    "Figure4Result",
+    "Figure6aResult",
+    "Figure6bResult",
+    "Figure7Result",
+    "Figure9Result",
+    "ResultTable",
+    "Table2aResult",
+    "Table2bResult",
+    "format_comparison",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "load_table",
+    "run_figure4",
+    "run_figure6a",
+    "run_figure6b",
+    "run_figure7",
+    "run_figure9",
+    "run_full_suite",
+    "run_interleave_ablation",
+    "run_mapping_ablation",
+    "run_page_policy_ablation",
+    "run_matrix",
+    "run_mshr_org_ablation",
+    "run_prefetch_ablation",
+    "run_replacement_ablation",
+    "run_scheduler_ablation",
+    "run_table2a",
+    "StackStudyResult",
+    "run_stack_study",
+    "run_table2b",
+    "save_table",
+    "SweepResult",
+    "sweep_field",
+]

@@ -1,0 +1,218 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the assumptions the paper
+bakes in (FR-FCFS scheduling, the streamlined page-interleaved L2/MSHR/MC
+floorplan, prefetching, and the VBF vs plain linear probing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..system.config import SystemConfig, config_quad_mc
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import WorkloadMix, mixes_in_groups
+from .report import format_table
+from .runner import ResultTable, run_matrix
+
+
+@dataclass
+class AblationResult:
+    """GM(H,VH) speedups of variants over the first config."""
+
+    title: str
+    table: ResultTable
+    baseline: str
+    mixes: List[str]
+
+    def gm(self, config_name: str) -> float:
+        return self.table.gm_speedup(config_name, self.baseline)
+
+    def format(self) -> str:
+        rows = self.table.configs
+        return format_table(
+            self.title,
+            rows,
+            {"GM speedup": [self.gm(r) for r in rows]},
+        )
+
+
+def _run(
+    title: str,
+    configs: Sequence[SystemConfig],
+    scale: ExperimentScale,
+    mixes: Optional[Sequence[WorkloadMix]],
+    seed: int,
+    workers: Optional[int],
+) -> AblationResult:
+    if mixes is None:
+        mixes = mixes_in_groups("H", "VH")
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    return AblationResult(
+        title=title,
+        table=table,
+        baseline=configs[0].name,
+        mixes=[m.name for m in mixes],
+    )
+
+
+def run_scheduler_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """FR-FCFS (paper's assumption) vs FIFO vs write-drain batching."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: memory scheduler (over fr-fcfs)",
+        [
+            base.derive(name="fr-fcfs"),
+            base.derive(name="fcfs", scheduler="fcfs"),
+            base.derive(name="writedrain", scheduler="frfcfs-writedrain"),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+def run_interleave_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """Streamlined page-interleaved banking vs conventional line banking."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: L2 bank interleaving (over page/streamlined)",
+        [
+            base.derive(name="page-interleaved"),
+            base.derive(name="line-interleaved", l2_interleave="line"),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+def run_prefetch_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """Prefetchers on (Table 1) vs off."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: prefetching (over prefetch on)",
+        [
+            base.derive(name="prefetch-on"),
+            base.derive(name="prefetch-off", l1_prefetch=False, l2_prefetch=False),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+def run_mshr_org_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> "MshrOrgAblation":
+    """VBF vs plain linear probing vs ideal CAM at 8x capacity.
+
+    Also reports the measured probes/access, the paper's headline
+    argument for the VBF.
+    """
+    if mixes is None:
+        mixes = mixes_in_groups("H", "VH")
+    base = config_quad_mc().derive(l2_mshr_per_bank=32)  # the 8x point
+    configs = [
+        base.derive(name="ideal-cam"),
+        base.derive(name="vbf", l2_mshr_organization="vbf"),
+        base.derive(name="linear-probe", l2_mshr_organization="direct-mapped"),
+    ]
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    return MshrOrgAblation(
+        table=table,
+        mixes=[m.name for m in mixes],
+    )
+
+
+def run_replacement_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """L2 replacement policy: LRU (Table 1) vs random vs SRRIP."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: L2 replacement policy (over LRU)",
+        [
+            base.derive(name="lru"),
+            base.derive(name="random", l2_replacement="random"),
+            base.derive(name="srrip", l2_replacement="srrip"),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+def run_page_policy_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """Open-page (paper) vs closed-page (auto-precharge) DRAM."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: DRAM page policy (over open-page)",
+        [
+            base.derive(name="open-page"),
+            base.derive(name="closed-page", dram_page_policy="closed"),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+def run_mapping_ablation(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> AblationResult:
+    """Plain page interleaving (paper) vs XOR permutation interleaving."""
+    base = config_quad_mc()
+    return _run(
+        "Ablation: DRAM address interleaving (over plain page)",
+        [
+            base.derive(name="modulo"),
+            base.derive(name="xor-permuted", dram_mapping_scheme="xor"),
+        ],
+        scale, mixes, seed, workers,
+    )
+
+
+@dataclass
+class MshrOrgAblation:
+    table: ResultTable
+    mixes: List[str]
+
+    def gm(self, name: str) -> float:
+        return self.table.gm_speedup(name, "ideal-cam")
+
+    def probes(self, name: str) -> float:
+        values = [self.table.result(name, m).mshr_avg_probes for m in self.mixes]
+        return sum(values) / len(values)
+
+    def format(self) -> str:
+        rows = self.table.configs
+        return format_table(
+            "Ablation: MSHR search organization at 8x capacity",
+            rows,
+            {
+                "GM speedup vs ideal": [self.gm(r) for r in rows],
+                "probes/access": [self.probes(r) for r in rows],
+            },
+            note="shape: vbf ~= ideal CAM; linear probing pays many probes",
+        )

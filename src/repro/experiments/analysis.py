@@ -1,0 +1,135 @@
+"""Bottleneck attribution for a finished simulation.
+
+Answers the architect's first question about a run — *what limited it?*
+— from the statistics the machine already collects: core-side stalls
+(ROB window, L1 MSHR rejects, TLB walks), L2 MSHR stalls, memory-queue
+waits, channel occupancy, and DRAM row locality.  This is the analysis
+the paper walks through narratively between Figures 4 and 9 (bus
+contention -> MC serialization -> MSHR capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..system.machine import Machine
+
+
+@dataclass
+class BottleneckReport:
+    """Aggregated pressure indicators for one run."""
+
+    total_cycles: int
+    # Core side
+    rob_stalls: float
+    l1_mshr_stalls: float
+    tlb_walk_cycles: float
+    # L2 MHA
+    l2_mshr_stalls: float
+    l2_mshr_stall_cycles: float
+    l2_miss_rate: float
+    mshr_avg_probes: float
+    # Memory side
+    mrq_wait_cycles: float
+    bus_busy_fraction: float
+    bus_queue_cycles: float
+    dram_row_hit_rate: float
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def dominant(self) -> str:
+        """A one-word verdict on the strongest pressure point."""
+        mshr_pressure = self.l2_mshr_stall_cycles / max(1, self.total_cycles)
+        queue_pressure = (
+            self.bus_queue_cycles + self.mrq_wait_cycles
+        ) / max(1, self.total_cycles)
+        if mshr_pressure > 0.5 and mshr_pressure > queue_pressure:
+            return "l2-mshr"
+        if self.bus_busy_fraction > 0.75:
+            return "memory-bus"
+        if queue_pressure > 0.5:
+            return "memory-queueing"
+        if self.l2_miss_rate < 0.05 and self.rob_stalls < 1:
+            return "compute"
+        return "memory-latency"
+
+    def format(self) -> str:
+        lines = [
+            "Bottleneck report",
+            "=================",
+            f"simulated cycles          {self.total_cycles}",
+            f"dominant pressure         {self.dominant()}",
+            "",
+            f"ROB-window stalls         {self.rob_stalls:.0f}",
+            f"L1 MSHR rejects           {self.l1_mshr_stalls:.0f}",
+            f"TLB walk cycles           {self.tlb_walk_cycles:.0f}",
+            f"L2 miss rate              {self.l2_miss_rate:.2f}",
+            f"L2 MSHR stalls            {self.l2_mshr_stalls:.0f} "
+            f"({self.l2_mshr_stall_cycles:.0f} request-cycles)",
+            f"MSHR probes/access        {self.mshr_avg_probes:.2f}",
+            f"MRQ wait request-cycles   {self.mrq_wait_cycles:.0f}",
+            f"channel busy fraction     {self.bus_busy_fraction:.2f}",
+            f"channel queue cycles      {self.bus_queue_cycles:.0f}",
+            f"DRAM row-buffer hit rate  {self.dram_row_hit_rate:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze(machine: Machine) -> BottleneckReport:
+    """Build a bottleneck report from a machine that has been run."""
+    total_cycles = machine.engine.now
+    if total_cycles <= 0:
+        raise ValueError("run the machine before analyzing it")
+
+    rob = sum(core.stats.get("rob_stalls") for core in machine.cores)
+    l1_rejects = sum(
+        core.stats.get("l1_mshr_stalls") for core in machine.cores
+    )
+    tlb = sum(core.stats.get("tlb_walk_cycles") for core in machine.cores)
+
+    l2 = machine.l2.stats
+    accesses = l2.get("accesses")
+    miss_rate = l2.get("misses") / accesses if accesses else 0.0
+
+    probes = sum(f.total_probes for f in machine.l2_mshr_files)
+    mshr_accesses = sum(f.total_accesses for f in machine.l2_mshr_files)
+
+    mrq_wait = 0.0
+    busy = 0.0
+    queue = 0.0
+    hits = misses = 0.0
+    for controller in machine.memory.controllers:
+        mrq_wait += controller.stats.get("queue_wait_cycles")
+        busy += controller.bus.stats.get("busy_cycles")
+        queue += controller.bus.stats.get("queue_cycles")
+        hits += controller.stats.get("row_hits")
+        misses += controller.stats.get("row_misses")
+    num_channels = max(1, len(machine.memory.controllers))
+    row_total = hits + misses
+
+    return BottleneckReport(
+        total_cycles=total_cycles,
+        rob_stalls=rob,
+        l1_mshr_stalls=l1_rejects,
+        tlb_walk_cycles=tlb,
+        l2_mshr_stalls=l2.get("mshr_stalls"),
+        l2_mshr_stall_cycles=l2.get("mshr_stall_cycles"),
+        l2_miss_rate=miss_rate,
+        mshr_avg_probes=(probes / mshr_accesses) if mshr_accesses else 0.0,
+        mrq_wait_cycles=mrq_wait,
+        bus_busy_fraction=busy / (total_cycles * num_channels),
+        bus_queue_cycles=queue,
+        dram_row_hit_rate=(hits / row_total) if row_total else 0.0,
+    )
+
+
+def compare_reports(reports: List[tuple]) -> str:
+    """Side-by-side dominant-pressure summary for several runs."""
+    lines = [f"{'run':20s} {'dominant':>16s} {'bus busy':>9s} {'rowhit':>7s}"]
+    for label, report in reports:
+        lines.append(
+            f"{label:20s} {report.dominant():>16s} "
+            f"{report.bus_busy_fraction:>9.2f} "
+            f"{report.dram_row_hit_rate:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Plain-text bar charts for terminal-friendly figure rendering.
+
+The paper's figures are grouped bar charts; ``grouped_bars`` renders the
+same data as ASCII so a regenerated figure can be eyeballed against the
+paper without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """One bar: ``value`` rendered against ``scale`` (the chart maximum)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    filled = int(round(width * max(0.0, value) / scale))
+    return char * min(width, filled)
+
+
+def grouped_bars(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    value_format: str = "{:.2f}",
+    baseline: Optional[float] = None,
+) -> str:
+    """Render groups of labelled bars (one bar per series per group).
+
+    Args:
+        groups: x-axis labels (e.g. workload mixes).
+        series: series name -> one value per group (e.g. config -> speedups).
+        baseline: optional reference drawn as a ``|`` marker on each bar
+            row (e.g. 1.0 for speedup charts).
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        raise ValueError("chart needs at least one positive value")
+    name_width = max(len(name) for name in series)
+    lines = [title, "=" * len(title)]
+    marker = None
+    if baseline is not None and 0 < baseline <= peak:
+        marker = int(round(width * baseline / peak))
+    for group_idx, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            rendered = bar(values[group_idx], peak, width).ljust(width)
+            if marker is not None and marker < width:
+                rendered = (
+                    rendered[:marker]
+                    + ("|" if rendered[marker] == " " else rendered[marker])
+                    + rendered[marker + 1:]
+                )
+            value = value_format.format(values[group_idx])
+            lines.append(f"  {name.rjust(name_width)} {rendered} {value}")
+    return "\n".join(lines)
+
+
+def speedup_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+) -> str:
+    """Grouped bars with a ``|`` marker at 1.0 (the baseline)."""
+    return grouped_bars(
+        title, groups, series, width=width, baseline=1.0
+    )

@@ -1,0 +1,126 @@
+"""Multiprogram fairness metrics.
+
+HMIPC (the paper's metric) mixes throughput and fairness; the standard
+complements are computed here from a mixed run plus per-program solo
+runs on the same configuration:
+
+* **weighted speedup**  = sum_i IPC_mixed,i / IPC_solo,i  (throughput)
+* **harmonic speedup**  = N / sum_i (IPC_solo,i / IPC_mixed,i)
+  (balances throughput and fairness)
+* **max slowdown**      = max_i IPC_solo,i / IPC_mixed,i  (worst victim)
+* **unfairness**        = max slowdown / min slowdown
+
+These matter for the paper's design space: banked MCs partition the
+memory system per address range, which changes *who* pays for
+contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..system.config import SystemConfig
+from ..system.machine import run_workload
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import WorkloadMix
+
+
+@dataclass
+class FairnessResult:
+    """Fairness metrics for one (config, mix) pair."""
+
+    config_name: str
+    mix_name: str
+    benchmarks: List[str]
+    solo_ipc: Dict[str, float]
+    mixed_ipc: List[float]  # per core, aligned with ``benchmarks``
+
+    @property
+    def slowdowns(self) -> List[float]:
+        return [
+            self.solo_ipc[name] / ipc if ipc > 0 else float("inf")
+            for name, ipc in zip(self.benchmarks, self.mixed_ipc)
+        ]
+
+    @property
+    def weighted_speedup(self) -> float:
+        return sum(
+            ipc / self.solo_ipc[name]
+            for name, ipc in zip(self.benchmarks, self.mixed_ipc)
+        )
+
+    @property
+    def harmonic_speedup(self) -> float:
+        return len(self.benchmarks) / sum(self.slowdowns)
+
+    @property
+    def max_slowdown(self) -> float:
+        return max(self.slowdowns)
+
+    @property
+    def unfairness(self) -> float:
+        slowdowns = self.slowdowns
+        low = min(slowdowns)
+        return max(slowdowns) / low if low > 0 else float("inf")
+
+    def format(self) -> str:
+        lines = [
+            f"Fairness: {self.mix_name} on {self.config_name}",
+            f"  weighted speedup  {self.weighted_speedup:.2f} "
+            f"(of {len(self.benchmarks)})",
+            f"  harmonic speedup  {self.harmonic_speedup:.2f}",
+            f"  max slowdown      {self.max_slowdown:.2f}",
+            f"  unfairness        {self.unfairness:.2f}",
+        ]
+        for name, ipc, slow in zip(
+            self.benchmarks, self.mixed_ipc, self.slowdowns
+        ):
+            lines.append(
+                f"    {name:12s} solo {self.solo_ipc[name]:6.3f}  "
+                f"mixed {ipc:6.3f}  slowdown {slow:5.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def fairness_study(
+    config: SystemConfig,
+    mix: WorkloadMix,
+    scale: ExperimentScale = DEFAULT,
+    seed: int = 42,
+    solo_config: Optional[SystemConfig] = None,
+) -> FairnessResult:
+    """Measure fairness of ``mix`` on ``config``.
+
+    Solo baselines run each program alone on a single-core variant of
+    the same configuration (override with ``solo_config``).
+    """
+    mixed = run_workload(
+        config,
+        mix.benchmarks,
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=seed,
+        workload_name=mix.name,
+    )
+    solo_base = (
+        solo_config if solo_config is not None else config.derive(num_cores=1)
+    )
+    solo_ipc: Dict[str, float] = {}
+    for benchmark in dict.fromkeys(mix.benchmarks):  # unique, ordered
+        solo = run_workload(
+            solo_base,
+            [benchmark],
+            warmup_instructions=scale.warmup_instructions,
+            measure_instructions=scale.measure_instructions,
+            seed=seed,
+            workload_name=f"{benchmark}-solo",
+        )
+        solo_ipc[benchmark] = solo.cores[0].ipc
+    return FairnessResult(
+        config_name=config.name,
+        mix_name=mix.name,
+        benchmarks=list(mix.benchmarks),
+        solo_ipc=solo_ipc,
+        mixed_ipc=[core.ipc for core in mixed.cores],
+    )

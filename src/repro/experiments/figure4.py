@@ -1,0 +1,86 @@
+"""Figure 4: speedups of simple 3D-stacked memories over off-chip 2D.
+
+Paper shape: 2D < 3D < 3D-wide < 3D-fast on every workload, each step
+contributing a roughly equal boost; GM(H,VH) reaches 2.17x for 3D-fast;
+the moderate (M) mixes benefit much less.  Paper GM(H,VH) values:
+3D 1.347x, 3D-wide 1.718x, 3D-fast 2.168x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..system.config import config_2d, config_3d, config_3d_fast, config_3d_wide
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
+from .charts import speedup_chart
+from .report import format_table
+from .runner import ResultTable, run_matrix
+
+#: Paper's geometric-mean speedups over 2D on the H/VH workloads.
+PAPER_GM_H_VH = {"3D": 1.347, "3D-wide": 1.718, "3D-fast": 2.168}
+
+CONFIG_ORDER = ("2D", "3D", "3D-wide", "3D-fast")
+
+
+@dataclass
+class Figure4Result:
+    """Per-mix speedups over 2D for each 3D organization."""
+
+    table: ResultTable
+    mixes: List[str]
+
+    def speedup(self, config: str, mix: str) -> float:
+        return self.table.speedup(config, mix, "2D")
+
+    def gm(self, config: str, groups: Optional[Sequence[str]] = None) -> float:
+        return self.table.gm_speedup(config, "2D", groups)
+
+    def chart(self, width: int = 40) -> str:
+        """ASCII grouped-bar rendering in the paper's figure layout."""
+        series = {
+            config: [self.speedup(config, m) for m in self.mixes]
+            for config in CONFIG_ORDER[1:]
+        }
+        return speedup_chart(
+            "Figure 4: speedup over 2D", self.mixes, series, width=width
+        )
+
+    def format(self) -> str:
+        rows = list(self.mixes)
+        columns: Dict[str, List[float]] = {}
+        for config in CONFIG_ORDER:
+            columns[config] = [self.speedup(config, m) for m in rows]
+        groups = {MIXES[m].group for m in self.mixes}
+        footer_rows = []
+        if {"H", "VH"} <= groups:
+            footer_rows.append(("GM(H,VH)", ("H", "VH")))
+        footer_rows.append(("GM(all)", None))
+        for label, group_filter in footer_rows:
+            rows.append(label)
+            for config in CONFIG_ORDER:
+                columns[config].append(self.gm(config, group_filter))
+        return format_table(
+            "Figure 4: speedup over 2D (off-chip DRAM)",
+            rows,
+            columns,
+            note=(
+                "paper GM(H,VH): 3D 1.35x, 3D-wide 1.72x, 3D-fast 2.17x; "
+                "ordering 2D < 3D < 3D-wide < 3D-fast"
+            ),
+        )
+
+
+def run_figure4(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> Figure4Result:
+    """Regenerate Figure 4."""
+    if mixes is None:
+        mixes = [MIXES[name] for name in MIX_ORDER]
+    configs = [config_2d(), config_3d(), config_3d_wide(), config_3d_fast()]
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    return Figure4Result(table=table, mixes=[m.name for m in mixes])

@@ -1,0 +1,178 @@
+"""Figure 6: aggressive 3D memory organizations.
+
+(a) A grid of {1, 2, 4} memory controllers x {8, 16} ranks, reported as
+GM speedup over the 3D-fast baseline (1 MC, 8 ranks, 1 row buffer), plus
+the alternative of spending the same transistors on +512 KiB / +1 MiB of
+L2.  Paper (H/VH GMs): MCs dominate (1.132 -> 1.324 -> 1.338 at 8 ranks),
+ranks help a little (+0.4..1.1%), and extra L2 does almost nothing
+(1.001/1.004).
+
+(b) Row-buffer cache depth 1..4 for the two highlighted configs; paper:
+(2MC, 8R) 1.132 -> 1.408 -> 1.507 -> 1.547 and (4MC, 16R) 1.338 -> 1.671
+-> 1.731 -> 1.747, i.e. the first added entry gives most of the benefit,
+for a 1.75x total over 3D-fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.units import KIB, MIB
+from ..system.config import SystemConfig, config_3d_fast
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import WorkloadMix, mixes_in_groups
+from .charts import speedup_chart
+from .report import format_table
+from .runner import ResultTable, run_matrix
+
+#: Paper GM(H,VH) speedups over 3D-fast for the (MCs, ranks) grid.
+PAPER_GRID_H_VH: Dict[Tuple[int, int], float] = {
+    (1, 8): 1.0, (2, 8): 1.132, (4, 8): 1.324,
+    (1, 16): 1.004, (2, 16): 1.143, (4, 16): 1.338,
+}
+
+#: Paper GM(H,VH) speedups for row-buffer entries 1..4 (Figure 6b).
+PAPER_RB_H_VH: Dict[str, Tuple[float, ...]] = {
+    "2MC-8R": (1.132, 1.408, 1.507, 1.547),
+    "4MC-16R": (1.338, 1.671, 1.731, 1.747),
+}
+
+GRID_POINTS: Tuple[Tuple[int, int], ...] = (
+    (1, 8), (2, 8), (4, 8), (1, 16), (2, 16), (4, 16),
+)
+
+
+def _grid_config(num_mcs: int, ranks: int) -> SystemConfig:
+    return config_3d_fast().derive(
+        name=f"{num_mcs}MC-{ranks}R",
+        num_mcs=num_mcs,
+        total_ranks=ranks,
+    )
+
+
+def _extra_l2_config(extra: int, label: str) -> SystemConfig:
+    base = config_3d_fast()
+    # Keep the set count unchanged by growing associativity: 512 KiB on a
+    # 16-set... — associativity must keep size divisible; grow assoc by
+    # extra/(sets*line).  12 MiB 24-way 64 B lines -> 8192 sets; +512 KiB
+    # = +1 way, +1 MiB = +2 ways.
+    sets = base.l2_size // (base.l2_assoc * base.line_size)
+    extra_ways, remainder = divmod(extra, sets * base.line_size)
+    if remainder:
+        raise ValueError(f"extra L2 {extra} is not a whole number of ways")
+    return base.derive(
+        name=label,
+        l2_size=base.l2_size + extra,
+        l2_assoc=base.l2_assoc + extra_ways,
+    )
+
+
+@dataclass
+class Figure6aResult:
+    table: ResultTable
+    mixes: List[str]
+
+    def gm(self, config_name: str) -> float:
+        return self.table.gm_speedup(config_name, "1MC-8R")
+
+    def chart(self, width: int = 40) -> str:
+        """ASCII bars of the grid GMs (plus the extra-L2 alternatives)."""
+        labels = [f"{m}MC-{r}R" for m, r in GRID_POINTS] + ["+512K-L2", "+1M-L2"]
+        return speedup_chart(
+            "Figure 6(a): GM speedup over 3D-fast",
+            ["GM(H,VH)"],
+            {label: [self.gm(label)] for label in labels},
+            width=width,
+        )
+
+    def format(self) -> str:
+        rows = [f"{m}MC-{r}R" for m, r in GRID_POINTS] + ["+512K-L2", "+1M-L2"]
+        measured = [self.gm(r) for r in rows]
+        paper = [PAPER_GRID_H_VH[p] for p in GRID_POINTS] + [1.001, 1.004]
+        return format_table(
+            "Figure 6(a): GM(H,VH) speedup over 3D-fast (1MC, 8 ranks)",
+            rows,
+            {"measured": measured, "paper": paper},
+            note="shape: MC scaling >> rank scaling >> extra L2",
+        )
+
+
+@dataclass
+class Figure6bResult:
+    table: ResultTable
+    mixes: List[str]
+    baseline: str  # shared 1-RB 3D-fast reference config name
+
+    def gm(self, config_name: str) -> float:
+        return self.table.gm_speedup(config_name, self.baseline)
+
+    def chart(self, width: int = 40) -> str:
+        series = {}
+        for family in ("2MC-8R", "4MC-16R"):
+            series[family] = [
+                self.gm(f"{family}-{entries}RB") for entries in range(1, 5)
+            ]
+        return speedup_chart(
+            "Figure 6(b): GM speedup over 3D-fast vs row-buffer entries",
+            [f"{n}RB" for n in range(1, 5)],
+            series,
+            width=width,
+        )
+
+    def format(self) -> str:
+        rows, measured, paper = [], [], []
+        for family in ("2MC-8R", "4MC-16R"):
+            for entries in range(1, 5):
+                rows.append(f"{family}-{entries}RB")
+                measured.append(self.gm(f"{family}-{entries}RB"))
+                paper.append(PAPER_RB_H_VH[family][entries - 1])
+        return format_table(
+            "Figure 6(b): GM(H,VH) speedup over 3D-fast vs row-buffer entries",
+            rows,
+            {"measured": measured, "paper": paper},
+            note="shape: first extra row-buffer entry gives most of the gain",
+        )
+
+
+def run_figure6a(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> Figure6aResult:
+    """Regenerate the MC x rank grid plus the extra-L2 comparison."""
+    if mixes is None:
+        mixes = mixes_in_groups("H", "VH")
+    configs = [_grid_config(m, r) for m, r in GRID_POINTS]
+    configs.append(_extra_l2_config(512 * KIB, "+512K-L2"))
+    configs.append(_extra_l2_config(1 * MIB, "+1M-L2"))
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    return Figure6aResult(table=table, mixes=[m.name for m in mixes])
+
+
+def run_figure6b(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> Figure6bResult:
+    """Regenerate the row-buffer-entry sweep for the two highlighted configs."""
+    if mixes is None:
+        mixes = mixes_in_groups("H", "VH")
+    baseline = config_3d_fast().derive(name="3D-fast-1MC-8R-1RB")
+    configs = [baseline]
+    for num_mcs, ranks in ((2, 8), (4, 16)):
+        for entries in range(1, 5):
+            configs.append(
+                config_3d_fast().derive(
+                    name=f"{num_mcs}MC-{ranks}R-{entries}RB",
+                    num_mcs=num_mcs,
+                    total_ranks=ranks,
+                    row_buffer_entries=entries,
+                )
+            )
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    return Figure6bResult(
+        table=table, mixes=[m.name for m in mixes], baseline=baseline.name
+    )

@@ -1,0 +1,95 @@
+"""One-shot regeneration of every table, figure, and ablation.
+
+``run_full_suite`` executes the complete evaluation and returns the
+formatted report per experiment; with ``output_dir`` each report is also
+written to ``<name>.txt``.  This is what produced the numbers recorded
+in EXPERIMENTS.md (at the ``default`` scale).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import WorkloadMix
+from .ablations import (
+    run_interleave_ablation,
+    run_mapping_ablation,
+    run_page_policy_ablation,
+    run_mshr_org_ablation,
+    run_prefetch_ablation,
+    run_replacement_ablation,
+    run_scheduler_ablation,
+)
+from .figure4 import run_figure4
+from .figure6 import run_figure6a, run_figure6b
+from .figure7 import run_figure7
+from .figure9 import run_figure9
+from .stack_study import run_stack_study
+from .table2 import run_table2a, run_table2b
+
+
+def _jobs(
+    scale: ExperimentScale,
+    mixes: Optional[Sequence[WorkloadMix]],
+    seed: int,
+    workers: Optional[int],
+) -> List[Tuple[str, Callable[[], object]]]:
+    common = dict(scale=scale, mixes=mixes, seed=seed, workers=workers)
+    return [
+        ("table2a", lambda: run_table2a(scale=scale, seed=seed)),
+        ("table2b", lambda: run_table2b(**common)),
+        ("figure4", lambda: run_figure4(**common)),
+        ("figure6a", lambda: run_figure6a(**common)),
+        ("figure6b", lambda: run_figure6b(**common)),
+        ("figure7_dual", lambda: run_figure7(panel="dual-mc", **common)),
+        ("figure7_quad", lambda: run_figure7(panel="quad-mc", **common)),
+        ("figure9_dual", lambda: run_figure9(panel="dual-mc", **common)),
+        ("figure9_quad", lambda: run_figure9(panel="quad-mc", **common)),
+        ("ablation_scheduler", lambda: run_scheduler_ablation(**common)),
+        ("ablation_interleave", lambda: run_interleave_ablation(**common)),
+        ("ablation_prefetch", lambda: run_prefetch_ablation(**common)),
+        ("ablation_replacement", lambda: run_replacement_ablation(**common)),
+        ("ablation_page_policy", lambda: run_page_policy_ablation(**common)),
+        ("ablation_mapping", lambda: run_mapping_ablation(**common)),
+        ("ablation_mshr_org", lambda: run_mshr_org_ablation(**common)),
+        ("study_stack", lambda: run_stack_study(**common)),
+    ]
+
+
+def run_full_suite(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+    output_dir: Optional[str] = None,
+    only: Optional[Sequence[str]] = None,
+    progress: bool = True,
+) -> Dict[str, str]:
+    """Run every experiment; returns {experiment name: formatted report}.
+
+    Args:
+        only: restrict to these experiment names (see ``_jobs``).
+        output_dir: when set, write each report to ``<name>.txt`` there.
+    """
+    jobs = _jobs(scale, mixes, seed, workers)
+    if only is not None:
+        known = {name for name, _ in jobs}
+        unknown = set(only) - known
+        if unknown:
+            raise ValueError(f"unknown experiments {sorted(unknown)}; known: {sorted(known)}")
+        jobs = [(name, job) for name, job in jobs if name in only]
+    directory = Path(output_dir) if output_dir else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    reports: Dict[str, str] = {}
+    for name, job in jobs:
+        start = time.time()
+        reports[name] = job().format()
+        if directory is not None:
+            (directory / f"{name}.txt").write_text(reports[name] + "\n")
+        if progress:
+            print(f"[{time.time() - start:7.1f}s] {name} done", flush=True)
+    return reports

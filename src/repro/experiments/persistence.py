@@ -1,0 +1,93 @@
+"""JSON persistence for experiment results.
+
+Full default-scale sweeps take tens of minutes; saving the raw
+``ResultTable`` lets analysis (speedups, GMs, new cuts of the data)
+re-run instantly without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..system.machine import CoreResult, MachineResult
+from .runner import ResultTable
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def _result_to_dict(result: MachineResult) -> dict:
+    return {
+        "config_name": result.config_name,
+        "workload": result.workload,
+        "total_cycles": result.total_cycles,
+        "l2_stats": result.l2_stats,
+        "dram_row_hit_rate": result.dram_row_hit_rate,
+        "mshr_avg_probes": result.mshr_avg_probes,
+        "extra": result.extra,
+        "cores": [
+            {
+                "benchmark": core.benchmark,
+                "ipc": core.ipc,
+                "instructions": core.instructions,
+                "cycles": core.cycles,
+                "l2_mpki": core.l2_mpki,
+                "avg_load_latency": core.avg_load_latency,
+            }
+            for core in result.cores
+        ],
+    }
+
+
+def _result_from_dict(data: dict) -> MachineResult:
+    return MachineResult(
+        config_name=data["config_name"],
+        workload=data["workload"],
+        cores=[CoreResult(**core) for core in data["cores"]],
+        total_cycles=data["total_cycles"],
+        l2_stats=data["l2_stats"],
+        dram_row_hit_rate=data["dram_row_hit_rate"],
+        mshr_avg_probes=data["mshr_avg_probes"],
+        extra=data.get("extra", {}),
+    )
+
+
+def save_table(table: ResultTable, path: PathLike) -> None:
+    """Write a result table to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "configs": table.configs,
+        "mixes": table.mixes,
+        "cells": [
+            {
+                "config": config,
+                "mix": mix,
+                "result": _result_to_dict(result),
+            }
+            for (config, mix), result in sorted(table.cells.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_table(path: PathLike) -> ResultTable:
+    """Read a result table back; raises on version mismatch."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"result file {path} has format version {version}; "
+            f"this library reads version {_FORMAT_VERSION}"
+        )
+    cells = {
+        (cell["config"], cell["mix"]): _result_from_dict(cell["result"])
+        for cell in payload["cells"]
+    }
+    return ResultTable(
+        configs=list(payload["configs"]),
+        mixes=list(payload["mixes"]),
+        cells=cells,
+    )

@@ -1,0 +1,139 @@
+"""Experiment runner: config x workload matrices with optional parallelism.
+
+Every figure in the paper is a matrix of (configuration, workload mix)
+simulations reduced to speedups and geometric means.  ``run_matrix``
+executes such a matrix, optionally across processes
+(``REPRO_PARALLEL=N``), and returns an indexable result table.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..system.config import SystemConfig
+from ..system.machine import MachineResult, run_workload
+from ..system.scale import ExperimentScale
+from ..workloads.mixes import MIXES, WorkloadMix
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive inputs."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean needs positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; raises on empty or non-positive inputs."""
+    values = list(values)
+    if not values or any(v <= 0 for v in values):
+        raise ValueError(f"harmonic mean needs positive values, got {values}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def _run_cell(args: Tuple[SystemConfig, str, Tuple[str, ...], int, int, int]):
+    config, mix_name, benchmarks, warmup, measure, seed = args
+    result = run_workload(
+        config,
+        benchmarks,
+        warmup_instructions=warmup,
+        measure_instructions=measure,
+        seed=seed,
+        workload_name=mix_name,
+    )
+    return (config.name, mix_name, result)
+
+
+@dataclass
+class ResultTable:
+    """Results of a config x mix matrix."""
+
+    configs: List[str]
+    mixes: List[str]
+    cells: Dict[Tuple[str, str], MachineResult]
+
+    def result(self, config_name: str, mix_name: str) -> MachineResult:
+        return self.cells[(config_name, mix_name)]
+
+    def hmipc(self, config_name: str, mix_name: str) -> float:
+        return self.result(config_name, mix_name).hmipc
+
+    def speedup(self, config_name: str, mix_name: str, baseline: str) -> float:
+        """HMIPC speedup of a config over a baseline config, same mix."""
+        base = self.hmipc(baseline, mix_name)
+        if base <= 0:
+            raise ValueError(f"baseline {baseline} HMIPC is zero on {mix_name}")
+        return self.hmipc(config_name, mix_name) / base
+
+    def gm_speedup(
+        self,
+        config_name: str,
+        baseline: str,
+        groups: Optional[Sequence[str]] = None,
+    ) -> float:
+        """Geometric-mean speedup over the mixes in ``groups`` (or all)."""
+        names = [
+            m
+            for m in self.mixes
+            if groups is None or MIXES[m].group in groups
+        ]
+        return geometric_mean(
+            self.speedup(config_name, m, baseline) for m in names
+        )
+
+
+def parallelism_from_env() -> int:
+    """Worker count from ``REPRO_PARALLEL`` (default: serial)."""
+    value = os.environ.get("REPRO_PARALLEL", "1")
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(f"REPRO_PARALLEL must be an integer, got {value!r}")
+    return max(1, workers)
+
+
+def run_matrix(
+    configs: Sequence[SystemConfig],
+    mixes: Sequence[WorkloadMix],
+    scale: ExperimentScale,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> ResultTable:
+    """Simulate every (config, mix) pair."""
+    names = [c.name for c in configs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate config names in matrix: {names}")
+    jobs = [
+        (
+            config,
+            mix.name,
+            mix.benchmarks,
+            scale.warmup_instructions,
+            scale.measure_instructions,
+            seed,
+        )
+        for config in configs
+        for mix in mixes
+    ]
+    workers = parallelism_from_env() if workers is None else max(1, workers)
+    cells: Dict[Tuple[str, str], MachineResult] = {}
+    if workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for config_name, mix_name, result in pool.map(_run_cell, jobs):
+                cells[(config_name, mix_name)] = result
+    else:
+        for job in jobs:
+            config_name, mix_name, result = _run_cell(job)
+            cells[(config_name, mix_name)] = result
+    return ResultTable(
+        configs=names,
+        mixes=[m.name for m in mixes],
+        cells=cells,
+    )

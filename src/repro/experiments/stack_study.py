@@ -1,0 +1,83 @@
+"""Extension study: what should the 3D stack hold — cache or memory?
+
+The paper's conclusion ranks the "low-hanging fruit" of 3D integration:
+stacking conventionally-organized memory, stacking more cache, and then
+the paper's contribution — re-architected stacked memory.  This study
+runs that ranking as an experiment:
+
+* ``2D``            — off-chip DRAM baseline.
+* ``2D+L3``         — the stack spent on a large L3 cache (the DRAM
+  stays off-chip behind the FSB).
+* ``3D``            — the stack spent on conventionally-organized DRAM.
+* ``3D-fast``       — true-3D arrays + wide bus (Section 3's endpoint).
+* ``quad-MC``       — the paper's full aggressive organization.
+
+Expected shape: a stacked cache helps the FSB-bound baseline, but every
+stacked-*memory* organization beats it on memory-intensive workloads,
+with the gap widening as the organization is re-architected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..common.units import MIB
+from ..system.config import (
+    SystemConfig,
+    config_2d,
+    config_3d,
+    config_3d_fast,
+    config_quad_mc,
+)
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.mixes import WorkloadMix, mixes_in_groups
+from .report import format_table
+from .runner import ResultTable, run_matrix
+
+ORDER = ("2D", "2D+L3", "3D", "3D-fast", "quad-MC")
+
+
+def _configs(l3_size: int) -> List[SystemConfig]:
+    return [
+        config_2d(),
+        config_2d().derive(name="2D+L3", l3_enabled=True, l3_size=l3_size),
+        config_3d(),
+        config_3d_fast(),
+        config_quad_mc().derive(name="quad-MC"),
+    ]
+
+
+@dataclass
+class StackStudyResult:
+    table: ResultTable
+    mixes: List[str]
+
+    def gm(self, config_name: str) -> float:
+        return self.table.gm_speedup(config_name, "2D")
+
+    def format(self) -> str:
+        return format_table(
+            "Study: spend the 3D stack on cache vs memory "
+            "(GM speedup over 2D)",
+            list(ORDER),
+            {"GM speedup": [self.gm(name) for name in ORDER]},
+            note=(
+                "expected: stacked cache < any stacked memory; "
+                "re-architected memory widens the gap (paper Section 6)"
+            ),
+        )
+
+
+def run_stack_study(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+    l3_size: int = 64 * MIB,
+) -> StackStudyResult:
+    """Run the cache-vs-memory stack allocation study."""
+    if mixes is None:
+        mixes = mixes_in_groups("H", "VH")
+    table = run_matrix(_configs(l3_size), mixes, scale, seed=seed, workers=workers)
+    return StackStudyResult(table=table, mixes=[m.name for m in mixes])

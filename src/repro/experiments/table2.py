@@ -1,0 +1,121 @@
+"""Table 2: benchmark characterization.
+
+(a) Stand-alone L2 MPKI for all 24 benchmarks on a single core with a
+6 MiB L2 — this is the calibration target for the synthetic traces: the
+*ordering* and magnitude bands must match the paper.
+
+(b) Baseline HMIPC per four-program mix on the 2D (off-chip) machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..common.units import MIB
+from ..system.config import config_2d
+from ..system.machine import run_workload
+from ..system.scale import DEFAULT, ExperimentScale
+from ..workloads.benchmarks import BENCHMARKS
+from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
+from .report import format_table
+from .runner import run_matrix
+
+
+def _single_core_config():
+    """One core, 6 MiB L2, off-chip memory (Table 2a's measurement rig).
+
+    Prefetchers are disabled for this characterization: the table
+    describes each benchmark's *address stream* (what pressure it puts
+    on the memory system), independent of how much of it a particular
+    prefetcher configuration can cover.
+    """
+    return config_2d().derive(
+        name="table2a",
+        num_cores=1,
+        l2_size=6 * MIB,
+        l2_banks=16,
+        l1_prefetch=False,
+        l2_prefetch=False,
+    )
+
+
+@dataclass
+class Table2aResult:
+    """Measured vs paper MPKI, in paper (descending-MPKI) order."""
+
+    mpki: Dict[str, float]
+
+    def ordered_names(self) -> List[str]:
+        return sorted(
+            self.mpki, key=lambda n: BENCHMARKS[n].paper_mpki, reverse=True
+        )
+
+    def format(self) -> str:
+        names = self.ordered_names()
+        return format_table(
+            "Table 2(a): stand-alone L2 MPKI (6 MiB L2, single core)",
+            names,
+            {
+                "paper": [BENCHMARKS[n].paper_mpki for n in names],
+                "measured": [self.mpki[n] for n in names],
+            },
+            value_format="{:.1f}",
+            note="target: same ordering and magnitude bands as the paper",
+        )
+
+
+def run_table2a(
+    scale: ExperimentScale = DEFAULT,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 42,
+) -> Table2aResult:
+    """Measure stand-alone MPKI for each benchmark."""
+    names = list(benchmarks) if benchmarks is not None else sorted(BENCHMARKS)
+    config = _single_core_config()
+    mpki: Dict[str, float] = {}
+    for name in names:
+        result = run_workload(
+            config,
+            [name],
+            warmup_instructions=scale.warmup_instructions,
+            measure_instructions=scale.measure_instructions,
+            seed=seed,
+            workload_name=name,
+        )
+        mpki[name] = result.cores[0].l2_mpki
+    return Table2aResult(mpki=mpki)
+
+
+@dataclass
+class Table2bResult:
+    """Baseline (2D) HMIPC per mix, vs the paper's Table 2(b)."""
+
+    hmipc: Dict[str, float]
+
+    def format(self) -> str:
+        names = [n for n in MIX_ORDER if n in self.hmipc]
+        return format_table(
+            "Table 2(b): baseline HMIPC on the 2D (off-chip) machine",
+            names,
+            {
+                "paper": [MIXES[n].paper_hmipc for n in names],
+                "measured": [self.hmipc[n] for n in names],
+            },
+            note="target: VH < H < HM < M ordering, same magnitude bands",
+        )
+
+
+def run_table2b(
+    scale: ExperimentScale = DEFAULT,
+    mixes: Optional[Sequence[WorkloadMix]] = None,
+    seed: int = 42,
+    workers: Optional[int] = None,
+) -> Table2bResult:
+    """Measure baseline HMIPC for every mix on the 2D machine."""
+    if mixes is None:
+        mixes = [MIXES[name] for name in MIX_ORDER]
+    table = run_matrix([config_2d()], mixes, scale, seed=seed, workers=workers)
+    return Table2bResult(
+        hmipc={m.name: table.hmipc("2D", m.name) for m in mixes}
+    )

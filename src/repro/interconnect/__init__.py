@@ -1,0 +1,6 @@
+"""Buses and link presets (off-chip FSB, on-stack TSV buses)."""
+
+from .bus import Bus
+from .links import OFFCHIP_WIRE_NS, TSV_WIRE_CYCLES, offchip_fsb, tsv_bus
+
+__all__ = ["Bus", "OFFCHIP_WIRE_NS", "TSV_WIRE_CYCLES", "offchip_fsb", "tsv_bus"]

@@ -1,0 +1,55 @@
+"""Named link presets for the organizations studied in the paper.
+
+Three physical channel types appear in the evaluation:
+
+* **Off-chip FSB (2D)** — 64-bit, 833.3 MHz DDR (1.666 GT/s): one 8-byte
+  beat every 2 CPU cycles, plus PCB/package propagation.  A 64 B line
+  occupies the bus for 16 CPU cycles.
+* **TSV bus, commodity width (3D)** — same 8-byte datapath but clocked at
+  the 3.333 GHz core clock and with negligible wire delay: 8 cycles per
+  line.
+* **TSV bus, line-wide (3D-wide / 3D-fast and later)** — 64-byte datapath
+  at core clock: a line moves in a single beat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.stats import StatGroup
+from ..common.units import ns_to_cycles
+from .bus import Bus
+
+#: One-way propagation through package pins + PCB traces for the off-chip
+#: path (pad driver + trace flight + receiver).  ~2 ns each way.
+OFFCHIP_WIRE_NS = 2.0
+
+#: One-way TSV traversal: reported as 12 ps for a 20-layer stack, i.e.
+#: far below one 0.3 ns CPU cycle.
+TSV_WIRE_CYCLES = 0
+
+
+def offchip_fsb(stats: Optional[StatGroup] = None, name: str = "fsb") -> Bus:
+    """The 2D baseline's front-side bus."""
+    return Bus(
+        width_bytes=8,
+        cycles_per_beat=2,
+        wire_latency=ns_to_cycles(OFFCHIP_WIRE_NS),
+        stats=stats,
+        name=name,
+    )
+
+
+def tsv_bus(
+    width_bytes: int = 8,
+    stats: Optional[StatGroup] = None,
+    name: str = "tsv",
+) -> Bus:
+    """An on-stack TSV vertical bus clocked at core speed."""
+    return Bus(
+        width_bytes=width_bytes,
+        cycles_per_beat=1,
+        wire_latency=TSV_WIRE_CYCLES,
+        stats=stats,
+        name=name,
+    )

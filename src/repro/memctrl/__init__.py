@@ -1,0 +1,20 @@
+"""Memory controllers: request queues, schedulers, address interleaving."""
+
+from .controller import MemoryController
+from .mapping import AddressMapping, DramCoordinates
+from .memsys import MainMemory
+from .queue import MemoryRequestQueue, MrqEntry
+from .schedulers import FcfsScheduler, FrFcfsScheduler, Scheduler, make_scheduler
+
+__all__ = [
+    "AddressMapping",
+    "DramCoordinates",
+    "FcfsScheduler",
+    "FrFcfsScheduler",
+    "MainMemory",
+    "MemoryController",
+    "MemoryRequestQueue",
+    "MrqEntry",
+    "Scheduler",
+    "make_scheduler",
+]

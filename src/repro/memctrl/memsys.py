@@ -1,0 +1,118 @@
+"""The full main-memory system: one or more memory controllers.
+
+``MainMemory`` instantiates ``num_mcs`` controllers, each with a private
+channel (bus) and a disjoint set of ranks, per Figure 5.  The aggregate
+MRQ capacity (32 in the paper) is divided evenly among controllers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..common.request import MemoryRequest
+from ..common.stats import StatRegistry
+from ..dram.device import DramDevice
+from ..dram.timing import DramTiming
+from ..engine.simulator import Engine
+from ..interconnect.bus import Bus
+from .controller import MemoryController
+from .mapping import AddressMapping
+from .schedulers import make_scheduler
+
+
+class MainMemory:
+    """Facade over every memory controller and DRAM rank in the machine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        timing: DramTiming,
+        bus_factory: Callable[[str], Bus],
+        registry: Optional[StatRegistry] = None,
+        num_mcs: int = 1,
+        total_ranks: int = 8,
+        banks_per_rank: int = 8,
+        row_buffer_entries: int = 1,
+        aggregate_queue_capacity: int = 32,
+        scheduler: str = "fr-fcfs",
+        mc_quantum: int = 1,
+        mc_transaction_overhead: int = 0,
+        page_size: int = 4096,
+        line_size: int = 64,
+        mapping_scheme: str = "page",
+        page_policy: str = "open",
+    ) -> None:
+        if total_ranks % num_mcs != 0:
+            raise ValueError(
+                f"{total_ranks} ranks cannot be split evenly over {num_mcs} MCs"
+            )
+        if aggregate_queue_capacity % num_mcs != 0:
+            raise ValueError(
+                f"aggregate MRQ capacity {aggregate_queue_capacity} must divide "
+                f"evenly over {num_mcs} MCs"
+            )
+        self.engine = engine
+        self.registry = registry if registry is not None else StatRegistry()
+        ranks_per_mc = total_ranks // num_mcs
+        self.mapping = AddressMapping(
+            num_mcs=num_mcs,
+            ranks_per_mc=ranks_per_mc,
+            banks_per_rank=banks_per_rank,
+            page_size=page_size,
+            line_size=line_size,
+            scheme=mapping_scheme,
+        )
+        per_mc_queue = aggregate_queue_capacity // num_mcs
+        self.controllers: List[MemoryController] = []
+        for mc_id in range(num_mcs):
+            device = DramDevice(
+                timing,
+                num_ranks=ranks_per_mc,
+                banks_per_rank=banks_per_rank,
+                row_buffer_entries=row_buffer_entries,
+                registry=self.registry,
+                first_rank_id=mc_id * ranks_per_mc,
+                page_policy=page_policy,
+            )
+            bus = bus_factory(f"mc{mc_id}.bus")
+            self.controllers.append(
+                MemoryController(
+                    mc_id=mc_id,
+                    engine=engine,
+                    device=device,
+                    bus=bus,
+                    scheduler=make_scheduler(scheduler),
+                    mapping=self.mapping,
+                    queue_capacity=per_mc_queue,
+                    quantum=mc_quantum,
+                    transaction_overhead=mc_transaction_overhead,
+                    stats=self.registry.group(f"mc{mc_id}"),
+                )
+            )
+
+    @property
+    def num_mcs(self) -> int:
+        return len(self.controllers)
+
+    @property
+    def line_size(self) -> int:
+        return self.mapping.line_size
+
+    def controller_for(self, addr: int) -> MemoryController:
+        """The MC owning ``addr`` under page interleaving."""
+        return self.controllers[self.mapping.mc_index(addr)]
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Route a request to its controller; False when that MRQ is full."""
+        return self.controller_for(request.addr).enqueue(request)
+
+    def wait_for_space(self, addr: int, callback: Callable[[], None]) -> None:
+        """One-shot callback when the MC owning ``addr`` frees a slot."""
+        self.controller_for(addr).wait_for_space(callback)
+
+    def row_hit_rate(self) -> float:
+        """Aggregate DRAM row-buffer hit rate across all controllers."""
+        hits = sum(mc.stats.get("row_hits") for mc in self.controllers)
+        misses = sum(mc.stats.get("row_misses") for mc in self.controllers)
+        total = hits + misses
+        return hits / total if total else 0.0

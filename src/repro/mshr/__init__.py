@@ -1,0 +1,26 @@
+"""Miss handling architectures: MSHR files and the Vector Bloom Filter."""
+
+from .base import MshrEntry, MshrFile
+from .conventional import ConventionalMshr
+from .direct_mapped import DirectMappedMshr
+from .dynamic import CAPACITY_FRACTIONS, DynamicMshrTuner
+from .factory import ORGANIZATIONS, make_mshr
+from .hierarchical import HierarchicalMshr
+from .quadratic import QuadraticMshr
+from .vbf_mshr import VbfMshr
+from .vector_bloom_filter import VectorBloomFilter
+
+__all__ = [
+    "CAPACITY_FRACTIONS",
+    "ConventionalMshr",
+    "DirectMappedMshr",
+    "DynamicMshrTuner",
+    "HierarchicalMshr",
+    "MshrEntry",
+    "MshrFile",
+    "ORGANIZATIONS",
+    "QuadraticMshr",
+    "VbfMshr",
+    "VectorBloomFilter",
+    "make_mshr",
+]

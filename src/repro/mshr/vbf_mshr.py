@@ -1,0 +1,104 @@
+"""Direct-mapped MSHR accelerated by a Vector Bloom Filter (Section 5.2).
+
+Search semantics follow Figure 8 exactly:
+
+* The home slot and the VBF row are accessed *in parallel*, so the first
+  probe is mandatory and costs one cycle.
+* If the home slot does not match, the VBF row's remaining set bits give
+  the only displacements worth probing, in increasing order.  A clear row
+  (or no remaining set bits) is a definite miss with no further probing.
+* A set bit can be a *false hit* — the slot may hold an entry from a
+  different home — in which case probing continues with the next set bit.
+
+Deallocation clears the entry's (home, displacement) bit so subsequent
+searches skip it (Figure 8(e)/(f): after address 29's bit at column 2 is
+cleared, a search for 45 jumps from the home probe straight to
+displacement 3 — two probes instead of linear probing's four).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common.units import log2int
+from .base import MshrEntry, MshrFile
+from .vector_bloom_filter import VectorBloomFilter
+
+
+class VbfMshr(MshrFile):
+    """Direct-mapped MSHR + VBF search filter."""
+
+    def __init__(self, capacity: int, line_size: int = 64) -> None:
+        super().__init__(capacity)
+        self._shift = log2int(line_size)
+        self._slots: List[Optional[MshrEntry]] = [None] * capacity
+        self.vbf = VectorBloomFilter(capacity)
+
+    def home_index(self, line_addr: int) -> int:
+        return (line_addr >> self._shift) % self.capacity
+
+    def contains(self, line_addr: int) -> bool:
+        home = self.home_index(line_addr)
+        for displacement in self.vbf.candidate_displacements(home):
+            slot = (home + displacement) % self.capacity
+            candidate = self._slots[slot]
+            if candidate is not None and candidate.line_addr == line_addr:
+                return True
+        return False
+
+    def search(self, line_addr: int) -> Tuple[Optional[MshrEntry], int]:
+        home = self.home_index(line_addr)
+        # Mandatory first probe, overlapped with the VBF row read.
+        probes = 1
+        entry = self._slots[home]
+        if entry is not None and entry.line_addr == line_addr:
+            return entry, self._count(probes)
+        for displacement in self.vbf.candidate_displacements(home):
+            if displacement == 0:
+                continue  # that is the home slot, already probed
+            probes += 1
+            slot = (home + displacement) % self.capacity
+            candidate = self._slots[slot]
+            if candidate is not None and candidate.line_addr == line_addr:
+                return candidate, self._count(probes)
+        return None, self._count(probes)
+
+    def allocate(self, line_addr: int) -> Tuple[Optional[MshrEntry], int]:
+        probes = self._count(1)
+        if self.is_full:
+            return None, probes
+        home = self.home_index(line_addr)
+        for displacement in range(self.capacity):
+            slot = (home + displacement) % self.capacity
+            candidate = self._slots[slot]
+            if candidate is not None and candidate.line_addr == line_addr:
+                raise ValueError(f"line {line_addr:#x} already has an MSHR entry")
+            if candidate is None:
+                entry = MshrEntry(line_addr)
+                self._slots[slot] = entry
+                self.vbf.set(home, displacement)
+                self.occupancy += 1
+                return entry, probes
+        raise RuntimeError("occupancy accounting broken: no free slot found")
+
+    def deallocate(self, line_addr: int) -> int:
+        home = self.home_index(line_addr)
+        probes = 1
+        entry = self._slots[home]
+        if entry is not None and entry.line_addr == line_addr:
+            self._slots[home] = None
+            self.vbf.clear(home, 0)
+            self.occupancy -= 1
+            return self._count(probes)
+        for displacement in self.vbf.candidate_displacements(home):
+            if displacement == 0:
+                continue
+            probes += 1
+            slot = (home + displacement) % self.capacity
+            candidate = self._slots[slot]
+            if candidate is not None and candidate.line_addr == line_addr:
+                self._slots[slot] = None
+                self.vbf.clear(home, displacement)
+                self.occupancy -= 1
+                return self._count(probes)
+        raise KeyError(f"no MSHR entry for line {line_addr:#x}")

@@ -1,0 +1,22 @@
+"""3D integration modelling: TSVs, die geometry, density, thermal."""
+
+from .geometry import DramDensity, StackPlan, TsvSpec, plan_stack
+from .thermal import (
+    DRAM_THERMAL_LIMIT_C,
+    StackThermalModel,
+    ThermalLayer,
+    default_stack,
+    refresh_period_for_temperature,
+)
+
+__all__ = [
+    "DRAM_THERMAL_LIMIT_C",
+    "DramDensity",
+    "StackPlan",
+    "StackThermalModel",
+    "ThermalLayer",
+    "TsvSpec",
+    "default_stack",
+    "plan_stack",
+    "refresh_period_for_temperature",
+]

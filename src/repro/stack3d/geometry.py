@@ -1,0 +1,109 @@
+"""3D stack geometry: TSV area accounting and layer dimensions.
+
+Reproduces the paper's Section 2.2 arithmetic: with a 4-10 um TSV pitch,
+a 1024-bit vertical bus occupies ~0.32 mm^2 at the 10 um high end, so a
+1 cm^2 die supports over three hundred such buses; and Section 2.4's die
+stacking: 1 GiB per layer at ~50 nm density needs ~294 mm^2, eight
+memory layers (plus one logic layer for true-3D parts) for 8 GiB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TsvSpec:
+    """Through-silicon-via geometry."""
+
+    pitch_um: float = 10.0  # conservative high end of the 4-10 um range
+    latency_ps_per_20_layers: float = 12.0  # reported vertical latency
+
+    def __post_init__(self) -> None:
+        if self.pitch_um <= 0:
+            raise ValueError("TSV pitch must be positive")
+
+    def bus_area_mm2(self, bits: int) -> float:
+        """Silicon area of a ``bits``-wide vertical bus, in mm^2."""
+        if bits < 1:
+            raise ValueError("bus must have at least one bit")
+        pitch_mm = self.pitch_um / 1000.0
+        return bits * pitch_mm * pitch_mm
+
+    def buses_per_die(self, die_area_mm2: float, bits: int = 1024) -> int:
+        """How many ``bits``-wide buses fit on a die of the given area."""
+        if die_area_mm2 <= 0:
+            raise ValueError("die area must be positive")
+        return int(die_area_mm2 // self.bus_area_mm2(bits))
+
+    def latency_ps(self, num_layers: int) -> float:
+        """Vertical propagation across ``num_layers`` layers."""
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        return self.latency_ps_per_20_layers * num_layers / 20.0
+
+
+@dataclass(frozen=True)
+class DramDensity:
+    """DRAM bit density scaling (Section 2.4).
+
+    The paper starts from 10.9 Mb/mm^2 at 80 nm and scales by the square
+    of the feature-size ratio to 27.9 Mb/mm^2 (3.5 MB/mm^2) at 50 nm.
+    """
+
+    reference_mb_per_mm2: float = 10.9  # megabits
+    reference_node_nm: float = 80.0
+
+    def mbit_per_mm2(self, node_nm: float) -> float:
+        if node_nm <= 0:
+            raise ValueError("process node must be positive")
+        scale = (self.reference_node_nm / node_nm) ** 2
+        return self.reference_mb_per_mm2 * scale
+
+    def area_for_bytes(self, capacity_bytes: int, node_nm: float = 50.0) -> float:
+        """Die area in mm^2 for ``capacity_bytes`` of DRAM at ``node_nm``."""
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        megabits = capacity_bytes * 8 / 1e6
+        return megabits / self.mbit_per_mm2(node_nm)
+
+
+@dataclass(frozen=True)
+class StackPlan:
+    """A concrete stacking plan for a target memory capacity."""
+
+    capacity_bytes: int
+    bytes_per_layer: int
+    die_area_mm2: float
+    memory_layers: int
+    logic_layers: int
+
+    @property
+    def total_layers(self) -> int:
+        return self.memory_layers + self.logic_layers
+
+
+def plan_stack(
+    capacity_bytes: int,
+    bytes_per_layer: int,
+    node_nm: float = 50.0,
+    true_3d: bool = True,
+    density: DramDensity = DramDensity(),
+) -> StackPlan:
+    """Compute the layer count and per-layer footprint for a capacity.
+
+    ``true_3d`` adds the dedicated peripheral-logic layer of the
+    Tezzaron-style split organization (Section 2.3): "eight stacked
+    layers (nine if the logic is implemented on a separate layer)".
+    """
+    if bytes_per_layer < 1 or capacity_bytes < bytes_per_layer:
+        raise ValueError("capacity must be at least one full layer")
+    memory_layers = math.ceil(capacity_bytes / bytes_per_layer)
+    return StackPlan(
+        capacity_bytes=capacity_bytes,
+        bytes_per_layer=bytes_per_layer,
+        die_area_mm2=density.area_for_bytes(bytes_per_layer, node_nm),
+        memory_layers=memory_layers,
+        logic_layers=1 if true_3d else 0,
+    )

@@ -1,0 +1,375 @@
+"""Machine assembly and simulation driving.
+
+``Machine`` wires a :class:`~repro.system.config.SystemConfig` and a list
+of benchmark names into a complete simulated system, then runs the
+paper's methodology: warm up, start the measurement window on every
+core, freeze each core's statistics at its instruction quota while it
+keeps executing, and report harmonic-mean IPC plus per-core MPKI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.address import PageAllocator
+from ..common.stats import StatRegistry
+from ..cache.array import CacheArray
+from ..cache.l1 import L1Cache
+from ..cache.l2 import BankedL2Cache
+from ..cache.prefetch import (
+    CompositePrefetcher,
+    IpStridePrefetcher,
+    NextLinePrefetcher,
+)
+from ..cache.l3 import StackedL3
+from ..cache.tlb import Tlb
+from ..cpu.core import Core
+from ..dram.timing import DramTiming, ddr2_commodity, stacked_commodity, true_3d
+from ..engine.simulator import Engine, SimulationError
+from ..interconnect.bus import Bus
+from ..interconnect.links import offchip_fsb, tsv_bus
+from ..memctrl.memsys import MainMemory
+from ..mshr.dynamic import DynamicMshrTuner
+from ..mshr.factory import make_mshr
+from ..mshr.conventional import ConventionalMshr
+from ..workloads.benchmarks import get_benchmark
+from .config import SystemConfig
+
+#: Per-core virtual address spacing; generators stay far below this.
+CORE_VA_STRIDE = 1 << 40
+
+
+def _timing_for(config: SystemConfig) -> DramTiming:
+    if config.dram_timing == "2d":
+        return ddr2_commodity()
+    if config.dram_timing == "3d-commodity":
+        return stacked_commodity()
+    return true_3d()
+
+
+def _bus_factory(config: SystemConfig, registry: StatRegistry):
+    def factory(name: str) -> Bus:
+        stats = registry.group(name)
+        if config.memory_bus == "fsb":
+            return offchip_fsb(stats=stats, name=name)
+        width = 8 if config.memory_bus == "tsv8" else 64
+        return tsv_bus(width_bytes=width, stats=stats, name=name)
+
+    return factory
+
+
+@dataclass
+class CoreResult:
+    """Measured-window results for one core."""
+
+    benchmark: str
+    ipc: float
+    instructions: float
+    cycles: float
+    l2_mpki: float
+    avg_load_latency: float = 0.0  # mean L1-to-data cycles over the window
+
+
+@dataclass
+class MachineResult:
+    """Results of one simulation run."""
+
+    config_name: str
+    workload: str
+    cores: List[CoreResult]
+    total_cycles: int
+    l2_stats: Dict[str, float]
+    dram_row_hit_rate: float
+    mshr_avg_probes: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hmipc(self) -> float:
+        """Harmonic mean IPC (the paper's per-workload metric)."""
+        if any(core.ipc <= 0 for core in self.cores):
+            return 0.0
+        return len(self.cores) / sum(1.0 / core.ipc for core in self.cores)
+
+
+class Machine:
+    """A fully wired simulated system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        benchmarks: Sequence[str],
+        seed: int = 42,
+        workload_name: str = "",
+    ) -> None:
+        if len(benchmarks) != config.num_cores:
+            raise ValueError(
+                f"{config.num_cores} cores need {config.num_cores} benchmarks, "
+                f"got {len(benchmarks)}"
+            )
+        self.config = config
+        self.workload_name = workload_name or "+".join(benchmarks)
+        self.engine = Engine()
+        self.registry = StatRegistry()
+        self.allocator = PageAllocator(
+            page_size=config.page_size, capacity_bytes=config.dram_capacity
+        )
+
+        self.memory = MainMemory(
+            self.engine,
+            _timing_for(config),
+            bus_factory=_bus_factory(config, self.registry),
+            registry=self.registry,
+            num_mcs=config.num_mcs,
+            total_ranks=config.total_ranks,
+            banks_per_rank=config.banks_per_rank,
+            row_buffer_entries=config.row_buffer_entries,
+            aggregate_queue_capacity=config.mrq_capacity,
+            scheduler=config.scheduler,
+            mc_quantum=config.mc_quantum,
+            mc_transaction_overhead=config.mc_transaction_overhead,
+            page_size=config.page_size,
+            line_size=config.line_size,
+            mapping_scheme=config.dram_mapping_scheme,
+            page_policy=config.dram_page_policy,
+        )
+
+        # L2 MSHR banks: one per MC in the streamlined organization,
+        # each with the configured per-bank capacity.
+        num_mshr_banks = config.num_mcs if config.l2_mshr_banked else 1
+        self.l2_mshr_files = [
+            make_mshr(
+                config.l2_mshr_organization,
+                config.l2_mshr_per_bank,
+                config.line_size,
+            )
+            for _ in range(num_mshr_banks)
+        ]
+
+        l2_prefetcher = None
+        if config.l2_prefetch:
+            l2_prefetcher = CompositePrefetcher(
+                [
+                    NextLinePrefetcher(config.line_size),
+                    IpStridePrefetcher(config.line_size),
+                ]
+            )
+        request_bus = None
+        if config.l2_interleave == "line":
+            # Conventional banking: a single shared bus between all L2
+            # banks and all MCs (what the streamlined floorplan removes).
+            request_bus = tsv_bus(
+                width_bytes=8,
+                stats=self.registry.group("l2.shared_bus"),
+                name="l2.shared_bus",
+            )
+        self.l3: Optional[StackedL3] = None
+        l2_backend = self.memory
+        if config.l3_enabled:
+            self.l3 = StackedL3(
+                self.engine,
+                CacheArray(config.l3_size, config.l3_assoc, config.line_size),
+                self.memory,
+                latency=config.l3_latency,
+                registry=self.registry,
+            )
+            l2_backend = self.l3
+        self.l2 = BankedL2Cache(
+            self.engine,
+            CacheArray(
+                config.l2_size,
+                config.l2_assoc,
+                config.line_size,
+                policy=config.l2_replacement,
+            ),
+            l2_backend,
+            self.l2_mshr_files,
+            registry=self.registry,
+            num_banks=config.l2_banks,
+            interleave=config.l2_interleave,
+            latency=config.l2_latency,
+            page_size=config.page_size,
+            prefetcher=l2_prefetcher,
+            request_bus=request_bus,
+            mshr_latency_enabled=config.l2_mshr_latency,
+        )
+
+        self.cores: List[Core] = []
+        self.l1s: List[L1Cache] = []
+        for core_id, benchmark_name in enumerate(benchmarks):
+            spec = get_benchmark(benchmark_name)
+            l1_prefetcher = None
+            if config.l1_prefetch:
+                l1_prefetcher = CompositePrefetcher(
+                    [
+                        NextLinePrefetcher(config.line_size),
+                        IpStridePrefetcher(config.line_size),
+                    ]
+                )
+            l1 = L1Cache(
+                self.engine,
+                core_id,
+                CacheArray(
+                    config.l1_size,
+                    config.l1_assoc,
+                    config.line_size,
+                    policy=config.l1_replacement,
+                    seed=core_id,
+                ),
+                ConventionalMshr(config.l1_mshr_entries),
+                self.l2,
+                registry=self.registry,
+                latency=config.l1_latency,
+                prefetcher=l1_prefetcher,
+            )
+            trace = spec.trace(core_id * CORE_VA_STRIDE, seed + core_id)
+            tlb = None
+            if config.dtlb_enabled:
+                tlb = Tlb(
+                    entries=config.dtlb_entries,
+                    assoc=config.dtlb_assoc,
+                    page_size=config.page_size,
+                    walk_penalty=config.dtlb_walk_penalty,
+                    stats=self.registry.group(f"dtlb.core{core_id}"),
+                )
+            core = Core(
+                self.engine,
+                core_id,
+                trace,
+                l1,
+                self.allocator,
+                registry=self.registry,
+                width=config.dispatch_width,
+                rob_size=config.rob_size,
+                base_cpi=spec.base_cpi,
+                tlb=tlb,
+            )
+            if config.l2_inclusive:
+                self.l2.register_upper_level(l1)
+            self.l1s.append(l1)
+            self.cores.append(core)
+        self._benchmarks = list(benchmarks)
+
+        self.tuner: Optional[DynamicMshrTuner] = None
+        if config.l2_mshr_dynamic:
+            self.tuner = DynamicMshrTuner(
+                self.engine,
+                self.l2_mshr_files,
+                committed_reader=lambda: float(sum(c.committed for c in self.cores)),
+            )
+
+        self._l2_snapshot: Dict[int, Dict[str, float]] = {}
+        self._core_results: Dict[int, CoreResult] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        warmup_instructions: int = 20_000,
+        measure_instructions: int = 80_000,
+        max_cycles: int = 500_000_000,
+    ) -> MachineResult:
+        """Warm up, measure, and collect results (paper methodology)."""
+        for core in self.cores:
+            core.start()
+        if self.tuner is not None:
+            self.tuner.start()
+
+        if warmup_instructions > 0:
+            self.engine.run(
+                until=max_cycles,
+                stop_when=lambda: all(
+                    core.committed >= warmup_instructions for core in self.cores
+                ),
+            )
+            if not all(c.committed >= warmup_instructions for c in self.cores):
+                raise SimulationError(
+                    f"warmup did not finish within {max_cycles} cycles "
+                    f"(committed: {[c.committed for c in self.cores]})"
+                )
+
+        for core in self.cores:
+            core.on_frozen = self._snapshot_core
+            core.begin_measurement(measure_instructions)
+        self._measure_l2_start = {
+            core.core_id: self._l2_core_counters(core.core_id) for core in self.cores
+        }
+
+        self.engine.run(
+            until=max_cycles,
+            stop_when=lambda: all(core.frozen for core in self.cores),
+        )
+        if not all(core.frozen for core in self.cores):
+            raise SimulationError(
+                f"measurement did not finish within {max_cycles} cycles "
+                f"(committed: {[c.committed for c in self.cores]})"
+            )
+        return self._collect()
+
+    def _l2_core_counters(self, core_id: int) -> Dict[str, float]:
+        return {
+            "demand_accesses": self.l2.stats.get(f"core{core_id}_demand_accesses"),
+            "demand_misses": self.l2.stats.get(f"core{core_id}_demand_misses"),
+        }
+
+    def _snapshot_core(self, core: Core) -> None:
+        start = self._measure_l2_start[core.core_id]
+        now = self._l2_core_counters(core.core_id)
+        misses = now["demand_misses"] - start["demand_misses"]
+        instructions = core.stats.get("measured_instructions")
+        mpki = 1000.0 * misses / instructions if instructions else 0.0
+        loads = core.stats.get("loads_completed")
+        latency_sum = core.stats.get("load_latency_sum")
+        self._core_results[core.core_id] = CoreResult(
+            benchmark=self._benchmarks[core.core_id],
+            ipc=core.frozen_ipc or 0.0,
+            instructions=instructions,
+            cycles=core.stats.get("measured_cycles"),
+            l2_mpki=mpki,
+            avg_load_latency=(latency_sum / loads) if loads else 0.0,
+        )
+
+    def energy_report(self):
+        """DRAM energy estimate over the whole simulation so far."""
+        from ..dram.power import DramEnergyParams, DramPowerModel
+
+        params = DramEnergyParams()
+        if self.config.dram_timing == "true-3d":
+            params = params.scaled_for_true_3d()
+        model = DramPowerModel(params)
+        timing = _timing_for(self.config)
+        return model.report_from_registry(
+            self.registry,
+            elapsed_cycles=self.engine.now,
+            refresh_interval=timing.refresh_interval,
+        )
+
+    def _collect(self) -> MachineResult:
+        total_probes = sum(f.total_probes for f in self.l2_mshr_files)
+        total_accesses = sum(f.total_accesses for f in self.l2_mshr_files)
+        energy = self.energy_report()
+        return MachineResult(
+            config_name=self.config.name,
+            workload=self.workload_name,
+            cores=[self._core_results[i] for i in range(len(self.cores))],
+            total_cycles=self.engine.now,
+            l2_stats=self.l2.stats.as_dict(),
+            dram_row_hit_rate=self.memory.row_hit_rate(),
+            mshr_avg_probes=(total_probes / total_accesses) if total_accesses else 0.0,
+            extra={
+                "dram_dynamic_nj_per_access": energy.nj_per_access,
+                "dram_avg_power_mw": energy.avg_power_mw,
+            },
+        )
+
+
+def run_workload(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    warmup_instructions: int = 20_000,
+    measure_instructions: int = 80_000,
+    seed: int = 42,
+    workload_name: str = "",
+) -> MachineResult:
+    """One-call convenience: build a machine and run it."""
+    machine = Machine(config, benchmarks, seed=seed, workload_name=workload_name)
+    return machine.run(warmup_instructions, measure_instructions)

@@ -1,0 +1,47 @@
+"""Experiment scaling knobs.
+
+The paper warms 500 M instructions and measures 100 M per program on a
+compiled simulator; a pure-Python model cannot do that, so experiments
+run at a configurable scale.  Relative results (speedups, crossovers)
+stabilize at far shorter windows because the synthetic workloads are
+statistically stationary — there are no program phases to sample across.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Per-core instruction budgets for one simulation run."""
+
+    name: str
+    warmup_instructions: int
+    measure_instructions: int
+
+    def __post_init__(self) -> None:
+        if self.warmup_instructions < 0 or self.measure_instructions < 1:
+            raise ValueError("instruction budgets must be sensible")
+
+
+SMOKE = ExperimentScale("smoke", 2_000, 8_000)
+DEFAULT = ExperimentScale("default", 10_000, 40_000)
+LARGE = ExperimentScale("large", 50_000, 200_000)
+
+_SCALES = {scale.name: scale for scale in (SMOKE, DEFAULT, LARGE)}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; known: {', '.join(sorted(_SCALES))}"
+        ) from None
+
+
+def scale_from_env(default: str = "default") -> ExperimentScale:
+    """Scale selected by the ``REPRO_SCALE`` environment variable."""
+    return get_scale(os.environ.get("REPRO_SCALE", default))

@@ -1,0 +1,74 @@
+"""Analytic cross-checks for the event-driven model.
+
+``unloaded_read_latency`` computes, in closed form, the latency of one
+isolated DRAM read under a configuration — command propagation, row
+activate + column access, and critical-word-first data return.  A test
+drives the same single request through the full simulator and asserts
+exact agreement, anchoring the event-driven machinery to arithmetic a
+reviewer can check by hand (and giving docs a latency ladder to quote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interconnect.links import OFFCHIP_WIRE_NS
+from ..common.units import ns_to_cycles
+from .config import SystemConfig
+from .machine import _timing_for
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Cycle-by-cycle composition of one unloaded DRAM read."""
+
+    command_wire: int
+    row_activate: int  # tRCD (0 on a row-buffer hit)
+    column_access: int  # tCAS
+    first_beat: int  # critical-word-first: one bus beat
+    return_wire: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.command_wire
+            + self.row_activate
+            + self.column_access
+            + self.first_beat
+            + self.return_wire
+        )
+
+
+def _wire_cycles(config: SystemConfig) -> int:
+    if config.memory_bus == "fsb":
+        return ns_to_cycles(OFFCHIP_WIRE_NS)
+    return 0
+
+
+def _beat_cycles(config: SystemConfig) -> int:
+    return 2 if config.memory_bus == "fsb" else 1
+
+
+def unloaded_read_latency(
+    config: SystemConfig, row_hit: bool = False
+) -> LatencyBreakdown:
+    """Latency of one isolated read from MC issue to first data beat."""
+    timing = _timing_for(config)
+    wire = _wire_cycles(config)
+    return LatencyBreakdown(
+        command_wire=wire,
+        row_activate=0 if row_hit else timing.t_rcd,
+        column_access=timing.t_cas,
+        first_beat=_beat_cycles(config),
+        return_wire=wire,
+    )
+
+
+def latency_ladder(configs) -> str:
+    """Text table of unloaded miss/hit latencies for several configs."""
+    lines = [f"{'config':12s} {'row miss':>9s} {'row hit':>8s}  (cycles)"]
+    for config in configs:
+        miss = unloaded_read_latency(config, row_hit=False).total
+        hit = unloaded_read_latency(config, row_hit=True).total
+        lines.append(f"{config.name:12s} {miss:>9d} {hit:>8d}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Synthetic workloads: Table 2's benchmarks and multiprogrammed mixes."""
+
+from .benchmarks import BENCHMARKS, BenchmarkSpec, get_benchmark
+from .mixes import (
+    MEMORY_INTENSIVE_GROUPS,
+    MIX_ORDER,
+    MIXES,
+    WorkloadMix,
+    get_mix,
+    mixes_in_groups,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "MEMORY_INTENSIVE_GROUPS",
+    "MIXES",
+    "MIX_ORDER",
+    "WorkloadMix",
+    "get_benchmark",
+    "get_mix",
+    "mixes_in_groups",
+]

@@ -1,0 +1,68 @@
+"""The twelve four-program workload mixes of Table 2(b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .benchmarks import BENCHMARKS
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named multiprogrammed workload: four benchmarks, one per core."""
+
+    name: str
+    group: str  # H | VH | HM | M
+    benchmarks: Tuple[str, str, str, str]
+    paper_hmipc: float  # baseline 2D harmonic-mean IPC from Table 2(b)
+
+    def __post_init__(self) -> None:
+        for benchmark in self.benchmarks:
+            if benchmark not in BENCHMARKS:
+                raise ValueError(f"mix {self.name} references unknown {benchmark!r}")
+
+
+MIXES: Dict[str, WorkloadMix] = {
+    mix.name: mix
+    for mix in [
+        WorkloadMix("H1", "H", ("S.all", "libquantum", "wupwise", "mcf"), 0.153),
+        WorkloadMix("H2", "H", ("tigr", "soplex", "equake", "mummer"), 0.105),
+        WorkloadMix("H3", "H", ("qsort", "milc", "lbm", "swim"), 0.406),
+        WorkloadMix("VH1", "VH", ("S.all", "S.all", "S.all", "S.all"), 0.065),
+        WorkloadMix("VH2", "VH", ("S.copy", "S.scale", "S.add", "S.triad"), 0.058),
+        WorkloadMix("VH3", "VH", ("tigr", "libquantum", "qsort", "soplex"), 0.098),
+        WorkloadMix("HM1", "HM", ("tigr", "equake", "applu", "astar"), 0.138),
+        WorkloadMix("HM2", "HM", ("libquantum", "mcf", "apsi", "bzip2"), 0.386),
+        WorkloadMix("HM3", "HM", ("milc", "swim", "mesa", "namd"), 0.907),
+        WorkloadMix("M1", "M", ("omnetpp", "apsi", "gzip", "bzip2"), 1.323),
+        WorkloadMix("M2", "M", ("applu", "h264", "astar", "vortex"), 1.319),
+        WorkloadMix("M3", "M", ("mgrid", "mesa", "zeusmp", "namd"), 1.523),
+    ]
+}
+
+#: Evaluation ordering used by every figure in the paper.
+MIX_ORDER = (
+    "H1", "H2", "H3",
+    "VH1", "VH2", "VH3",
+    "HM1", "HM2", "HM3",
+    "M1", "M2", "M3",
+)
+
+#: The paper's primary reporting set: geometric mean over these groups.
+MEMORY_INTENSIVE_GROUPS = ("H", "VH")
+
+
+def mixes_in_groups(*groups: str) -> Tuple[WorkloadMix, ...]:
+    """All mixes whose group is in ``groups``, in evaluation order."""
+    return tuple(
+        MIXES[name] for name in MIX_ORDER if MIXES[name].group in groups
+    )
+
+
+def get_mix(name: str) -> WorkloadMix:
+    try:
+        return MIXES[name]
+    except KeyError:
+        known = ", ".join(MIX_ORDER)
+        raise KeyError(f"unknown mix {name!r}; known: {known}") from None

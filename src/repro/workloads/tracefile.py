@@ -1,0 +1,87 @@
+"""Trace capture and replay.
+
+The synthetic generators are deterministic, but users porting their own
+workloads (or wanting exact cross-tool comparisons) need file-based
+traces.  The format is one record per line::
+
+    <gap> <hex addr> <R|W> <hex pc>
+
+optionally gzip-compressed (suffix ``.gz``).  ``capture`` snapshots a
+generator to a file; ``read_trace`` streams one back, optionally looping
+forever (the core model expects endless traces).
+"""
+
+from __future__ import annotations
+
+import gzip
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ..cpu.trace import TraceItem
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def write_trace(items: Iterable[TraceItem], path: PathLike) -> int:
+    """Write trace items to ``path``; returns the number written."""
+    path = Path(path)
+    count = 0
+    with _open(path, "w") as handle:
+        for item in items:
+            kind = "W" if item.is_write else "R"
+            handle.write(f"{item.gap} {item.addr:x} {kind} {item.pc:x}\n")
+            count += 1
+    return count
+
+
+def capture(trace: Iterator[TraceItem], count: int, path: PathLike) -> int:
+    """Snapshot the first ``count`` items of a generator to a file."""
+    if count < 1:
+        raise ValueError("capture at least one item")
+    return write_trace(itertools.islice(trace, count), path)
+
+
+def _parse_line(line: str, lineno: int, path: Path) -> TraceItem:
+    parts = line.split()
+    if len(parts) != 4 or parts[2] not in ("R", "W"):
+        raise ValueError(f"{path}:{lineno}: malformed trace record {line!r}")
+    return TraceItem(
+        gap=int(parts[0]),
+        addr=int(parts[1], 16),
+        is_write=parts[2] == "W",
+        pc=int(parts[3], 16),
+    )
+
+
+def read_trace(path: PathLike, loop: bool = False) -> Iterator[TraceItem]:
+    """Stream a trace file; with ``loop`` the file repeats forever.
+
+    Looping replays suit the core model's endless-trace contract; the
+    wrap point behaves like a program iterating its main loop again.
+    """
+    path = Path(path)
+    while True:
+        empty = True
+        with _open(path, "r") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                empty = False
+                yield _parse_line(line, lineno, path)
+        if empty:
+            raise ValueError(f"trace file {path} contains no records")
+        if not loop:
+            return
+
+
+def trace_length(path: PathLike) -> int:
+    """Number of records in a trace file (comments/blank lines skipped)."""
+    return sum(1 for _ in read_trace(path))

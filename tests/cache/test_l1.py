@@ -1,0 +1,144 @@
+"""Unit tests for the L1 data cache (against a fake L2)."""
+
+from repro.cache.array import CacheArray
+from repro.cache.l1 import L1Cache
+from repro.cache.prefetch import CompositePrefetcher, NextLinePrefetcher
+from repro.common.request import AccessType, MemoryRequest
+from repro.mshr.conventional import ConventionalMshr
+
+from .conftest import FakeL2, make_read
+
+
+def _l1(engine, l2=None, mshr_entries=8, prefetcher=None, latency=3):
+    l2 = l2 if l2 is not None else FakeL2(engine)
+    return (
+        L1Cache(
+            engine,
+            core_id=0,
+            array=CacheArray(4 * 1024, 4, 64),
+            mshr=ConventionalMshr(mshr_entries),
+            l2=l2,
+            latency=latency,
+            prefetcher=prefetcher,
+        ),
+        l2,
+    )
+
+
+def test_hit_completes_after_latency(engine):
+    l1, l2 = _l1(engine)
+    l1.array.fill(0x100)
+    done = []
+    assert l1.access(make_read(0x100, callback=done.append))
+    engine.run()
+    assert done[0].completed_at == 3
+    assert not l2.requests
+
+
+def test_miss_fetches_line_from_l2(engine):
+    l1, l2 = _l1(engine)
+    done = []
+    assert l1.access(make_read(0x123, callback=done.append))
+    engine.run()
+    assert len(l2.requests) == 1
+    fetch = l2.requests[0]
+    assert fetch.addr == 0x100  # line-aligned
+    assert fetch.access is AccessType.READ
+    assert not done
+    l2.complete_next()
+    assert done and done[0].completed_at == engine.now
+    # The line is now resident.
+    assert l1.array.probe(0x100)
+
+
+def test_secondary_miss_merges(engine):
+    l1, l2 = _l1(engine)
+    done = []
+    l1.access(make_read(0x100, callback=done.append))
+    l1.access(make_read(0x108, callback=done.append))
+    engine.run()
+    assert len(l2.requests) == 1  # merged, single fetch
+    l2.complete_next()
+    assert len(done) == 2
+
+
+def test_mshr_full_rejects_and_wakes(engine):
+    l1, l2 = _l1(engine, mshr_entries=1)
+    assert l1.access(make_read(0x1000))
+    assert not l1.access(make_read(0x2000))
+    woken = []
+    l1.on_mshr_free(lambda: woken.append(engine.now))
+    engine.run()
+    l2.complete_next()
+    assert woken
+
+
+def test_write_miss_is_rfo_and_dirties_line(engine):
+    l1, l2 = _l1(engine)
+    store = MemoryRequest(0x200, AccessType.WRITE)
+    assert l1.access(store)
+    engine.run()
+    assert l2.requests[0].access is AccessType.READ  # fetch-for-ownership
+    l2.complete_next()
+    # Evicting the line must produce a writeback.
+    victim = l1.array.invalidate(0x200)
+    assert victim is True  # dirty
+
+
+def test_write_hit_marks_dirty(engine):
+    l1, _ = _l1(engine)
+    l1.array.fill(0x100)
+    assert l1.access(MemoryRequest(0x108, AccessType.WRITE))
+    assert l1.array.invalidate(0x100) is True
+
+
+def test_dirty_eviction_sends_writeback_to_l2(engine):
+    l1, l2 = _l1(engine)
+    array = l1.array  # 4 KiB, 4-way, 16 sets: set 0 holds lines k*1024
+    # Fill set 0 with dirty lines, then force an eviction via a fetch.
+    for i in range(4):
+        l1.access(MemoryRequest(i * 1024, AccessType.WRITE))
+        engine.run()
+        l2.complete_next()
+    l1.access(make_read(4 * 1024))
+    engine.run()
+    l2.complete_next()  # completes the fetch; eviction happens at fill
+    writebacks = [r for r in l2.requests if r.access is AccessType.WRITEBACK]
+    assert len(writebacks) == 1
+    assert writebacks[0].addr == 0
+
+
+def test_miss_rate(engine):
+    l1, l2 = _l1(engine)
+    l1.array.fill(0x0)
+    l1.access(make_read(0x0))
+    l1.access(make_read(0x1000))
+    engine.run()
+    assert l1.miss_rate() == 0.5
+
+
+def test_l1_prefetcher_issues_prefetch_fetches(engine):
+    prefetcher = CompositePrefetcher([NextLinePrefetcher(64)])
+    l1, l2 = _l1(engine, prefetcher=prefetcher)
+    l1.access(make_read(0x1000))
+    engine.run()
+    kinds = [r.access for r in l2.requests]
+    assert AccessType.PREFETCH in kinds
+    assert l1.stats.get("prefetches_issued") == 1
+
+
+def test_prefetch_fill_does_not_complete_demand(engine):
+    prefetcher = CompositePrefetcher([NextLinePrefetcher(64)])
+    l1, l2 = _l1(engine, prefetcher=prefetcher)
+    done = []
+    l1.access(make_read(0x1000, callback=done.append))
+    engine.run()
+    # Complete the prefetch (second request) first.
+    prefetch = [r for r in l2.requests if r.access is AccessType.PREFETCH][0]
+    l2.requests.remove(prefetch)
+    prefetch.complete(engine.now)
+    assert not done
+    l2.complete_next()
+    assert done
+    # The prefetched line is resident for a later access.
+    assert l1.array.probe(0x1040)

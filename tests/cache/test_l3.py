@@ -1,0 +1,149 @@
+"""Unit tests for the stacked L3 cache."""
+
+import pytest
+
+from repro.cache.array import CacheArray
+from repro.cache.l3 import StackedL3
+from repro.common.request import AccessType, MemoryRequest
+
+from .conftest import FakeMemory, make_read
+
+
+def _l3(engine, memory=None, latency=25, size=64 * 1024, assoc=8):
+    memory = memory if memory is not None else FakeMemory(engine)
+    l3 = StackedL3(
+        engine, CacheArray(size, assoc, 64), memory, latency=latency
+    )
+    return l3, memory
+
+
+def test_hit_completes_after_latency(engine):
+    l3, memory = _l3(engine)
+    l3.array.fill(0x1000)
+    done = []
+    l3.enqueue(make_read(0x1000, callback=done.append))
+    engine.run()
+    assert done[0].completed_at == 25
+    assert not memory.queued
+
+
+def test_miss_fetches_from_memory_and_fills(engine):
+    l3, memory = _l3(engine)
+    done = []
+    l3.enqueue(make_read(0x2000, callback=done.append))
+    engine.run()
+    assert len(memory.queued) == 1
+    memory.complete_next()
+    engine.run()
+    assert done
+    assert l3.array.probe(0x2000)
+    assert not l3._inflight
+
+
+def test_inflight_misses_merge(engine):
+    l3, memory = _l3(engine)
+    done = []
+    l3.enqueue(make_read(0x2000, callback=done.append))
+    l3.enqueue(make_read(0x2008, callback=done.append))
+    engine.run()
+    assert len(memory.queued) == 1
+    assert l3.stats.get("merges") == 1
+    memory.complete_next()
+    engine.run()
+    assert len(done) == 2
+
+
+def test_writeback_hit_dirties_line(engine):
+    l3, memory = _l3(engine)
+    l3.array.fill(0x3000)
+    wb = MemoryRequest(0x3000, AccessType.WRITEBACK)
+    l3.enqueue(wb)
+    engine.run()
+    assert wb.completed_at is not None
+    assert not memory.queued
+    assert l3.array.invalidate(0x3000) is True
+
+
+def test_writeback_miss_forwards(engine):
+    l3, memory = _l3(engine)
+    wb = MemoryRequest(0x3000, AccessType.WRITEBACK)
+    l3.enqueue(wb)
+    engine.run()
+    assert len(memory.queued) == 1
+    assert memory.queued[0].access is AccessType.WRITEBACK
+
+
+def test_dirty_victim_written_back(engine):
+    l3, memory = _l3(engine, size=8 * 64, assoc=1)  # 8 direct-mapped sets
+    l3.array.fill(0, dirty=True)
+    l3.enqueue(make_read(8 * 64))  # same set, evicts line 0
+    engine.run()
+    memory.complete_next()  # the fill
+    engine.run()
+    wbs = [r for r in memory.queued if r.access is AccessType.WRITEBACK]
+    assert [w.addr for w in wbs] == [0]
+    assert l3.stats.get("dirty_evictions") == 1
+
+
+def test_mrq_backpressure_retries(engine):
+    memory = FakeMemory(engine, capacity=1)
+    l3, _ = _l3(engine, memory=memory)
+    l3.enqueue(make_read(0x1000))
+    l3.enqueue(make_read(0x2000))
+    engine.run()
+    assert l3.stats.get("mrq_full_retries") >= 1
+    memory.complete_next()
+    engine.run()
+    memory.complete_next()
+    engine.run()
+    assert not l3._inflight
+
+
+def test_hit_rate(engine):
+    l3, memory = _l3(engine)
+    l3.array.fill(0x0)
+    l3.enqueue(make_read(0x0))
+    l3.enqueue(make_read(0x4000))
+    engine.run()
+    assert l3.hit_rate() == 0.5
+
+
+def test_latency_validation(engine):
+    with pytest.raises(ValueError):
+        _l3(engine, latency=0)
+
+
+def test_machine_integration_stacked_memory_beats_stacked_cache():
+    """The paper's thesis, run as an experiment: using the 3D stack for
+    a big L3 cache helps a bandwidth-bound 2D system (it filters
+    re-reference traffic off the FSB), but re-architected stacked DRAM
+    (3D-fast) beats the stacked cache decisively on streams, which have
+    no reuse a cache can exploit."""
+    from repro.common.units import MIB
+    from repro.system.config import config_2d, config_3d_fast
+    from repro.system.machine import Machine
+
+    shrink = dict(l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB)
+    flat = config_2d().derive(**shrink)
+    stacked_cache = flat.derive(l3_enabled=True, l3_size=16 * MIB)
+    stacked_memory = config_3d_fast().derive(**shrink)
+    results = {}
+    machines = {}
+    for config in (flat, stacked_cache, stacked_memory):
+        machine = Machine(config, ["S.copy"] * 4)
+        results[config.name + str(config.l3_enabled)] = machine.run(
+            warmup_instructions=2_000, measure_instructions=6_000
+        ).hmipc
+        machines[config.name + str(config.l3_enabled)] = machine
+    base = results["2DFalse"]
+    cache_hmipc = results["2DTrue"]
+    memory_hmipc = results["3D-fastFalse"]
+    l3 = machines["2DTrue"].l3
+    assert l3 is not None and l3.stats.get("accesses") > 0
+    # Streams carry no real reuse: the L3 hit rate stays low (residual
+    # hits are prefetcher-duplicated fetches, not workload locality).
+    assert l3.hit_rate() < 0.5
+    # Stacked cache helps the FSB-bound baseline somewhat...
+    assert cache_hmipc > base * 0.95
+    # ...but stacked, re-architected memory wins decisively (Section 6).
+    assert memory_hmipc > cache_hmipc * 1.3

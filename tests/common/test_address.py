@@ -1,0 +1,84 @@
+"""Unit and property tests for address helpers and the page allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.address import PageAllocator, line_address, line_index
+
+
+def test_line_address_alignment():
+    assert line_address(0x12345, 64) == 0x12340
+    assert line_address(0x12340, 64) == 0x12340
+    assert line_index(0x12345, 64) == 0x12345 >> 6
+
+
+def test_first_touch_allocates_sequential_frames():
+    allocator = PageAllocator(page_size=4096)
+    # Touch three pages in a scattered virtual order.
+    first = allocator.translate(0x9000_0000)
+    second = allocator.translate(0x1000)
+    third = allocator.translate(0xFFFF_F000)
+    assert first >> 12 == 0
+    assert second >> 12 == 1
+    assert third >> 12 == 2
+    assert allocator.allocated_pages == 3
+
+
+def test_translation_is_stable():
+    allocator = PageAllocator()
+    a = allocator.translate(0x1234_5678)
+    b = allocator.translate(0x1234_5678)
+    assert a == b
+    assert allocator.allocated_pages == 1
+
+
+def test_offset_within_page_preserved():
+    allocator = PageAllocator(page_size=4096)
+    paddr = allocator.translate(0x7000_0ABC)
+    assert paddr & 0xFFF == 0xABC
+
+
+def test_same_page_shares_frame():
+    allocator = PageAllocator(page_size=4096)
+    a = allocator.translate(0x5000_0000)
+    b = allocator.translate(0x5000_0FFF)
+    assert a >> 12 == b >> 12
+    assert allocator.allocated_pages == 1
+
+
+def test_capacity_wrap():
+    allocator = PageAllocator(page_size=4096, capacity_bytes=2 * 4096)
+    frames = [allocator.translate(i * 4096) >> 12 for i in range(4)]
+    assert frames[:2] == [0, 1]
+    # Beyond capacity, frames wrap instead of failing.
+    assert all(f < 2 for f in frames)
+
+
+def test_rejects_non_power_of_two_page():
+    with pytest.raises(ValueError):
+        PageAllocator(page_size=3000)
+
+
+def test_allocated_bytes():
+    allocator = PageAllocator(page_size=4096)
+    allocator.translate(0)
+    allocator.translate(4096)
+    assert allocator.allocated_bytes == 2 * 4096
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=2**40 - 1), max_size=200))
+def test_property_translation_consistent_and_offsets_preserved(vaddrs):
+    allocator = PageAllocator(page_size=4096)
+    mapping = {}
+    for vaddr in vaddrs:
+        paddr = allocator.translate(vaddr)
+        assert paddr & 0xFFF == vaddr & 0xFFF
+        vpn, pfn = vaddr >> 12, paddr >> 12
+        if vpn in mapping:
+            assert mapping[vpn] == pfn
+        else:
+            mapping[vpn] = pfn
+    # Frames are dense: 0..n-1 with no gaps.
+    assert sorted(mapping.values()) == list(range(len(mapping)))

@@ -1,0 +1,116 @@
+"""Unit and property tests for the log-bucketed latency histogram."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.histogram import LatencyHistogram
+
+
+def test_empty_histogram():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(0.5) == 0
+    assert "no samples" in hist.format()
+
+
+def test_basic_stats():
+    hist = LatencyHistogram()
+    for value in (10, 20, 30):
+        hist.record(value)
+    assert hist.count == 3
+    assert hist.mean == pytest.approx(20.0)
+    assert hist.min_value == 10
+    assert hist.max_value == 30
+
+
+def test_bucket_edges():
+    hist = LatencyHistogram()
+    for value in (0, 1, 2, 3, 4, 7, 8):
+        hist.record(value)
+    buckets = dict(((low, high), n) for low, high, n in hist.buckets())
+    assert buckets[(0, 0)] == 1
+    assert buckets[(1, 1)] == 1
+    assert buckets[(2, 3)] == 2
+    assert buckets[(4, 7)] == 2
+    assert buckets[(8, 15)] == 1
+
+
+def test_percentile_monotone():
+    hist = LatencyHistogram()
+    for value in range(1, 1000):
+        hist.record(value)
+    p50 = hist.percentile(0.50)
+    p90 = hist.percentile(0.90)
+    p99 = hist.percentile(0.99)
+    assert p50 <= p90 <= p99
+    assert p99 >= 512  # tail reaches the top buckets
+
+
+def test_percentile_validation():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.percentile(0.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().record(-1)
+
+
+def test_merge():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    a.record(5)
+    b.record(500)
+    a.merge(b)
+    assert a.count == 2
+    assert a.min_value == 5
+    assert a.max_value == 500
+
+
+def test_format_contains_bars():
+    hist = LatencyHistogram()
+    for _ in range(10):
+        hist.record(100)
+    text = hist.format("read latency")
+    assert "read latency" in text
+    assert "#" in text
+
+
+def test_mc_records_read_latencies():
+    from repro.common.request import AccessType, MemoryRequest
+    from repro.dram.timing import ddr2_commodity
+    from repro.engine import Engine
+    from repro.interconnect.links import tsv_bus
+    from repro.memctrl.memsys import MainMemory
+
+    engine = Engine()
+    memory = MainMemory(
+        engine, ddr2_commodity(),
+        bus_factory=lambda n: tsv_bus(64, name=n), num_mcs=1,
+    )
+    for page in range(4):
+        memory.enqueue(MemoryRequest(page * 4096, AccessType.READ))
+    engine.run()
+    hist = memory.controllers[0].read_latency
+    assert hist.count == 4
+    assert hist.mean > 0
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+def test_property_counts_and_bounds(samples):
+    hist = LatencyHistogram()
+    for sample in samples:
+        hist.record(sample)
+    assert hist.count == len(samples)
+    assert hist.total == sum(samples)
+    assert hist.min_value == min(samples)
+    assert hist.max_value == max(samples)
+    # Percentiles are monotone and the 100th percentile's bucket covers
+    # the maximum sample (bucket upper bound >= true max).
+    assert hist.percentile(0.5) <= hist.percentile(0.9) <= hist.percentile(1.0)
+    assert hist.percentile(1.0) >= hist.max_value

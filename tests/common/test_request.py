@@ -1,0 +1,60 @@
+"""Unit tests for MemoryRequest."""
+
+import pytest
+
+from repro.common.request import AccessType, MemoryRequest
+
+
+def test_access_type_demand_classification():
+    assert AccessType.READ.is_demand
+    assert AccessType.WRITE.is_demand
+    assert not AccessType.WRITEBACK.is_demand
+    assert not AccessType.PREFETCH.is_demand
+
+
+def test_request_ids_are_unique():
+    a = MemoryRequest(0x100, AccessType.READ)
+    b = MemoryRequest(0x100, AccessType.READ)
+    assert a.req_id != b.req_id
+
+
+def test_is_write_covers_writes_and_writebacks():
+    assert MemoryRequest(0, AccessType.WRITE).is_write
+    assert MemoryRequest(0, AccessType.WRITEBACK).is_write
+    assert not MemoryRequest(0, AccessType.READ).is_write
+    assert not MemoryRequest(0, AccessType.PREFETCH).is_write
+
+
+def test_negative_address_rejected():
+    with pytest.raises(ValueError):
+        MemoryRequest(-4, AccessType.READ)
+
+
+def test_latency_none_until_completed():
+    request = MemoryRequest(0x40, AccessType.READ, created_at=100)
+    assert request.latency is None
+    request.complete(250)
+    assert request.completed_at == 250
+    assert request.latency == 150
+
+
+def test_complete_fires_callback_once_with_request():
+    seen = []
+    request = MemoryRequest(0x40, AccessType.READ, callback=seen.append)
+    request.complete(10)
+    assert seen == [request]
+
+
+def test_double_complete_raises():
+    request = MemoryRequest(0x40, AccessType.READ)
+    request.complete(10)
+    with pytest.raises(RuntimeError):
+        request.complete(20)
+
+
+def test_callback_cleared_after_completion():
+    calls = []
+    request = MemoryRequest(0x40, AccessType.READ, callback=lambda r: calls.append(r))
+    request.complete(5)
+    assert request.callback is None
+    assert len(calls) == 1

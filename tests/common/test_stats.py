@@ -1,0 +1,79 @@
+"""Unit tests for the statistics registry."""
+
+from repro.common.stats import StatGroup, StatRegistry
+
+
+def test_add_and_get():
+    group = StatGroup("g")
+    group.add("hits")
+    group.add("hits", 2)
+    assert group.get("hits") == 3
+    assert group.get("absent") == 0
+
+
+def test_set_overwrites():
+    group = StatGroup("g")
+    group.add("x", 5)
+    group.set("x", 1)
+    assert group.get("x") == 1
+
+
+def test_freeze_snapshots_values():
+    group = StatGroup("g")
+    group.add("misses", 10)
+    group.freeze()
+    group.add("misses", 90)
+    # Reported value stays at the snapshot; live value keeps counting.
+    assert group.value("misses") == 10
+    assert group.get("misses") == 100
+    assert group.is_frozen
+
+
+def test_freeze_snapshot_includes_later_created_counters_as_default():
+    group = StatGroup("g")
+    group.freeze()
+    group.add("new_counter", 7)
+    assert group.value("new_counter") == 0
+    assert group.get("new_counter") == 7
+
+
+def test_items_honours_freeze():
+    group = StatGroup("g")
+    group.add("a", 1)
+    group.freeze()
+    group.add("a", 1)
+    assert dict(group.items()) == {"a": 1}
+
+
+def test_ratio():
+    group = StatGroup("g")
+    group.add("hits", 30)
+    group.add("accesses", 40)
+    assert group.ratio("hits", "accesses") == 0.75
+    assert group.ratio("hits", "absent") == 0.0
+
+
+def test_registry_returns_same_group():
+    registry = StatRegistry()
+    a = registry.group("l2")
+    b = registry.group("l2")
+    assert a is b
+    assert "l2" in registry
+    assert "l1" not in registry
+
+
+def test_registry_dump():
+    registry = StatRegistry()
+    registry.group("b").add("x", 2)
+    registry.group("a").add("y", 1)
+    dump = registry.dump()
+    assert list(dump) == ["a", "b"]  # sorted
+    assert dump["b"] == {"x": 2}
+
+
+def test_as_dict_is_a_copy():
+    group = StatGroup("g")
+    group.add("x", 1)
+    snapshot = group.as_dict()
+    snapshot["x"] = 99
+    assert group.get("x") == 1

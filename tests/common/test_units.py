@@ -1,0 +1,67 @@
+"""Unit tests for clock/size helpers."""
+
+import pytest
+
+from repro.common.units import (
+    CPU_FREQ_GHZ,
+    GIB,
+    KIB,
+    MIB,
+    cycles_to_ns,
+    is_power_of_two,
+    log2int,
+    ms_to_cycles,
+    ns_to_cycles,
+)
+
+
+def test_table1_timings_convert_exactly():
+    # The paper's DRAM parameters in CPU cycles at 3.333 GHz.
+    assert ns_to_cycles(36.0) == 120  # tRAS
+    assert ns_to_cycles(12.0) == 40  # tRCD/tCAS/tWR/tRP
+    assert ns_to_cycles(24.3) == 81  # true-3D tRAS
+    assert ns_to_cycles(8.1) == 27  # true-3D others
+
+
+def test_ns_to_cycles_rounds_up():
+    assert ns_to_cycles(0.31) == 2  # just above one cycle
+    assert ns_to_cycles(0.3) == 1  # exactly one cycle
+    assert ns_to_cycles(0.0) == 0
+
+
+def test_ns_to_cycles_rejects_negative():
+    with pytest.raises(ValueError):
+        ns_to_cycles(-1.0)
+
+
+def test_cycles_to_ns_roundtrip():
+    assert cycles_to_ns(ns_to_cycles(36.0)) == pytest.approx(36.0)
+
+
+def test_refresh_periods():
+    # 64 ms / 8192 rows => ~7.8125 us between refreshes.
+    assert ms_to_cycles(64.0) // 8192 == 26041
+    assert ms_to_cycles(32.0) == ms_to_cycles(64.0) // 2
+
+
+def test_cpu_frequency_is_table1():
+    assert CPU_FREQ_GHZ == pytest.approx(3.3333, abs=1e-3)
+
+
+def test_size_constants():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+
+
+@pytest.mark.parametrize("value", [1, 2, 4, 64, 4096, 1 << 30])
+def test_powers_of_two(value):
+    assert is_power_of_two(value)
+    assert 1 << log2int(value) == value
+
+
+@pytest.mark.parametrize("value", [0, -4, 3, 12, 100])
+def test_non_powers_of_two(value):
+    assert not is_power_of_two(value)
+    with pytest.raises(ValueError):
+        log2int(value)

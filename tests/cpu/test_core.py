@@ -1,0 +1,182 @@
+"""Unit tests for the trace-driven core model (against a fake L1)."""
+
+import itertools
+from collections import deque
+
+import pytest
+
+from repro.common.address import PageAllocator
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceItem
+from repro.engine import Engine
+
+
+class FakeL1:
+    """Completes accesses after a fixed latency; can reject N times."""
+
+    def __init__(self, engine, latency=5, reject_first=0):
+        self.engine = engine
+        self.latency = latency
+        self.reject_remaining = reject_first
+        self.accesses = []
+        self._waiters = deque()
+
+    def access(self, request):
+        if self.reject_remaining > 0:
+            self.reject_remaining -= 1
+            return False
+        self.accesses.append(request)
+        done = self.engine.now + self.latency
+        self.engine.schedule(self.latency, request.complete, done)
+        return True
+
+    def on_mshr_free(self, callback):
+        # Wake after a cycle, like a freed MSHR entry would.
+        self.engine.schedule(1, callback)
+
+
+def _core(engine, trace, l1=None, base_cpi=0.5, rob=96, width=4):
+    l1 = l1 or FakeL1(engine)
+    core = Core(
+        engine, 0, iter(trace), l1, PageAllocator(),
+        base_cpi=base_cpi, rob_size=rob, width=width,
+    )
+    return core, l1
+
+
+def _uniform_trace(gap, count=10_000, stride=64, write=False):
+    return (
+        TraceItem(gap, i * stride, write, 0x400) for i in itertools.count()
+    )
+
+
+def test_ipc_paced_by_base_cpi_when_memory_is_fast():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=9), base_cpi=0.5)
+    core.start()
+    core.begin_measurement(10_000)
+    engine.run(stop_when=lambda: core.frozen)
+    # Memory latency (5 cycles) is negligible at gap 9; commit pacing at
+    # 0.5 CPI dominates -> IPC ~2.
+    assert core.frozen_ipc == pytest.approx(2.0, rel=0.05)
+
+
+def test_higher_base_cpi_lowers_ipc():
+    results = []
+    for cpi in (0.5, 1.0):
+        engine = Engine()
+        core, _ = _core(engine, _uniform_trace(gap=9), base_cpi=cpi)
+        core.start()
+        core.begin_measurement(5_000)
+        engine.run(stop_when=lambda: core.frozen)
+        results.append(core.frozen_ipc)
+    assert results[0] > 1.5 * results[1]
+
+
+def test_slow_memory_lowers_ipc():
+    results = []
+    for latency in (5, 200):
+        engine = Engine()
+        core, _ = _core(
+            engine, _uniform_trace(gap=9), l1=FakeL1(engine, latency=latency)
+        )
+        core.start()
+        core.begin_measurement(5_000)
+        engine.run(stop_when=lambda: core.frozen)
+        results.append(core.frozen_ipc)
+    assert results[1] < results[0] / 2
+
+
+def test_rob_bounds_outstanding_refs():
+    engine = Engine()
+    l1 = FakeL1(engine, latency=10_000)  # nothing ever completes in time
+    core, _ = _core(engine, _uniform_trace(gap=0), l1=l1, rob=16)
+    core.start()
+    engine.run(until=5_000)
+    # gap 0 -> every instruction is a ref; at most rob_size refs can be
+    # dispatched before the oldest blocks everything.
+    assert len(l1.accesses) <= 16
+    assert core.stats.get("rob_stalls") >= 1
+
+
+def test_stores_do_not_block_commit():
+    engine = Engine()
+    l1 = FakeL1(engine, latency=10_000)
+    core, _ = _core(
+        engine, _uniform_trace(gap=9, write=True), l1=l1, rob=32
+    )
+    core.start()
+    core.begin_measurement(2_000)
+    engine.run(until=10_000, stop_when=lambda: core.frozen)
+    # Stores commit from the store buffer; progress continues.
+    assert core.committed >= 2_000
+
+
+def test_l1_rejection_stalls_then_resumes():
+    engine = Engine()
+    l1 = FakeL1(engine, latency=5, reject_first=3)
+    core, _ = _core(engine, _uniform_trace(gap=9), l1=l1)
+    core.start()
+    core.begin_measurement(1_000)
+    engine.run(stop_when=lambda: core.frozen)
+    assert core.frozen
+    assert core.stats.get("l1_mshr_stalls") == 3
+
+
+def test_freeze_keeps_core_running():
+    engine = Engine()
+    core, l1 = _core(engine, _uniform_trace(gap=9))
+    core.start()
+    core.begin_measurement(1_000)
+    engine.run(stop_when=lambda: core.frozen)
+    frozen_at = core.committed
+    frozen_ipc = core.frozen_ipc
+    engine.run(until=engine.now + 2_000)
+    assert core.committed > frozen_at  # still executing
+    assert core.frozen_ipc == frozen_ipc  # stats frozen
+    assert core.stats.value("dispatched_refs") < core.stats.get(
+        "dispatched_refs"
+    )
+
+
+def test_on_frozen_hook_fires_once():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=9))
+    calls = []
+    core.on_frozen = calls.append
+    core.start()
+    core.begin_measurement(500)
+    engine.run(until=50_000)
+    assert calls == [core]
+
+
+def test_measured_counters():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=9))
+    core.start()
+    core.begin_measurement(1_000)
+    engine.run(stop_when=lambda: core.frozen)
+    instrs = core.stats.value("measured_instructions")
+    cycles = core.stats.value("measured_cycles")
+    assert instrs >= 1_000
+    assert core.frozen_ipc == pytest.approx(instrs / cycles)
+
+
+def test_ipc_live_before_freeze():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=9))
+    core.start()
+    core.begin_measurement(100_000)
+    engine.run(until=1_000)
+    assert 0 < core.ipc <= 4
+
+
+def test_validation():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Core(engine, 0, iter([]), FakeL1(engine), PageAllocator(), width=0)
+    with pytest.raises(ValueError):
+        Core(engine, 0, iter([]), FakeL1(engine), PageAllocator(), base_cpi=0)
+    core, _ = _core(engine, _uniform_trace(gap=1))
+    with pytest.raises(ValueError):
+        core.begin_measurement(0)

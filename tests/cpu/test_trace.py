@@ -1,0 +1,18 @@
+"""Unit tests for trace primitives."""
+
+from repro.cpu.trace import TraceItem, instructions_per_item
+
+
+def test_trace_item_fields():
+    item = TraceItem(gap=3, addr=0x1000, is_write=True, pc=0x400)
+    assert item.gap == 3
+    assert item.addr == 0x1000
+    assert item.is_write
+    assert item.pc == 0x400
+
+
+def test_instructions_per_item():
+    sample = [TraceItem(0, 0, False, 0), TraceItem(4, 0, False, 0)]
+    # (0+1 + 4+1) / 2
+    assert instructions_per_item(sample) == 3.0
+    assert instructions_per_item([]) == 0.0

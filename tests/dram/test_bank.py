@@ -1,0 +1,121 @@
+"""Unit tests for the analytic DRAM bank model."""
+
+from repro.dram.bank import Bank
+from repro.dram.refresh import RefreshSchedule
+from repro.dram.timing import ddr2_commodity, true_3d
+
+
+def _bank(row_buffer_entries=1, timing=None, phase=1_000_000):
+    # A large refresh phase keeps the first window away from the tests.
+    timing = timing or ddr2_commodity()
+    return Bank(timing, RefreshSchedule(timing, phase=phase), row_buffer_entries)
+
+
+def test_first_access_is_a_row_miss_with_rcd_cas_latency():
+    bank = _bank()
+    t = bank.timing
+    data_time, hit = bank.access(0, row=7, is_write=False)
+    assert not hit
+    assert data_time == t.t_rcd + t.t_cas
+
+
+def test_row_hit_costs_cas_only():
+    bank = _bank()
+    t = bank.timing
+    first, _ = bank.access(0, row=7, is_write=False)
+    start = first + 100
+    data_time, hit = bank.access(start, row=7, is_write=False)
+    assert hit
+    assert data_time == start + t.t_cas
+
+
+def test_row_conflict_waits_for_row_cycle():
+    bank = _bank()
+    t = bank.timing
+    bank.access(0, row=1, is_write=False)
+    # Immediately accessing another row: activate can only start once the
+    # previous row cycle (tRC) completes.
+    data_time, hit = bank.access(t.t_rcd + t.t_cas, row=2, is_write=False)
+    assert not hit
+    assert data_time == t.t_rc + t.t_rcd + t.t_cas
+
+
+def test_multi_entry_buffer_keeps_both_rows_open():
+    bank = _bank(row_buffer_entries=2)
+    bank.access(0, row=1, is_write=False)
+    bank.access(1000, row=2, is_write=False)
+    assert bank.is_row_open(1)
+    assert bank.is_row_open(2)
+    _, hit = bank.access(2000, row=1, is_write=False)
+    assert hit
+
+
+def test_single_entry_buffer_closes_previous_row():
+    bank = _bank(row_buffer_entries=1)
+    bank.access(0, row=1, is_write=False)
+    bank.access(1000, row=2, is_write=False)
+    assert not bank.is_row_open(1)
+
+
+def test_dirty_eviction_adds_write_recovery():
+    timing = ddr2_commodity()
+    clean = _bank()
+    dirty = _bank()
+    # Open row 1; in `dirty` write to it so eviction needs restore.
+    clean.access(0, row=1, is_write=False)
+    dirty.access(0, row=1, is_write=True)
+    t_clean, _ = clean.access(10_000, row=2, is_write=False)
+    t_dirty, _ = dirty.access(10_000, row=2, is_write=False)
+    assert t_dirty == t_clean + timing.t_wr
+
+
+def test_back_to_back_hits_are_spaced_by_tccd():
+    bank = _bank(row_buffer_entries=1)
+    t = bank.timing
+    bank.access(0, row=1, is_write=False)
+    settle = 10_000
+    first, _ = bank.access(settle, row=1, is_write=False)
+    second, _ = bank.access(settle, row=1, is_write=False)
+    assert second - first == t.t_ccd
+
+
+def test_refresh_blackout_delays_access():
+    timing = ddr2_commodity()
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), 1)
+    data_time, _ = bank.access(0, row=1, is_write=False)
+    # The access cannot begin until the first blackout ends.
+    assert data_time == timing.t_rfc + timing.t_rcd + timing.t_cas
+
+
+def test_refresh_epoch_closes_open_rows():
+    timing = ddr2_commodity()
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), 2)
+    bank.access(timing.t_rfc, row=1, is_write=False)
+    assert bank.is_row_open(1)
+    # Jump past the next refresh window: rows were precharged for it.
+    _, hit = bank.access(timing.refresh_interval + timing.t_rfc, row=1, is_write=False)
+    assert not hit
+    assert bank.stats.get("refresh_row_closures") >= 1
+
+
+def test_true_3d_is_faster():
+    slow = _bank(timing=ddr2_commodity())
+    fast = _bank(timing=true_3d())
+    t_slow, _ = slow.access(0, row=1, is_write=False)
+    t_fast, _ = fast.access(0, row=1, is_write=False)
+    assert t_fast < t_slow
+
+
+def test_stats_count_hits_and_misses():
+    bank = _bank()
+    bank.access(0, row=1, is_write=False)
+    bank.access(10_000, row=1, is_write=False)
+    bank.access(20_000, row=2, is_write=False)
+    assert bank.stats.get("row_misses") == 2
+    assert bank.stats.get("row_hits") == 1
+
+
+def test_earliest_start_respects_bank_busy():
+    bank = _bank()
+    data_time, _ = bank.access(0, row=1, is_write=False)
+    assert bank.earliest_start(0) >= data_time

@@ -1,0 +1,80 @@
+"""Property tests for DRAM bank timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import Bank
+from repro.dram.refresh import RefreshSchedule
+from repro.dram.timing import ddr2_commodity, true_3d
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # inter-arrival gap
+        st.integers(min_value=0, max_value=6),  # row
+        st.booleans(),  # is_write
+    ),
+    max_size=60,
+)
+
+
+def _bank(entries, timing):
+    return Bank(timing, RefreshSchedule(timing, phase=10**9), entries)
+
+
+@settings(max_examples=60)
+@given(seq=accesses, entries=st.sampled_from([1, 2, 4]))
+def test_bank_timing_invariants(seq, entries):
+    timing = ddr2_commodity()
+    bank = _bank(entries, timing)
+    time = 0
+    previous_data = 0
+    for gap, row, is_write in seq:
+        time += gap
+        open_before = row in bank.row_buffers
+        data_time, hit = bank.access(time, row, is_write)
+        # 1. Hit status reflects the row-buffer state at access time.
+        assert hit == open_before
+        # 2. Causality: data can never appear before the request plus CAS.
+        assert data_time >= time + timing.t_cas
+        # 3. Hits cost no more than a fresh activate would.
+        if hit:
+            assert data_time <= max(time, previous_data) + timing.t_rc + timing.t_cas
+        # 4. The accessed row is buffered afterwards.
+        assert row in bank.row_buffers
+        # 5. The buffer never exceeds its capacity.
+        assert len(bank.row_buffers) <= entries
+        # 6. Data times are strictly increasing per bank (serialization).
+        assert data_time > previous_data or previous_data == 0
+        previous_data = data_time
+
+
+@settings(max_examples=40)
+@given(seq=accesses)
+def test_true_3d_never_slower_than_commodity(seq):
+    """Same access sequence: the true-3D arrays finish no later."""
+    slow = _bank(1, ddr2_commodity())
+    fast = _bank(1, true_3d())
+    time = 0
+    for gap, row, is_write in seq:
+        time += gap
+        t_slow, _ = slow.access(time, row, is_write)
+        t_fast, _ = fast.access(time, row, is_write)
+        assert t_fast <= t_slow
+
+
+@settings(max_examples=40)
+@given(seq=accesses)
+def test_more_row_buffers_never_reduce_hits(seq):
+    """Hit count is monotone in row-buffer entries (LRU inclusion)."""
+    timing = ddr2_commodity()
+    hits = []
+    for entries in (1, 2, 4):
+        bank = _bank(entries, timing)
+        count = 0
+        time = 0
+        for gap, row, is_write in seq:
+            time += gap
+            _, hit = bank.access(time, row, is_write)
+            count += hit
+        hits.append(count)
+    assert hits[0] <= hits[1] <= hits[2]

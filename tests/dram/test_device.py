@@ -1,0 +1,61 @@
+"""Unit tests for ranks and the DRAM device facade."""
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.dram.rank import Rank
+from repro.dram.timing import ddr2_commodity
+
+
+def test_rank_builds_banks():
+    rank = Rank(0, ddr2_commodity(), num_banks=8)
+    assert rank.num_banks == 8
+    assert rank.bank(3) is rank.banks[3]
+
+
+def test_rank_refresh_phases_are_staggered():
+    timing = ddr2_commodity()
+    phases = {Rank(i, timing).refresh.phase for i in range(4)}
+    assert len(phases) == 4
+
+
+def test_rank_rejects_zero_banks():
+    with pytest.raises(ValueError):
+        Rank(0, ddr2_commodity(), num_banks=0)
+
+
+def test_device_shape():
+    device = DramDevice(ddr2_commodity(), num_ranks=4, banks_per_rank=8)
+    assert device.num_ranks == 4
+    assert device.banks_per_rank == 8
+    assert device.total_banks == 32
+
+
+def test_device_bank_addressing_is_stable():
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=2)
+    assert device.bank(1, 1) is device.ranks[1].banks[1]
+
+
+def test_device_access_and_open_row_query():
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=2)
+    assert not device.is_row_open(0, 0, 5)
+    data_time, hit = device.access(0, 0, 5, start=10_000_000, is_write=False)
+    assert not hit
+    assert device.is_row_open(0, 0, 5)
+    # Other banks unaffected.
+    assert not device.is_row_open(1, 0, 5)
+
+
+def test_first_rank_id_offsets_rank_numbering():
+    device = DramDevice(ddr2_commodity(), num_ranks=2, first_rank_id=4)
+    assert [r.rank_id for r in device.ranks] == [4, 5]
+
+
+def test_open_row_summary():
+    device = DramDevice(ddr2_commodity(), num_ranks=1, banks_per_rank=2)
+    device.access(0, 1, 9, start=10_000_000, is_write=False)
+    summary = dict(
+        ((rank, bank), rows) for rank, bank, rows in device.open_row_summary()
+    )
+    assert summary[(0, 1)] == (9,)
+    assert summary[(0, 0)] == ()

@@ -1,0 +1,115 @@
+"""Unit tests for the DRAM energy model."""
+
+import pytest
+
+from repro.common.stats import StatRegistry
+from repro.dram.power import (
+    DramEnergyParams,
+    DramPowerModel,
+    EnergyReport,
+    compare_energy,
+)
+
+
+def _report(model=None, hits=100, misses=50, dirty=10, cycles=1_000_000):
+    model = model or DramPowerModel()
+    return model.report_for_bank(
+        row_hits=hits,
+        row_misses=misses,
+        dirty_evictions=dirty,
+        elapsed_cycles=cycles,
+        refresh_interval=26_041,
+    )
+
+
+def test_every_component_accounted():
+    report = _report()
+    assert report.activate_nj > 0
+    assert report.burst_nj > 0
+    assert report.restore_nj > 0
+    assert report.refresh_nj > 0
+    assert report.background_nj > 0
+    assert report.total_nj == pytest.approx(
+        report.dynamic_nj + report.refresh_nj + report.background_nj
+    )
+
+
+def test_row_hits_cost_less_than_misses():
+    """The paper's argument for row-buffer caches: hits skip the array."""
+    all_hits = _report(hits=150, misses=0, dirty=0)
+    all_misses = _report(hits=0, misses=150, dirty=0)
+    assert all_hits.dynamic_nj < all_misses.dynamic_nj
+    assert all_hits.nj_per_access < all_misses.nj_per_access
+
+
+def test_true_3d_scaling_reduces_array_energy():
+    base = DramPowerModel(DramEnergyParams())
+    scaled = DramPowerModel(DramEnergyParams().scaled_for_true_3d(0.6))
+    assert _report(scaled).activate_nj == pytest.approx(
+        _report(base).activate_nj * 0.6
+    )
+    # Burst (I/O) energy is unscaled.
+    assert _report(scaled).burst_nj == _report(base).burst_nj
+
+
+def test_scale_factor_validation():
+    with pytest.raises(ValueError):
+        DramEnergyParams().scaled_for_true_3d(0.0)
+    with pytest.raises(ValueError):
+        DramEnergyParams().scaled_for_true_3d(1.5)
+
+
+def test_average_power_math():
+    report = EnergyReport(
+        activate_nj=0.0, burst_nj=0.0, restore_nj=0.0,
+        refresh_nj=0.0, background_nj=1e6,  # 1 mJ
+        elapsed_cycles=3_333_333_333,  # ~1 second at 3.333 GHz
+    )
+    assert report.avg_power_mw == pytest.approx(1.0, rel=0.01)
+
+
+def test_reports_add():
+    a = _report(hits=10, misses=5)
+    b = _report(hits=20, misses=10)
+    combined = a + b
+    assert combined.row_hits == 30
+    assert combined.dynamic_nj == pytest.approx(a.dynamic_nj + b.dynamic_nj)
+
+
+def test_registry_aggregation_filters_bank_groups():
+    registry = StatRegistry()
+    bank = registry.group("dram.rank0.bank0")
+    bank.add("row_hits", 10)
+    bank.add("row_misses", 5)
+    registry.group("l2").add("row_hits", 999)  # must be ignored
+    model = DramPowerModel()
+    report = model.report_from_registry(
+        registry, elapsed_cycles=10_000, refresh_interval=26_041
+    )
+    assert report.row_hits == 10
+    assert report.row_misses == 5
+
+
+def test_negative_cycles_rejected():
+    with pytest.raises(ValueError):
+        _report(cycles=-1)
+
+
+def test_compare_energy_formatting():
+    text = compare_energy([("2D", _report()), ("3D-fast", _report())])
+    assert "2D" in text and "3D-fast" in text and "dyn nJ/acc" in text
+
+
+def test_machine_result_carries_energy_extras():
+    from repro.common.units import MIB
+    from repro.system.config import config_3d_fast
+    from repro.system.machine import run_workload
+
+    result = run_workload(
+        config_3d_fast().derive(l2_size=1 * MIB, l2_assoc=16),
+        ["gzip", "namd", "mesa", "astar"],
+        warmup_instructions=500,
+        measure_instructions=1500,
+    )
+    assert result.extra["dram_dynamic_nj_per_access"] > 0
+    assert result.extra["dram_avg_power_mw"] > 0

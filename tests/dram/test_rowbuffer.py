@@ -1,0 +1,96 @@
+"""Unit and property tests for the row-buffer cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.rowbuffer import RowBufferCache
+
+
+def test_single_entry_replacement():
+    rb = RowBufferCache(1)
+    assert rb.insert(5) is None
+    assert rb.lookup(5)
+    evicted = rb.insert(9)
+    assert evicted == (5, False)
+    assert not rb.lookup(5)
+    assert rb.lookup(9)
+
+
+def test_lru_eviction_order():
+    rb = RowBufferCache(2)
+    rb.insert(1)
+    rb.insert(2)
+    rb.lookup(1)  # promote 1 to MRU
+    evicted = rb.insert(3)
+    assert evicted == (2, False)
+    assert rb.open_rows == (1, 3)
+
+
+def test_dirty_tracking():
+    rb = RowBufferCache(2)
+    rb.insert(1)
+    rb.touch_dirty(1)
+    rb.insert(2)
+    evicted = rb.insert(3)
+    assert evicted == (1, True)
+
+
+def test_insert_dirty_directly():
+    rb = RowBufferCache(1)
+    rb.insert(7, dirty=True)
+    assert rb.insert(8) == (7, True)
+
+
+def test_touch_dirty_missing_row_raises():
+    rb = RowBufferCache(1)
+    with pytest.raises(KeyError):
+        rb.touch_dirty(42)
+
+
+def test_duplicate_insert_raises():
+    rb = RowBufferCache(2)
+    rb.insert(1)
+    with pytest.raises(ValueError):
+        rb.insert(1)
+
+
+def test_evict_all_returns_contents():
+    rb = RowBufferCache(4)
+    rb.insert(1)
+    rb.insert(2, dirty=True)
+    held = rb.evict_all()
+    assert held == ((1, False), (2, True))
+    assert len(rb) == 0
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ValueError):
+        RowBufferCache(0)
+
+
+@settings(max_examples=60)
+@given(
+    entries=st.integers(min_value=1, max_value=4),
+    rows=st.lists(st.integers(min_value=0, max_value=12), max_size=100),
+)
+def test_property_matches_lru_reference_model(entries, rows):
+    """The cache behaves exactly like an ordered-dict LRU reference."""
+    rb = RowBufferCache(entries)
+    reference = []  # LRU -> MRU list of rows
+    for row in rows:
+        if row in reference:
+            assert rb.lookup(row)
+            reference.remove(row)
+            reference.append(row)
+        else:
+            assert not rb.lookup(row)
+            evicted = rb.insert(row)
+            if len(reference) >= entries:
+                expected_victim = reference.pop(0)
+                assert evicted is not None and evicted[0] == expected_victim
+            else:
+                assert evicted is None
+            reference.append(row)
+        assert len(rb) == len(reference) <= entries
+        assert rb.open_rows == tuple(reference)

@@ -1,0 +1,66 @@
+"""Unit tests for DRAM timing presets (Table 1)."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, ddr2_commodity, stacked_commodity, true_3d
+
+
+def test_commodity_matches_table1():
+    t = ddr2_commodity()
+    assert t.t_ras == 120
+    assert t.t_rcd == t.t_cas == t.t_wr == t.t_rp == 40
+
+
+def test_true_3d_matches_table1():
+    t = true_3d()
+    assert t.t_ras == 81
+    assert t.t_rcd == t.t_cas == t.t_wr == t.t_rp == 27
+
+
+def test_true_3d_is_32_percent_faster():
+    # The paper quotes a 32.5% tRAS improvement for the 5-layer part.
+    improvement = 1 - true_3d().t_ras / ddr2_commodity().t_ras
+    assert improvement == pytest.approx(0.325, abs=0.01)
+
+
+def test_refresh_periods_differ_on_stack():
+    off_chip = ddr2_commodity()
+    on_stack = stacked_commodity()
+    assert on_stack.refresh_period * 2 == off_chip.refresh_period
+    # Same array timings for the simple 3D organizations.
+    assert on_stack.t_ras == off_chip.t_ras
+    assert on_stack.t_cas == off_chip.t_cas
+
+
+def test_trc_is_ras_plus_rp():
+    t = ddr2_commodity()
+    assert t.t_rc == t.t_ras + t.t_rp
+
+
+def test_refresh_interval():
+    t = ddr2_commodity()
+    assert t.refresh_interval == t.refresh_period // 8192
+    assert t.refresh_interval > t.t_rfc
+
+
+def test_scaled_copy():
+    t = ddr2_commodity()
+    half = t.scaled(0.5)
+    assert half.t_cas == 20
+    assert half.t_ras == 60
+    assert half.refresh_period == t.refresh_period  # untouched
+
+
+def test_scaled_floors_at_one_cycle():
+    t = ddr2_commodity().scaled(0.0001)
+    assert t.t_cas == 1
+
+
+def test_validation_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        DramTiming(t_rcd=0, t_cas=1, t_rp=1, t_ras=1, t_wr=1, refresh_period=1000)
+
+
+def test_validation_rejects_ras_below_rcd():
+    with pytest.raises(ValueError):
+        DramTiming(t_rcd=10, t_cas=1, t_rp=1, t_ras=5, t_wr=1, refresh_period=1000)

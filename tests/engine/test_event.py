@@ -1,0 +1,34 @@
+"""Unit tests for the Event primitive."""
+
+from repro.engine.event import Event
+
+
+def _noop():
+    pass
+
+
+def test_ordering_by_time():
+    early = Event(5, 0, _noop, ())
+    late = Event(9, 1, _noop, ())
+    assert early < late
+    assert not late < early
+
+
+def test_ties_broken_by_sequence_number():
+    first = Event(5, 0, _noop, ())
+    second = Event(5, 1, _noop, ())
+    assert first < second
+    assert not second < first
+
+
+def test_cancel_marks_event():
+    event = Event(0, 0, _noop, ())
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+
+
+def test_event_carries_args():
+    event = Event(3, 0, _noop, (1, "x"))
+    assert event.args == (1, "x")
+    assert event.time == 3

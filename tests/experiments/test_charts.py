@@ -1,0 +1,56 @@
+"""Unit tests for text bar charts."""
+
+import pytest
+
+from repro.experiments.charts import bar, grouped_bars, speedup_chart
+
+
+def test_bar_scales():
+    assert bar(10, 10, width=10) == "#" * 10
+    assert bar(5, 10, width=10) == "#" * 5
+    assert bar(0, 10, width=10) == ""
+
+
+def test_bar_clamps_and_validates():
+    assert bar(20, 10, width=10) == "#" * 10  # clamped at full width
+    assert bar(-5, 10, width=10) == ""
+    with pytest.raises(ValueError):
+        bar(1, 0)
+    with pytest.raises(ValueError):
+        bar(1, 1, width=0)
+
+
+def test_grouped_bars_structure():
+    text = grouped_bars(
+        "Demo",
+        ["H1", "VH2"],
+        {"3D": [1.5, 1.9], "3D-fast": [2.4, 3.6]},
+    )
+    assert text.startswith("Demo\n====")
+    assert text.count("H1:") == 1
+    assert text.count("VH2:") == 1
+    assert text.count("3D ") >= 1
+    # Larger value -> longer bar.
+    lines = text.splitlines()
+    h1_3d = next(l for l in lines if "3D " in l and "1.50" in l)
+    vh2_fast = next(l for l in lines if "3.60" in l)
+    assert vh2_fast.count("#") > h1_3d.count("#")
+
+
+def test_grouped_bars_validates_lengths():
+    with pytest.raises(ValueError):
+        grouped_bars("T", ["a", "b"], {"s": [1.0]})
+
+
+def test_grouped_bars_needs_positive_peak():
+    with pytest.raises(ValueError):
+        grouped_bars("T", ["a"], {"s": [0.0]})
+
+
+def test_speedup_chart_marks_baseline():
+    # The 1.0 marker shows through where a bar falls short of baseline.
+    text = speedup_chart("S", ["w"], {"slow": [0.5], "fast": [2.0]})
+    slow_line = next(l for l in text.splitlines() if "0.50" in l)
+    assert "|" in slow_line
+    fast_line = next(l for l in text.splitlines() if "2.00" in l)
+    assert "|" not in fast_line  # bar covers the marker position

@@ -1,0 +1,114 @@
+"""Unit tests for fairness metrics and the batch scheduler."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.experiments.fairness import FairnessResult, fairness_study
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 400, 1500)
+
+
+def test_metric_math_on_synthetic_numbers():
+    result = FairnessResult(
+        config_name="x",
+        mix_name="y",
+        benchmarks=["a", "b"],
+        solo_ipc={"a": 2.0, "b": 1.0},
+        mixed_ipc=[1.0, 0.5],
+    )
+    assert result.slowdowns == [2.0, 2.0]
+    assert result.weighted_speedup == pytest.approx(1.0)
+    assert result.harmonic_speedup == pytest.approx(0.5)
+    assert result.max_slowdown == 2.0
+    assert result.unfairness == pytest.approx(1.0)
+
+
+def test_unfairness_detects_skew():
+    result = FairnessResult(
+        "x", "y", ["a", "b"],
+        solo_ipc={"a": 1.0, "b": 1.0},
+        mixed_ipc=[0.9, 0.3],
+    )
+    assert result.unfairness == pytest.approx((1 / 0.3) / (1 / 0.9))
+    assert result.max_slowdown == pytest.approx(1 / 0.3)
+
+
+def test_zero_mixed_ipc_is_infinite_slowdown():
+    result = FairnessResult(
+        "x", "y", ["a"], solo_ipc={"a": 1.0}, mixed_ipc=[0.0]
+    )
+    assert result.max_slowdown == float("inf")
+
+
+@pytest.fixture(scope="module")
+def study():
+    config = config_3d_fast().derive(
+        l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB
+    )
+    return fairness_study(config, MIXES["M3"], scale=TINY)
+
+
+def test_study_end_to_end(study):
+    assert set(study.solo_ipc) == set(study.benchmarks)
+    assert len(study.mixed_ipc) == 4
+    # Sharing a machine can only slow programs down (or leave them flat).
+    assert all(s >= 0.8 for s in study.slowdowns)
+    assert 0 < study.weighted_speedup <= 4.3
+    text = study.format()
+    assert "weighted speedup" in text and "slowdown" in text
+
+
+def test_duplicate_benchmarks_run_solo_once():
+    config = config_3d_fast().derive(
+        l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB
+    )
+    result = fairness_study(config, MIXES["VH1"], scale=TINY)  # S.all x 4
+    assert list(result.solo_ipc) == ["S.all"]
+    assert len(result.mixed_ipc) == 4
+
+
+def test_batch_scheduler_bounds_streaming_starvation():
+    """Within one batch, an old random request cannot wait behind an
+    unbounded run of newer row hits."""
+    from repro.common.request import AccessType, MemoryRequest
+    from repro.dram.device import DramDevice
+    from repro.dram.timing import ddr2_commodity
+    from repro.memctrl.mapping import AddressMapping
+    from repro.memctrl.queue import MrqEntry
+    from repro.memctrl.schedulers import BatchScheduler
+
+    mapping = AddressMapping(num_mcs=1, ranks_per_mc=2, banks_per_rank=4)
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=4)
+
+    def entry(page, arrival):
+        request = MemoryRequest(page * 4096, AccessType.READ)
+        return MrqEntry(request, mapping.decompose(page * 4096), arrival)
+
+    # Open the row that the "streaming" requests keep hitting.
+    hot = entry(0, 0)
+    device.access(hot.coords.rank, hot.coords.bank, hot.coords.row,
+                  start=10**7, is_write=False)
+    scheduler = BatchScheduler(max_batch=4)
+    victim = entry(9, 1)  # old random request, different bank/row
+    ready = [entry(0, 0), victim, entry(0, 2), entry(0, 3)]
+    served = []
+    now = 0
+    # Keep injecting fresh row hits; the victim must still get served
+    # within the first batch.
+    for i in range(4):
+        chosen = scheduler.select(ready, device, now + i)
+        served.append(chosen)
+        ready.remove(chosen)
+        ready.append(entry(0, 100 + i))  # newer stream request
+    assert victim in served
+
+
+def test_batch_scheduler_validation_and_factory():
+    from repro.memctrl.schedulers import BatchScheduler, make_scheduler
+
+    with pytest.raises(ValueError):
+        BatchScheduler(max_batch=0)
+    assert isinstance(make_scheduler("batch"), BatchScheduler)

@@ -1,0 +1,117 @@
+"""Mechanics tests for the figure/table runners (tiny scale, few mixes).
+
+These verify structure, formatting and bookkeeping; the *shape*
+assertions against the paper live in tests/integration/.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure6 import run_figure6a, run_figure6b
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.table2 import run_table2a, run_table2b
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1200)
+ONE_MIX = [MIXES["H3"]]
+
+
+def test_figure4_structure_and_format():
+    result = run_figure4(scale=TINY, mixes=ONE_MIX, workers=1)
+    assert result.speedup("2D", "H3") == pytest.approx(1.0)
+    for config in ("3D", "3D-wide", "3D-fast"):
+        assert result.speedup(config, "H3") > 0
+    text = result.format()
+    assert "Figure 4" in text
+    assert "H3" in text and "3D-fast" in text and "GM(all)" in text
+
+
+def test_figure6a_structure():
+    result = run_figure6a(scale=TINY, mixes=ONE_MIX, workers=1)
+    assert result.gm("1MC-8R") == pytest.approx(1.0)
+    text = result.format()
+    assert "4MC-16R" in text and "+1M-L2" in text and "paper" in text
+
+
+def test_figure6b_structure():
+    result = run_figure6b(scale=TINY, mixes=ONE_MIX, workers=1)
+    for family in ("2MC-8R", "4MC-16R"):
+        for entries in range(1, 5):
+            assert result.gm(f"{family}-{entries}RB") > 0
+    assert "row-buffer" in result.format()
+
+
+@pytest.mark.parametrize("panel", ["dual-mc", "quad-mc"])
+def test_figure7_structure(panel):
+    result = run_figure7(panel=panel, scale=TINY, mixes=ONE_MIX, workers=1)
+    assert result.improvement("2xMSHR", "H3") == pytest.approx(
+        (result.table.speedup("2xMSHR", "H3", "1x") - 1) * 100
+    )
+    text = result.format()
+    assert "Dynamic" in text and "8xMSHR" in text
+
+
+def test_figure7_rejects_unknown_panel():
+    with pytest.raises(ValueError):
+        run_figure7(panel="octo-mc", scale=TINY, mixes=ONE_MIX)
+
+
+def test_figure9_structure():
+    result = run_figure9(panel="quad-mc", scale=TINY, mixes=ONE_MIX, workers=1)
+    for variant in ("8xMSHR", "VBF", "Dynamic", "V+D"):
+        assert isinstance(result.improvement(variant, "H3"), float)
+    probes = result.vbf_probes_per_access("VBF")
+    assert probes >= 1.0
+    text = result.format()
+    assert "V+D" in text and "probes/access" in text
+
+
+def test_figure9_rejects_unknown_panel():
+    with pytest.raises(ValueError):
+        run_figure9(panel="none", scale=TINY, mixes=ONE_MIX)
+
+
+def test_table2a_measures_requested_benchmarks():
+    result = run_table2a(scale=TINY, benchmarks=["S.copy", "namd"])
+    assert set(result.mpki) == {"S.copy", "namd"}
+    # Stream misses far more than namd even at tiny scale.
+    assert result.mpki["S.copy"] > result.mpki["namd"]
+    text = result.format()
+    assert "Table 2(a)" in text and "paper" in text
+
+
+def test_table2b_structure():
+    result = run_table2b(scale=TINY, mixes=[MIXES["M3"]], workers=1)
+    assert result.hmipc["M3"] > 0
+    assert "Table 2(b)" in result.format()
+
+
+def test_figure4_chart_rendering():
+    result = run_figure4(scale=TINY, mixes=ONE_MIX, workers=1)
+    chart = result.chart(width=30)
+    assert "Figure 4" in chart
+    assert "3D-fast" in chart
+    assert "#" in chart
+
+
+def test_stack_study_structure():
+    from repro.experiments.stack_study import run_stack_study
+
+    result = run_stack_study(scale=TINY, mixes=ONE_MIX, workers=1)
+    assert result.gm("2D") == pytest.approx(1.0)
+    for name in ("2D+L3", "3D", "3D-fast", "quad-MC"):
+        assert result.gm(name) > 0
+    assert "cache vs memory" in result.format()
+
+
+def test_remaining_figures_have_charts():
+    r6a = run_figure6a(scale=TINY, mixes=ONE_MIX, workers=1)
+    assert "Figure 6(a)" in r6a.chart(width=20)
+    r6b = run_figure6b(scale=TINY, mixes=ONE_MIX, workers=1)
+    assert "row-buffer entries" in r6b.chart(width=20)
+    r7 = run_figure7(panel="dual-mc", scale=TINY, mixes=ONE_MIX, workers=1)
+    assert "dual-mc" in r7.chart(width=20)
+    r9 = run_figure9(panel="quad-mc", scale=TINY, mixes=ONE_MIX, workers=1)
+    assert "quad-mc" in r9.chart(width=20)

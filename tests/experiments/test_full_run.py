@@ -1,0 +1,41 @@
+"""Unit tests for the full-suite runner."""
+
+import pytest
+
+from repro.experiments.full_run import run_full_suite
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1000)
+
+
+def test_only_filter_and_output_dir(tmp_path):
+    reports = run_full_suite(
+        scale=TINY,
+        mixes=[MIXES["M3"]],
+        workers=1,
+        output_dir=str(tmp_path),
+        only=["figure4"],
+        progress=False,
+    )
+    assert list(reports) == ["figure4"]
+    assert "Figure 4" in reports["figure4"]
+    assert (tmp_path / "figure4.txt").read_text().startswith("Figure 4")
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="figure4"):
+        run_full_suite(only=["figure99"], progress=False)
+
+
+def test_two_experiments_in_order(tmp_path):
+    reports = run_full_suite(
+        scale=TINY,
+        mixes=[MIXES["M3"]],
+        workers=1,
+        only=["table2b", "ablation_scheduler"],
+        progress=False,
+    )
+    assert set(reports) == {"table2b", "ablation_scheduler"}
+    assert "Table 2(b)" in reports["table2b"]
+    assert "scheduler" in reports["ablation_scheduler"]

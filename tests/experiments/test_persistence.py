@@ -1,0 +1,64 @@
+"""Unit tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import load_table, save_table
+from repro.experiments.runner import ResultTable, run_matrix
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1000)
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.common.units import MIB
+
+    config = config_3d_fast().derive(
+        name="small", l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB
+    )
+    return run_matrix([config], [MIXES["M3"]], TINY, workers=1)
+
+
+def test_roundtrip_preserves_everything(tmp_path, table):
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    loaded = load_table(path)
+    assert loaded.configs == table.configs
+    assert loaded.mixes == table.mixes
+    original = table.result("small", "M3")
+    restored = loaded.result("small", "M3")
+    assert restored.hmipc == pytest.approx(original.hmipc)
+    assert restored.total_cycles == original.total_cycles
+    assert restored.dram_row_hit_rate == original.dram_row_hit_rate
+    assert [c.benchmark for c in restored.cores] == [
+        c.benchmark for c in original.cores
+    ]
+    assert restored.extra == original.extra
+
+
+def test_loaded_table_supports_analysis(tmp_path, table):
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    loaded = load_table(path)
+    assert loaded.speedup("small", "M3", "small") == pytest.approx(1.0)
+
+
+def test_version_check(tmp_path, table):
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    payload = json.loads(path.read_text())
+    payload["format_version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="version"):
+        load_table(path)
+
+
+def test_file_is_stable_json(tmp_path, table):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    save_table(table, a)
+    save_table(table, b)
+    assert a.read_text() == b.read_text()  # deterministic serialization

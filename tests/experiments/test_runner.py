@@ -1,0 +1,88 @@
+"""Unit tests for means, the result table, and the matrix runner."""
+
+import pytest
+
+from repro.common.units import MIB
+from repro.experiments.runner import (
+    ResultTable,
+    geometric_mean,
+    harmonic_mean,
+    run_matrix,
+)
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    assert geometric_mean([5]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_harmonic_mean():
+    assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+    assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        harmonic_mean([2, -1])
+
+
+TINY = ExperimentScale("tiny", 300, 1000)
+
+
+def _small(config, name):
+    return config.derive(
+        name=name, l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB
+    )
+
+
+@pytest.fixture(scope="module")
+def table():
+    configs = [
+        _small(config_3d_fast(), "base"),
+        _small(config_3d_fast().derive(memory_bus="tsv8"), "narrow"),
+    ]
+    mixes = [MIXES["M1"], MIXES["M3"]]
+    return run_matrix(configs, mixes, TINY, workers=1)
+
+
+def test_matrix_shape(table):
+    assert table.configs == ["base", "narrow"]
+    assert table.mixes == ["M1", "M3"]
+    assert len(table.cells) == 4
+
+
+def test_cells_have_results(table):
+    result = table.result("base", "M1")
+    assert result.hmipc > 0
+    assert result.config_name == "base"
+    assert result.workload == "M1"
+
+
+def test_speedup_self_is_one(table):
+    assert table.speedup("base", "M1", "base") == pytest.approx(1.0)
+
+
+def test_gm_speedup_filters_by_group(table):
+    gm_all = table.gm_speedup("narrow", "base")
+    gm_m = table.gm_speedup("narrow", "base", groups=("M",))
+    assert gm_all == pytest.approx(gm_m)  # all our mixes are group M
+
+
+def test_duplicate_config_names_rejected():
+    config = _small(config_3d_fast(), "dup")
+    with pytest.raises(ValueError):
+        run_matrix([config, config], [MIXES["M1"]], TINY, workers=1)
+
+
+def test_parallel_workers_match_serial():
+    configs = [_small(config_3d_fast(), "base")]
+    mixes = [MIXES["M3"]]
+    serial = run_matrix(configs, mixes, TINY, workers=1)
+    parallel = run_matrix(configs, mixes, TINY, workers=2)
+    assert serial.hmipc("base", "M3") == pytest.approx(
+        parallel.hmipc("base", "M3")
+    )

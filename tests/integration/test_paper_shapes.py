@@ -1,0 +1,191 @@
+"""Integration tests: the paper's qualitative results at reduced scale.
+
+These run real multi-core simulations (seconds each) and assert the
+*shape* of every headline result: orderings, crossovers, and who wins.
+Absolute magnitudes are checked loosely — the substrate is a scaled
+simulator, not the authors' testbed.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_matrix
+from repro.system.config import (
+    config_2d,
+    config_3d,
+    config_3d_fast,
+    config_3d_wide,
+    config_quad_mc,
+)
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+SCALE = ExperimentScale("shape", 2_000, 8_000)
+HV_MIXES = [MIXES["H1"], MIXES["VH2"]]
+
+
+@pytest.fixture(scope="module")
+def figure4_table():
+    configs = [config_2d(), config_3d(), config_3d_wide(), config_3d_fast()]
+    return run_matrix(
+        configs, HV_MIXES + [MIXES["M3"]], SCALE, workers=1
+    )
+
+
+def test_figure4_ordering_holds_on_memory_intensive_mixes(figure4_table):
+    for mix in ("H1", "VH2"):
+        s3d = figure4_table.speedup("3D", mix, "2D")
+        wide = figure4_table.speedup("3D-wide", mix, "2D")
+        fast = figure4_table.speedup("3D-fast", mix, "2D")
+        assert 1.0 < s3d < wide < fast, (mix, s3d, wide, fast)
+
+
+def test_figure4_3d_fast_wins_big_on_memory_intensive(figure4_table):
+    # Paper: 2.17x GM; we accept anything clearly >1.5x.
+    gm = figure4_table.gm_speedup("3D-fast", "2D", groups=("H", "VH"))
+    assert gm > 1.5
+
+
+def test_figure4_moderate_mixes_benefit_less(figure4_table):
+    fast_m = figure4_table.speedup("3D-fast", "M3", "2D")
+    fast_vh = figure4_table.speedup("3D-fast", "VH2", "2D")
+    assert fast_m < fast_vh
+    assert fast_m < 2.0  # "these programs spend less time waiting on memory"
+
+
+@pytest.fixture(scope="module")
+def figure6_table():
+    base = config_3d_fast()
+    configs = [
+        base.derive(name="1MC-8R"),
+        base.derive(name="4MC-16R", num_mcs=4, total_ranks=16),
+        base.derive(name="1MC-16R", total_ranks=16),
+        base.derive(
+            name="4MC-16R-4RB", num_mcs=4, total_ranks=16, row_buffer_entries=4
+        ),
+        base.derive(
+            name="4MC-16R-2RB", num_mcs=4, total_ranks=16, row_buffer_entries=2
+        ),
+    ]
+    return run_matrix(configs, HV_MIXES, SCALE, workers=1)
+
+
+def test_figure6a_more_mcs_beats_more_ranks(figure6_table):
+    mc_gain = figure6_table.gm_speedup("4MC-16R", "1MC-8R")
+    rank_gain = figure6_table.gm_speedup("1MC-16R", "1MC-8R")
+    assert mc_gain > 1.02
+    assert mc_gain > rank_gain
+
+
+def test_figure6b_row_buffer_entries_help_with_diminishing_returns(
+    figure6_table,
+):
+    """Row-buffer cache entries help (a little, here) and never hurt.
+
+    Our synthetic workloads hit in the row buffers far more often than
+    the paper's real applications (first-touch allocation de-conflicts
+    concurrent streams), so the absolute gain is much smaller than the
+    paper's +41%; the *shape* — entry #2 carries whatever benefit
+    exists, entries #3/#4 add nearly nothing — still holds.  See
+    EXPERIMENTS.md.
+    """
+    one = figure6_table.gm_speedup("4MC-16R", "1MC-8R")
+    two = figure6_table.gm_speedup("4MC-16R-2RB", "1MC-8R")
+    four = figure6_table.gm_speedup("4MC-16R-4RB", "1MC-8R")
+    assert two > one * 0.97  # the first extra entry helps (or is neutral)
+    assert four >= two * 0.97  # more entries never hurt much
+    # Most of whatever row-buffer benefit exists comes from entry #2.
+    assert (two - one) > (four - two) - 0.05
+
+
+@pytest.fixture(scope="module")
+def figure7_table():
+    base = config_quad_mc()
+    per_bank = base.l2_mshr_per_bank
+    configs = [
+        base.derive(name="1x"),
+        base.derive(name="4x", l2_mshr_per_bank=per_bank * 4),
+        base.derive(name="8x", l2_mshr_per_bank=per_bank * 8),
+    ]
+    return run_matrix(configs, HV_MIXES, SCALE, workers=1)
+
+
+def test_figure7_bigger_mshrs_help_memory_intensive(figure7_table):
+    assert figure7_table.gm_speedup("4x", "1x") > 1.05
+
+
+def test_figure7_8x_saturates(figure7_table):
+    gain_4x = figure7_table.gm_speedup("4x", "1x")
+    gain_8x = figure7_table.gm_speedup("8x", "1x")
+    # 8x adds little beyond 4x (paper: "no significant additional benefit").
+    assert gain_8x < gain_4x * 1.10
+
+
+@pytest.fixture(scope="module")
+def figure9_table():
+    base = config_quad_mc()
+    big = base.l2_mshr_per_bank * 8
+    configs = [
+        base.derive(name="ideal-8x", l2_mshr_per_bank=big),
+        base.derive(
+            name="vbf-8x", l2_mshr_per_bank=big, l2_mshr_organization="vbf"
+        ),
+        base.derive(
+            name="linear-8x", l2_mshr_per_bank=big,
+            l2_mshr_organization="direct-mapped",
+        ),
+    ]
+    return run_matrix(configs, HV_MIXES, SCALE, workers=1)
+
+
+def test_figure9_vbf_matches_ideal_cam(figure9_table):
+    # "we achieve performance that is about the same as the ideal (and
+    # impractical) single-cycle, fully-associative traditional MSHR."
+    ratio = figure9_table.gm_speedup("vbf-8x", "ideal-8x")
+    assert ratio > 0.95
+
+
+def test_figure9_vbf_beats_plain_linear_probing(figure9_table):
+    assert (
+        figure9_table.gm_speedup("vbf-8x", "ideal-8x")
+        >= figure9_table.gm_speedup("linear-8x", "ideal-8x")
+    )
+
+
+def test_figure9_vbf_probe_counts_are_small(figure9_table):
+    # Paper: 2.21-2.31 probes per access including the mandatory first.
+    for mix in ("H1", "VH2"):
+        vbf_probes = figure9_table.result("vbf-8x", mix).mshr_avg_probes
+        linear_probes = figure9_table.result("linear-8x", mix).mshr_avg_probes
+        assert 1.0 <= vbf_probes <= 4.0
+        assert vbf_probes <= linear_probes
+
+
+def test_scalable_mha_matters_far_less_on_2d():
+    """Section 5's closing check: on off-chip memory, other bottlenecks
+    (the FSB) dominate, so the scalable MHA buys far less than on the
+    3D-stacked organizations.  Our 2D baseline retains some MSHR
+    sensitivity (see EXPERIMENTS.md), so we assert the *relative* claim.
+    """
+    mixes = [MIXES["H1"], MIXES["VH2"]]
+    flat = config_2d()
+    dual = config_quad_mc().derive(
+        name="dual", num_mcs=2, total_ranks=8
+    )
+    configs = [
+        flat.derive(name="2d-base"),
+        flat.derive(
+            name="2d-vbf-dyn", l2_mshr_per_bank=64,
+            l2_mshr_organization="vbf", l2_mshr_dynamic=True,
+        ),
+        dual.derive(name="dual-base"),
+        dual.derive(
+            name="dual-vbf-dyn",
+            l2_mshr_per_bank=dual.l2_mshr_per_bank * 8,
+            l2_mshr_organization="vbf", l2_mshr_dynamic=True,
+        ),
+    ]
+    table = run_matrix(configs, mixes, SCALE, workers=1)
+    gain_2d = table.gm_speedup("2d-vbf-dyn", "2d-base")
+    gain_3d = table.gm_speedup("dual-vbf-dyn", "dual-base")
+    assert gain_3d > gain_2d * 1.15
+    assert gain_2d < 1.5  # never a dramatic win off-chip

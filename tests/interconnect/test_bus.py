@@ -1,0 +1,101 @@
+"""Unit and property tests for the occupancy-modelled bus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.bus import Bus
+from repro.interconnect.links import offchip_fsb, tsv_bus
+
+
+def test_occupancy_scales_with_size_and_width():
+    bus = Bus(width_bytes=8, cycles_per_beat=2)
+    assert bus.occupancy_cycles(64) == 16
+    assert bus.occupancy_cycles(8) == 2
+    assert bus.occupancy_cycles(1) == 2  # rounds up to one beat
+
+
+def test_transfer_returns_start_and_arrival():
+    bus = Bus(width_bytes=8, cycles_per_beat=1, wire_latency=5)
+    start, arrival = bus.transfer(64, earliest_start=100)
+    assert start == 100
+    assert arrival == 100 + 8 + 5
+
+
+def test_back_to_back_transfers_queue():
+    bus = Bus(width_bytes=8, cycles_per_beat=1)
+    bus.transfer(64, earliest_start=0)
+    start, arrival = bus.transfer(64, earliest_start=0)
+    assert start == 8
+    assert arrival == 16
+    assert bus.free_at == 16
+
+
+def test_gap_leaves_bus_idle():
+    bus = Bus(width_bytes=8, cycles_per_beat=1)
+    bus.transfer(8, earliest_start=0)
+    start, _ = bus.transfer(8, earliest_start=100)
+    assert start == 100
+
+
+def test_peek_does_not_reserve():
+    bus = Bus(width_bytes=8, cycles_per_beat=1)
+    before = bus.peek_arrival(64, 0)
+    assert bus.free_at == 0
+    start, arrival = bus.transfer(64, 0)
+    assert arrival == before
+
+
+def test_stats_and_utilization():
+    bus = Bus(width_bytes=8, cycles_per_beat=1)
+    bus.transfer(64, 0)
+    bus.transfer(64, 0)  # queues 8 cycles
+    assert bus.stats.get("transfers") == 2
+    assert bus.stats.get("busy_cycles") == 16
+    assert bus.stats.get("queue_cycles") == 8
+    assert bus.utilization(32) == 0.5
+
+
+def test_link_presets_match_paper():
+    fsb = offchip_fsb()
+    # 64-bit at 1.666 GT/s: 8 bytes every 2 CPU cycles; 64 B line = 16.
+    assert fsb.occupancy_cycles(64) == 16
+    assert fsb.wire_latency > 0
+    narrow = tsv_bus(8)
+    wide = tsv_bus(64)
+    assert narrow.occupancy_cycles(64) == 8
+    assert wide.occupancy_cycles(64) == 1
+    assert wide.wire_latency == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(width_bytes=0), dict(width_bytes=8, cycles_per_beat=0),
+     dict(width_bytes=8, wire_latency=-1)],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        Bus(**kwargs)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=256),  # size
+            st.integers(min_value=0, max_value=1000),  # earliest start
+        ),
+        max_size=50,
+    )
+)
+def test_property_transfers_never_overlap(transfers):
+    bus = Bus(width_bytes=8, cycles_per_beat=2)
+    intervals = []
+    for size, earliest in transfers:
+        start, arrival = bus.transfer(size, earliest)
+        end = start + bus.occupancy_cycles(size)
+        assert start >= earliest
+        assert arrival == end + bus.wire_latency
+        intervals.append((start, end))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1, "bus transfers overlapped"

@@ -1,0 +1,100 @@
+"""Property tests for the memory schedulers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.request import AccessType, MemoryRequest
+from repro.dram.device import DramDevice
+from repro.dram.timing import ddr2_commodity
+from repro.memctrl.mapping import AddressMapping
+from repro.memctrl.queue import MrqEntry
+from repro.memctrl.schedulers import (
+    FcfsScheduler,
+    FrFcfsScheduler,
+    WriteDrainScheduler,
+)
+
+MAPPING = AddressMapping(num_mcs=1, ranks_per_mc=2, banks_per_rank=4)
+
+
+def _entries(spec):
+    """spec: list of (page, arrival, is_write)."""
+    out = []
+    for page, arrival, is_write in spec:
+        access = AccessType.WRITEBACK if is_write else AccessType.READ
+        request = MemoryRequest(page * 4096, access)
+        out.append(MrqEntry(request, MAPPING.decompose(page * 4096), arrival))
+    return out
+
+
+entry_specs = st.lists(
+    st.tuples(
+        st.integers(0, 31),  # page
+        st.integers(0, 1000),  # arrival
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=80)
+@given(spec=entry_specs)
+def test_every_scheduler_picks_from_the_ready_list(spec):
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=4)
+    ready = _entries(spec)
+    for scheduler in (FcfsScheduler(), FrFcfsScheduler(), WriteDrainScheduler()):
+        chosen = scheduler.select(list(ready), device, now=2000)
+        assert chosen in ready
+
+
+@settings(max_examples=80)
+@given(spec=entry_specs)
+def test_fcfs_is_arrival_minimal(spec):
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=4)
+    ready = _entries(spec)
+    chosen = FcfsScheduler().select(ready, device, now=2000)
+    assert chosen.arrival == min(e.arrival for e in ready)
+
+
+@settings(max_examples=60)
+@given(spec=entry_specs, opened_pages=st.sets(st.integers(0, 31), max_size=8))
+def test_frfcfs_prefers_hits_when_any_exist(spec, opened_pages):
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=4)
+    for page in opened_pages:
+        coords = MAPPING.decompose(page * 4096)
+        device.access(coords.rank, coords.bank, coords.row,
+                      start=10_000_000, is_write=False)
+    ready = _entries(spec)
+    chosen = FrFcfsScheduler().select(ready, device, now=2000)
+    hits = [
+        e for e in ready
+        if device.is_row_open(e.coords.rank, e.coords.bank, e.coords.row)
+    ]
+    if hits:
+        assert chosen in hits
+        assert chosen.arrival == min(e.arrival for e in hits)
+    else:
+        assert chosen.arrival == min(e.arrival for e in ready)
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 10_000))
+def test_writedrain_eventually_serves_everything(seed):
+    """Under random mixed traffic the drain state machine starves nobody."""
+    rng = random.Random(seed)
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=4)
+    scheduler = WriteDrainScheduler(high_watermark=4, low_watermark=1)
+    pending = _entries(
+        [(rng.randrange(32), i, rng.random() < 0.5) for i in range(24)]
+    )
+    served = []
+    now = 0
+    while pending:
+        chosen = scheduler.select(pending, device, now)
+        pending.remove(chosen)
+        served.append(chosen)
+        now += 10
+    assert len(served) == 24

@@ -1,0 +1,122 @@
+"""Unit tests for memory access schedulers."""
+
+import pytest
+
+from repro.common.request import AccessType, MemoryRequest
+from repro.dram.device import DramDevice
+from repro.dram.timing import ddr2_commodity
+from repro.memctrl.mapping import AddressMapping
+from repro.memctrl.queue import MrqEntry
+from repro.memctrl.schedulers import FcfsScheduler, FrFcfsScheduler, make_scheduler
+
+
+def _entry(addr, arrival, mapping):
+    request = MemoryRequest(addr, AccessType.READ)
+    return MrqEntry(request, mapping.decompose(addr), arrival)
+
+
+@pytest.fixture()
+def setup():
+    mapping = AddressMapping(num_mcs=1, ranks_per_mc=2, banks_per_rank=2)
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=2)
+    return mapping, device
+
+
+def test_fcfs_picks_oldest(setup):
+    mapping, device = setup
+    entries = [_entry(0x3000, 10, mapping), _entry(0x1000, 5, mapping)]
+    assert FcfsScheduler().select(entries, device, now=100).arrival == 5
+
+
+def test_frfcfs_prefers_open_row(setup):
+    mapping, device = setup
+    older = _entry(0x1000, 5, mapping)
+    newer = _entry(0x5000, 10, mapping)
+    # Open the row that `newer` targets.
+    c = newer.coords
+    device.access(c.rank, c.bank, c.row, start=10_000_000, is_write=False)
+    chosen = FrFcfsScheduler().select([older, newer], device, now=100)
+    assert chosen is newer
+
+
+def test_frfcfs_falls_back_to_oldest_without_hits(setup):
+    mapping, device = setup
+    older = _entry(0x1000, 5, mapping)
+    newer = _entry(0x5000, 10, mapping)
+    chosen = FrFcfsScheduler().select([older, newer], device, now=100)
+    assert chosen is older
+
+
+def test_frfcfs_oldest_hit_among_several(setup):
+    mapping, device = setup
+    entries = [_entry(0x1000, 5, mapping), _entry(0x5000, 1, mapping)]
+    for entry in entries:
+        c = entry.coords
+        device.access(c.rank, c.bank, c.row, start=10_000_000, is_write=False)
+    chosen = FrFcfsScheduler().select(entries, device, now=100)
+    assert chosen.arrival == 1
+
+
+def test_factory():
+    from repro.memctrl.schedulers import WriteDrainScheduler
+
+    assert isinstance(make_scheduler("fcfs"), FcfsScheduler)
+    assert isinstance(make_scheduler("fr-fcfs"), FrFcfsScheduler)
+    assert isinstance(make_scheduler("frfcfs-writedrain"), WriteDrainScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("magic")
+
+
+def _write_entry(addr, arrival, mapping):
+    from repro.common.request import AccessType, MemoryRequest
+    from repro.memctrl.queue import MrqEntry
+
+    request = MemoryRequest(addr, AccessType.WRITEBACK)
+    return MrqEntry(request, mapping.decompose(addr), arrival)
+
+
+def test_writedrain_prefers_reads_below_watermark(setup):
+    from repro.memctrl.schedulers import WriteDrainScheduler
+
+    mapping, device = setup
+    scheduler = WriteDrainScheduler(high_watermark=3, low_watermark=1)
+    read = _entry(0x1000, 10, mapping)
+    write = _write_entry(0x2000, 1, mapping)  # older than the read
+    chosen = scheduler.select([read, write], device, now=50)
+    assert chosen is read
+
+
+def test_writedrain_bursts_when_backlog_high(setup):
+    from repro.memctrl.schedulers import WriteDrainScheduler
+
+    mapping, device = setup
+    scheduler = WriteDrainScheduler(high_watermark=2, low_watermark=0)
+    read = _entry(0x1000, 10, mapping)
+    writes = [_write_entry(0x2000 + i * 0x1000, i, mapping) for i in range(3)]
+    # Backlog above the high watermark: drain mode serves writes even
+    # though a read is pending, and keeps draining next time.
+    first = scheduler.select([read] + writes, device, now=50)
+    assert first.request.is_write
+    second = scheduler.select([read] + writes[1:], device, now=60)
+    assert second.request.is_write
+    # Down at the low watermark the read wins again.
+    third = scheduler.select([read, writes[2]], device, now=70)
+    assert third is read or third.request.is_write  # depends on watermark
+    drained = scheduler.select([read], device, now=80)
+    assert drained is read
+
+
+def test_writedrain_serves_writes_when_no_reads(setup):
+    from repro.memctrl.schedulers import WriteDrainScheduler
+
+    mapping, device = setup
+    scheduler = WriteDrainScheduler()
+    write = _write_entry(0x2000, 1, mapping)
+    assert scheduler.select([write], device, now=10) is write
+
+
+def test_writedrain_watermark_validation():
+    from repro.memctrl.schedulers import WriteDrainScheduler
+
+    with pytest.raises(ValueError):
+        WriteDrainScheduler(high_watermark=2, low_watermark=2)

@@ -1,0 +1,120 @@
+"""Unit tests for the dynamic MSHR capacity tuner."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.mshr.conventional import ConventionalMshr
+from repro.mshr.dynamic import CAPACITY_FRACTIONS, DynamicMshrTuner
+
+
+class FakeProgress:
+    """Scripted committed-micro-op curve: a chosen limit is 'best'."""
+
+    def __init__(self, files, best_limit, rate_best=100.0, rate_other=10.0):
+        self.files = files
+        self.best_limit = best_limit
+        self.rate_best = rate_best
+        self.rate_other = rate_other
+        self.total = 0.0
+        self.last_read = 0
+
+    def reader(self, engine):
+        def read():
+            elapsed = engine.now - self.last_read
+            self.last_read = engine.now
+            current = self.files[0].capacity_limit
+            rate = self.rate_best if current == self.best_limit else self.rate_other
+            self.total += elapsed * rate
+            return self.total
+
+        return read
+
+
+def _tuner(engine, files, reader, **kwargs):
+    return DynamicMshrTuner(
+        engine, files, reader, sample_cycles=100, epoch_cycles=1000, **kwargs
+    )
+
+
+def test_candidate_limits_are_paper_fractions():
+    engine = Engine()
+    file = ConventionalMshr(64)
+    tuner = _tuner(engine, [file], lambda: 0.0)
+    assert tuner._candidate_limits(64) == [64, 32, 16]
+    assert tuple(CAPACITY_FRACTIONS) == (1.0, 0.5, 0.25)
+
+
+def test_training_tries_every_setting():
+    engine = Engine()
+    file = ConventionalMshr(64)
+    seen = []
+    original = file.set_capacity_limit
+
+    def spy(limit):
+        seen.append(limit)
+        original(limit)
+
+    file.set_capacity_limit = spy
+    tuner = _tuner(engine, [file], lambda: float(engine.now))
+    tuner.start()
+    engine.run(until=350)
+    assert seen[:3] == [64, 32, 16]
+
+
+def test_tuner_picks_scripted_best_setting():
+    engine = Engine()
+    file = ConventionalMshr(64)
+    progress = FakeProgress([file], best_limit=16)
+    tuner = _tuner(engine, [file], progress.reader(engine))
+    tuner.start()
+    engine.run(until=400)  # past the 3 samples
+    assert tuner.chosen_limit == 16
+    assert file.capacity_limit == 16
+
+
+def test_tuner_retrains_each_epoch():
+    engine = Engine()
+    file = ConventionalMshr(64)
+    progress = FakeProgress([file], best_limit=64)
+    tuner = _tuner(engine, [file], progress.reader(engine))
+    tuner.start()
+    engine.run(until=5000)
+    assert tuner.trainings >= 2
+    assert all(choice == 64 for choice in tuner.selections)
+
+
+def test_all_files_resized_together():
+    engine = Engine()
+    files = [ConventionalMshr(32), ConventionalMshr(32)]
+    progress = FakeProgress(files, best_limit=8)
+    tuner = _tuner(engine, files, progress.reader(engine))
+    tuner.start()
+    engine.run(until=400)
+    assert all(f.capacity_limit == 8 for f in files)
+
+
+def test_start_is_idempotent():
+    engine = Engine()
+    file = ConventionalMshr(8)
+    tuner = _tuner(engine, [file], lambda: 0.0)
+    tuner.start()
+    tuner.start()
+    engine.run(until=350)
+    assert tuner.trainings == 1
+
+
+def test_validation():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        DynamicMshrTuner(engine, [], lambda: 0.0)
+    with pytest.raises(ValueError):
+        DynamicMshrTuner(
+            engine, [ConventionalMshr(8)], lambda: 0.0, sample_cycles=0
+        )
+
+
+def test_small_file_limits_deduplicate():
+    # capacity 2: fractions give [2, 1] (0.5 and 0.25 both round to 1).
+    engine = Engine()
+    tuner = _tuner(engine, [ConventionalMshr(2)], lambda: 0.0)
+    assert tuner._limits == [2, 1]

@@ -1,0 +1,63 @@
+"""Unit tests specific to the hierarchical (Tuck-style) MSHR."""
+
+from repro.mshr.hierarchical import HierarchicalMshr
+
+LINE = 64
+
+
+def _lines_for_bank(mshr, bank, count):
+    """Line addresses that hash to one bank."""
+    found = []
+    n = 0
+    while len(found) < count:
+        if (n % mshr.num_banks) == bank:
+            found.append(n * LINE)
+        n += 1
+    return found
+
+
+def test_bank_allocation_costs_one_probe():
+    mshr = HierarchicalMshr(bank_capacity=2, num_banks=2, shared_capacity=2)
+    entry, probes = mshr.allocate(0 * LINE)
+    assert entry is not None
+    assert probes == 1
+
+
+def test_overflow_goes_to_shared_level():
+    mshr = HierarchicalMshr(bank_capacity=1, num_banks=2, shared_capacity=2)
+    bank0 = _lines_for_bank(mshr, 0, 3)
+    assert mshr.allocate(bank0[0])[0] is not None  # fills bank 0
+    entry, probes = mshr.allocate(bank0[1])  # overflows to shared
+    assert entry is not None
+    assert probes == 2
+    found, probes = mshr.search(bank0[1])
+    assert found is entry
+    assert probes == 2
+
+
+def test_bank_conflict_with_full_shared_rejects():
+    mshr = HierarchicalMshr(bank_capacity=1, num_banks=2, shared_capacity=1)
+    bank0 = _lines_for_bank(mshr, 0, 3)
+    assert mshr.allocate(bank0[0])[0] is not None
+    assert mshr.allocate(bank0[1])[0] is not None  # shared
+    rejected, _ = mshr.allocate(bank0[2])
+    assert rejected is None
+    # The aggregate file is NOT full — another bank still has room.
+    assert not mshr.is_full
+    bank1 = _lines_for_bank(mshr, 1, 1)
+    assert mshr.allocate(bank1[0])[0] is not None
+
+
+def test_deallocate_from_shared():
+    mshr = HierarchicalMshr(bank_capacity=1, num_banks=2, shared_capacity=1)
+    bank0 = _lines_for_bank(mshr, 0, 2)
+    mshr.allocate(bank0[0])
+    mshr.allocate(bank0[1])
+    probes = mshr.deallocate(bank0[1])
+    assert probes == 2
+    assert mshr.occupancy == 1
+
+
+def test_capacity_is_aggregate():
+    mshr = HierarchicalMshr(bank_capacity=2, num_banks=4, shared_capacity=3)
+    assert mshr.capacity == 2 * 4 + 3

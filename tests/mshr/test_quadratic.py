@@ -1,0 +1,85 @@
+"""Unit tests for the quadratic-probing MSHR (paper footnote 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mshr.quadratic import QuadraticMshr
+from repro.mshr.vbf_mshr import VbfMshr
+
+LINE = 64
+
+
+def test_probe_sequence_is_triangular():
+    mshr = QuadraticMshr(8)
+    slots = [slot for _, slot in mshr._probe_sequence(0)]
+    # home 0: offsets 0, 1, 3, 6, 10, 15, 21, 28 (mod 8)
+    assert slots == [0, 1, 3, 6, 2, 7, 5, 4]
+
+
+def test_probe_sequence_covers_all_slots():
+    for capacity in (4, 8, 16, 32):
+        mshr = QuadraticMshr(capacity)
+        slots = {slot for _, slot in mshr._probe_sequence(5 * LINE)}
+        assert len(slots) == capacity
+
+
+def test_requires_power_of_two_capacity():
+    with pytest.raises(ValueError):
+        QuadraticMshr(12)
+
+
+def test_conflicting_allocations_spread_quadratically():
+    mshr = QuadraticMshr(8)
+    # Three lines with the same home (0): slots 0, 1, 3.
+    for n in (0, 8, 16):
+        entry, _ = mshr.allocate(n * LINE)
+        assert entry is not None
+    assert mshr._slots[0] is not None
+    assert mshr._slots[1] is not None
+    assert mshr._slots[3] is not None
+
+
+def test_search_and_deallocate():
+    mshr = QuadraticMshr(8)
+    mshr.allocate(0 * LINE)
+    mshr.allocate(8 * LINE)
+    found, probes = mshr.search(8 * LINE)
+    assert found is not None
+    assert probes == 2  # home then first quadratic step
+    assert mshr.deallocate(8 * LINE) == 2
+    found, _ = mshr.search(8 * LINE)
+    assert found is None
+
+
+def test_fills_to_capacity():
+    mshr = QuadraticMshr(8)
+    for n in range(8):
+        entry, _ = mshr.allocate(n * 8 * LINE)  # all home 0
+        assert entry is not None
+    assert mshr.occupancy == 8
+    rejected, _ = mshr.allocate(999 * LINE)
+    assert rejected is None
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(0, 40).map(lambda n: n * LINE)),
+                max_size=50))
+def test_membership_agrees_with_vbf_variant(operations):
+    """Footnote 2's claim: secondary hashing changes probes, not results."""
+    quad = QuadraticMshr(8)
+    vbf = VbfMshr(8)
+    members = set()
+    for is_alloc, line in operations:
+        if is_alloc and line not in members and len(members) < 8:
+            assert quad.allocate(line)[0] is not None
+            assert vbf.allocate(line)[0] is not None
+            members.add(line)
+        elif not is_alloc and line in members:
+            quad.deallocate(line)
+            vbf.deallocate(line)
+            members.remove(line)
+        for member in members:
+            assert quad.search(member)[0] is not None
+            assert vbf.search(member)[0] is not None

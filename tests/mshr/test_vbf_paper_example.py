@@ -1,0 +1,96 @@
+"""The exact Figure 8 walkthrough from the paper, step by step.
+
+Addresses 13, 22, 29 and 45 in an 8-entry direct-mapped MSHR; home index
+is ``address mod 8`` (we shift line numbers into line addresses since the
+MSHR hashes line numbers).
+"""
+
+from repro.mshr.vbf_mshr import VbfMshr
+
+LINE = 64
+
+
+def line(addr_number: int) -> int:
+    return addr_number * LINE
+
+
+def test_figure8_full_walkthrough():
+    mshr = VbfMshr(8, line_size=LINE)
+    vbf = mshr.vbf
+
+    # (a) Miss on address 13: 13 mod 8 = 5; allocate entry 5; VBF row 5
+    # gets a 1 in column 0.
+    entry13, _ = mshr.allocate(line(13))
+    assert entry13 is not None
+    assert mshr.home_index(line(13)) == 5
+    assert vbf.test(5, 0)
+
+    # (b) Miss on address 22 -> index 6; allocate entry 6; row 6 column 0.
+    entry22, _ = mshr.allocate(line(22))
+    assert entry22 is not None
+    assert vbf.test(6, 0)
+
+    # (c) Address 29 also maps to index 5.  Entry 5 is used, entry 6 is
+    # used, so the next sequentially available entry is 7 — two positions
+    # from the default, so row 5 column 2 is set.
+    entry29, _ = mshr.allocate(line(29))
+    assert entry29 is not None
+    assert vbf.test(5, 2)
+    # A subsequent miss for address 45 maps to the same set and gets
+    # entry 0 (displacement 3).
+    entry45, _ = mshr.allocate(line(45))
+    assert entry45 is not None
+    assert vbf.test(5, 3)
+
+    # (d) Search for 29: probe entry 5 and the VBF in parallel (one
+    # probe), miss, VBF says next candidate is two away -> probe entry 7,
+    # hit.  Two probes total.
+    found, probes = mshr.search(line(29))
+    assert found is entry29
+    assert probes == 2
+
+    # (e) Deallocate 29: invalidate the entry and clear row 5 column 2.
+    mshr.deallocate(line(29))
+    assert not vbf.test(5, 2)
+
+    # (f) Search for 45: probe 5 (miss), next set bit is column 3 ->
+    # check entry 5 + 3 = 0, hit.  With only linear probing this would
+    # have taken four probes (5, 6, 7, 0); the VBF needs two (5 and 0).
+    found, probes = mshr.search(line(45))
+    assert found is entry45
+    assert probes == 2
+
+
+def test_linear_probing_comparison_needs_four_probes():
+    """The paper's comparison point: plain linear probing takes 4 probes."""
+    from repro.mshr.direct_mapped import DirectMappedMshr
+
+    mshr = DirectMappedMshr(8, line_size=LINE)
+    for number in (13, 22, 29, 45):
+        entry, _ = mshr.allocate(line(number))
+        assert entry is not None
+    mshr.deallocate(line(29))
+    found, probes = mshr.search(line(45))
+    assert found is not None
+    assert probes == 4  # checks entries 5, 6, 7, 0
+
+
+def test_empty_row_is_a_definite_miss_in_one_probe():
+    mshr = VbfMshr(8, line_size=LINE)
+    mshr.allocate(line(13))  # row 5 populated
+    found, probes = mshr.search(line(22))  # home 6, row empty
+    assert found is None
+    assert probes == 1
+
+
+def test_false_hit_probes_continue():
+    """A set bit can point at an entry from a different home (false hit)."""
+    mshr = VbfMshr(8, line_size=LINE)
+    mshr.allocate(line(13))  # home 5 -> slot 5
+    mshr.allocate(line(29))  # home 5 -> slot 6 (displacement 1)
+    # Address 21 has home 5 too but was never allocated; searching for it
+    # probes slot 5 (mismatch), then the displacement-1 candidate slot 6
+    # (mismatch: holds 29) and stops.  Miss after 2 probes.
+    found, probes = mshr.search(line(21))
+    assert found is None
+    assert probes == 2

@@ -1,0 +1,131 @@
+"""Model-based property tests: the VBF MSHR vs a dict reference model.
+
+The crucial Bloom-filter property: **no false negatives** — a search for
+an allocated line always finds it; a search for an absent line always
+reports a miss (possibly after false-hit probes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.mshr.direct_mapped import DirectMappedMshr
+from repro.mshr.vbf_mshr import VbfMshr
+
+LINE = 64
+
+lines = st.integers(min_value=0, max_value=40).map(lambda n: n * LINE)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.booleans(), lines), max_size=60))
+def test_vbf_matches_reference_model(operations):
+    mshr = VbfMshr(8, line_size=LINE)
+    model = {}
+    for is_alloc, line in operations:
+        if is_alloc and line not in model and len(model) < 8:
+            entry, _ = mshr.allocate(line)
+            assert entry is not None
+            model[line] = entry
+        elif not is_alloc and line in model:
+            mshr.deallocate(line)
+            del model[line]
+        # Invariants after every operation:
+        assert mshr.occupancy == len(model)
+        for known, entry in model.items():
+            found, probes = mshr.search(known)
+            assert found is entry, "false negative!"
+            assert 1 <= probes <= 8
+    # Absent lines always miss.
+    for line in set(range(0, 41 * LINE, LINE)) - set(model):
+        found, _ = mshr.search(line)
+        assert found is None
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.booleans(), lines), max_size=60))
+def test_vbf_and_linear_probe_agree_on_membership(operations):
+    """Both direct-mapped variants must agree with each other exactly."""
+    vbf = VbfMshr(8, line_size=LINE)
+    plain = DirectMappedMshr(8, line_size=LINE)
+    members = set()
+    for is_alloc, line in operations:
+        if is_alloc and line not in members and len(members) < 8:
+            assert vbf.allocate(line)[0] is not None
+            assert plain.allocate(line)[0] is not None
+            members.add(line)
+        elif not is_alloc and line in members:
+            vbf.deallocate(line)
+            plain.deallocate(line)
+            members.remove(line)
+        for line_addr in members:
+            assert vbf.search(line_addr)[0] is not None
+            assert plain.search(line_addr)[0] is not None
+
+
+@settings(max_examples=60)
+@given(st.lists(lines, min_size=1, max_size=8, unique=True))
+def test_vbf_probe_count_never_exceeds_linear_probing(allocations):
+    """The VBF is a pure accelerator: never more probes than linear scan."""
+    vbf = VbfMshr(8, line_size=LINE)
+    plain = DirectMappedMshr(8, line_size=LINE)
+    for line in allocations:
+        vbf.allocate(line)
+        plain.allocate(line)
+    for line in allocations:
+        _, vbf_probes = vbf.search(line)
+        _, plain_probes = plain.search(line)
+        assert vbf_probes <= plain_probes
+    # And on misses, where linear probing must scan everything:
+    absent = 99 * LINE
+    _, vbf_probes = vbf.search(absent)
+    _, plain_probes = plain.search(absent)
+    assert vbf_probes <= plain_probes
+
+
+class VbfMachine(RuleBasedStateMachine):
+    """Stateful fuzz of allocate/search/deallocate interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.mshr = VbfMshr(8, line_size=LINE)
+        self.model = {}
+
+    @rule(line=lines)
+    def allocate(self, line):
+        if line in self.model or len(self.model) >= 8:
+            return
+        entry, probes = self.mshr.allocate(line)
+        assert entry is not None
+        assert probes >= 1
+        self.model[line] = entry
+
+    @rule(line=lines)
+    def search(self, line):
+        found, probes = self.mshr.search(line)
+        assert probes >= 1
+        if line in self.model:
+            assert found is self.model[line]
+        else:
+            assert found is None
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def deallocate(self, data):
+        line = data.draw(st.sampled_from(sorted(self.model)))
+        self.mshr.deallocate(line)
+        del self.model[line]
+
+    @invariant()
+    def occupancy_consistent(self):
+        assert self.mshr.occupancy == len(self.model)
+
+    @invariant()
+    def vbf_population_matches_occupancy(self):
+        total_bits = sum(
+            self.mshr.vbf.population(row) for row in range(8)
+        )
+        assert total_bits == len(self.model)
+
+
+TestVbfStateMachine = VbfMachine.TestCase

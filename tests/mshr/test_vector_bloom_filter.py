@@ -1,0 +1,78 @@
+"""Unit tests for the standalone Vector Bloom Filter structure."""
+
+import pytest
+
+from repro.mshr.vector_bloom_filter import VectorBloomFilter
+
+
+def test_set_test_clear():
+    vbf = VectorBloomFilter(8)
+    assert not vbf.test(3, 2)
+    vbf.set(3, 2)
+    assert vbf.test(3, 2)
+    vbf.clear(3, 2)
+    assert not vbf.test(3, 2)
+
+
+def test_row_empty():
+    vbf = VectorBloomFilter(8)
+    assert vbf.row_empty(0)
+    vbf.set(0, 5)
+    assert not vbf.row_empty(0)
+    vbf.clear(0, 5)
+    assert vbf.row_empty(0)
+
+
+def test_candidates_in_increasing_order():
+    vbf = VectorBloomFilter(8)
+    for d in (5, 0, 3):
+        vbf.set(2, d)
+    assert list(vbf.candidate_displacements(2)) == [0, 3, 5]
+
+
+def test_rows_are_independent():
+    vbf = VectorBloomFilter(4)
+    vbf.set(1, 2)
+    assert vbf.row_empty(0)
+    assert vbf.row_empty(2)
+    assert list(vbf.candidate_displacements(1)) == [2]
+
+
+def test_population():
+    vbf = VectorBloomFilter(8)
+    vbf.set(4, 1)
+    vbf.set(4, 6)
+    assert vbf.population(4) == 2
+    assert vbf.population(0) == 0
+
+
+def test_storage_cost_quote():
+    # "even for the largest per-bank MSHR size that we consider (32
+    # entries), the VBF bit-table only requires 128 bytes of state."
+    assert VectorBloomFilter(32).storage_bits == 32 * 32 == 1024
+    assert VectorBloomFilter(32).storage_bits // 8 == 128
+
+
+def test_bounds_checking():
+    vbf = VectorBloomFilter(4)
+    with pytest.raises(IndexError):
+        vbf.set(4, 0)
+    with pytest.raises(IndexError):
+        vbf.set(0, 4)
+    with pytest.raises(IndexError):
+        vbf.test(-1, 0)
+
+
+def test_needs_at_least_one_entry():
+    with pytest.raises(ValueError):
+        VectorBloomFilter(0)
+
+
+def test_idempotent_set_and_clear():
+    vbf = VectorBloomFilter(4)
+    vbf.set(1, 1)
+    vbf.set(1, 1)
+    assert vbf.population(1) == 1
+    vbf.clear(1, 1)
+    vbf.clear(1, 1)
+    assert vbf.population(1) == 0

@@ -1,0 +1,70 @@
+"""Unit tests for 3D stack geometry (Section 2.2/2.4 arithmetic)."""
+
+import pytest
+
+from repro.common.units import GIB
+from repro.stack3d.geometry import DramDensity, TsvSpec, plan_stack
+
+
+def test_1kb_bus_area_value():
+    # "Even at the high-end with a 10um TSV-pitch, a 1024-bit bus would
+    # only require an area of 0.32 mm^2."  Raw pitch-squared packing
+    # gives 1024 * (0.01 mm)^2 = 0.1024 mm^2 — the same order; the
+    # paper's 0.32 includes keep-out/routing overhead.
+    area = TsvSpec(pitch_um=10.0).bus_area_mm2(1024)
+    assert area == pytest.approx(0.1024, abs=1e-6)
+    assert 0.05 < area < 0.5
+
+
+def test_three_hundred_buses_per_cm2():
+    # "a 1cm^2 chip could support over three hundred of these 1Kb buses"
+    tsv = TsvSpec(pitch_um=10.0)
+    assert tsv.buses_per_die(100.0, bits=1024) >= 300
+
+
+def test_tsv_latency_scales_with_layers():
+    tsv = TsvSpec()
+    assert tsv.latency_ps(20) == pytest.approx(12.0)
+    assert tsv.latency_ps(10) == pytest.approx(6.0)
+    # Far below one 0.3 ns CPU cycle even for tall stacks.
+    assert tsv.latency_ps(20) / 1000.0 < 0.3
+
+
+def test_density_scaling_matches_paper():
+    density = DramDensity()
+    # 10.9 Mb/mm^2 at 80 nm -> 27.9 Mb/mm^2 at 50 nm.
+    assert density.mbit_per_mm2(80.0) == pytest.approx(10.9)
+    assert density.mbit_per_mm2(50.0) == pytest.approx(27.9, abs=0.1)
+
+
+def test_1gib_layer_footprint_matches_paper():
+    # "we assume 1GB per layer, which implies an overall per-layer
+    # footprint requirement of 294 mm^2"
+    area = DramDensity().area_for_bytes(1 * GIB, node_nm=50.0)
+    assert area == pytest.approx(294, abs=15)
+
+
+def test_plan_stack_for_8gib():
+    plan = plan_stack(8 * GIB, 1 * GIB, true_3d=True)
+    assert plan.memory_layers == 8
+    assert plan.logic_layers == 1
+    assert plan.total_layers == 9
+    assert plan.die_area_mm2 == pytest.approx(294, abs=15)
+
+
+def test_plan_stack_without_logic_layer():
+    plan = plan_stack(8 * GIB, 1 * GIB, true_3d=False)
+    assert plan.total_layers == 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TsvSpec(pitch_um=0)
+    with pytest.raises(ValueError):
+        TsvSpec().bus_area_mm2(0)
+    with pytest.raises(ValueError):
+        TsvSpec().latency_ps(0)
+    with pytest.raises(ValueError):
+        DramDensity().mbit_per_mm2(0)
+    with pytest.raises(ValueError):
+        plan_stack(100, 200)

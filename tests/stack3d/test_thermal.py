@@ -1,0 +1,99 @@
+"""Unit tests for the stack thermal model (Section 2.4's check)."""
+
+import pytest
+
+from repro.stack3d.thermal import (
+    DRAM_THERMAL_LIMIT_C,
+    StackThermalModel,
+    ThermalLayer,
+    default_stack,
+)
+
+
+def test_paper_configuration_stays_within_dram_limit():
+    # The paper's one thermal result: the worst-case temperature in the
+    # stack is within the Samsung SDRAM limit.
+    model = default_stack(num_dram_layers=8)
+    assert model.within_dram_limit()
+    assert model.max_dram_temperature() < DRAM_THERMAL_LIMIT_C
+
+
+def test_temperature_increases_away_from_sink():
+    temps = default_stack().temperatures()
+    assert temps == sorted(temps)
+
+
+def test_all_layers_above_ambient():
+    model = default_stack()
+    assert min(model.temperatures()) > model.ambient_c
+
+
+def test_more_cpu_power_heats_the_whole_stack():
+    cool = default_stack(cpu_power_w=50.0).temperatures()
+    hot = default_stack(cpu_power_w=120.0).temperatures()
+    assert all(h > c for h, c in zip(hot, cool))
+
+
+def test_more_dram_layers_raise_top_temperature():
+    short = default_stack(num_dram_layers=4).max_dram_temperature()
+    tall = default_stack(num_dram_layers=16).max_dram_temperature()
+    assert tall > short
+
+
+def test_extreme_power_violates_limit():
+    model = default_stack(cpu_power_w=400.0)
+    assert not model.within_dram_limit()
+
+
+def test_layer_count_matches_plan():
+    model = default_stack(num_dram_layers=8, include_logic_layer=True)
+    assert len(model.layers) == 10  # cpu + logic + 8 DRAM
+
+
+def test_total_power():
+    model = default_stack(
+        num_dram_layers=2, cpu_power_w=70, dram_layer_power_w=2,
+        logic_layer_power_w=3,
+    )
+    assert model.total_power_w == 77
+
+
+def test_requires_dram_layers_for_dram_check():
+    model = StackThermalModel()
+    model.add_layer(ThermalLayer("cpu", 50))
+    with pytest.raises(ValueError):
+        model.max_dram_temperature()
+
+
+def test_empty_stack_rejected():
+    with pytest.raises(ValueError):
+        StackThermalModel().temperatures()
+
+
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        ThermalLayer("x", power_w=-1)
+    with pytest.raises(ValueError):
+        ThermalLayer("x", power_w=1, interface_resistance_kmm2_w=0)
+
+
+def test_refresh_period_follows_temperature_buckets():
+    from repro.stack3d.thermal import refresh_period_for_temperature
+
+    assert refresh_period_for_temperature(70.0) == 64.0
+    assert refresh_period_for_temperature(85.0) == 64.0
+    assert refresh_period_for_temperature(90.0) == 32.0
+    assert refresh_period_for_temperature(100.0) == 16.0
+    with pytest.raises(ValueError):
+        refresh_period_for_temperature(120.0)
+
+
+def test_paper_stack_lands_in_the_32ms_bucket_when_hot():
+    """The on-stack 32 ms refresh assumption is self-consistent: a hot
+    (but in-spec) stack falls in the 85-95 C bucket."""
+    from repro.stack3d.thermal import refresh_period_for_temperature
+
+    hot_stack = default_stack(num_dram_layers=8, cpu_power_w=115.0)
+    temp = hot_stack.max_dram_temperature()
+    assert 85.0 < temp <= 95.0
+    assert refresh_period_for_temperature(temp) == 32.0

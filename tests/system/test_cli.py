@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIGS, build_parser, main
+
+
+def test_list_benchmarks(capsys):
+    assert main(["list", "benchmarks"]) == 0
+    out = capsys.readouterr().out
+    assert "S.copy" in out and "namd" in out and "paper MPKI" in out
+
+
+def test_list_mixes(capsys):
+    assert main(["list", "mixes"]) == 0
+    out = capsys.readouterr().out
+    assert "H1" in out and "VH1" in out and "S.all" in out
+
+
+def test_list_configs(capsys):
+    assert main(["list", "configs"]) == 0
+    out = capsys.readouterr().out
+    for name in CONFIGS:
+        assert name in out
+
+
+def test_run_smoke(capsys, monkeypatch):
+    # Shrink the smoke scale further for test speed.
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main(["run", "--config", "3d-fast", "--mix", "M3"]) == 0
+    out = capsys.readouterr().out
+    assert "HMIPC" in out
+    assert "row-hit rate" in out
+    assert "nJ/access" in out
+
+
+def test_figure4_via_cli(capsys, monkeypatch):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main(["figure", "4", "--mixes", "M3", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "3D-fast" in out
+
+
+def test_table2b_via_cli(capsys, monkeypatch):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main(["table", "2b", "--mixes", "M3", "--workers", "1"]) == 0
+    assert "Table 2(b)" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])
+
+
+def test_parser_rejects_unknown_config():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--config", "4d"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_custom_benchmarks(capsys, monkeypatch):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main([
+        "run", "--config", "3d-fast",
+        "--benchmarks", "gzip,namd,mesa,astar",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "custom" in out and "gzip" in out
+
+
+def test_run_custom_benchmarks_wrong_count():
+    with pytest.raises(SystemExit, match="4 names"):
+        main(["run", "--benchmarks", "gzip,namd"])
+
+
+def test_analyze_command(capsys, monkeypatch):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main(["analyze", "--config", "2d", "--mix", "M3"]) == 0
+    out = capsys.readouterr().out
+    assert "dominant pressure" in out
+    assert "HMIPC" in out
+
+
+def test_fairness_command(capsys, monkeypatch):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    assert main(["fairness", "--config", "3d-fast", "--mix", "M3"]) == 0
+    out = capsys.readouterr().out
+    assert "weighted speedup" in out

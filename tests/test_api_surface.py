@@ -1,0 +1,63 @@
+"""Public API surface checks: everything advertised is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.engine",
+    "repro.common",
+    "repro.dram",
+    "repro.memctrl",
+    "repro.interconnect",
+    "repro.cache",
+    "repro.mshr",
+    "repro.cpu",
+    "repro.workloads",
+    "repro.stack3d",
+    "repro.system",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} is advertised but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} lacks a module docstring"
+
+
+def test_top_level_quickstart_names():
+    import repro
+
+    for name in ("config_2d", "config_3d_fast", "run_workload",
+                 "Machine", "MIXES", "BENCHMARKS", "__version__"):
+        assert hasattr(repro, name)
+
+
+def test_every_public_module_has_docstring():
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    checked = 0
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ("__main__.py",):
+            continue
+        parts = path.relative_to(root).with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        module_name = ".".join(("repro",) + parts)
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        checked += 1
+    assert checked > 50  # the whole library really was swept

@@ -1,0 +1,63 @@
+"""Unit tests for the Table 2(b) workload mixes."""
+
+import pytest
+
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.mixes import (
+    MIX_ORDER,
+    MIXES,
+    WorkloadMix,
+    get_mix,
+    mixes_in_groups,
+)
+
+
+def test_twelve_mixes_in_four_groups():
+    assert len(MIXES) == 12
+    groups = {}
+    for mix in MIXES.values():
+        groups.setdefault(mix.group, []).append(mix.name)
+    assert {g: len(v) for g, v in groups.items()} == {
+        "H": 3, "VH": 3, "HM": 3, "M": 3,
+    }
+
+
+def test_mix_order_covers_all():
+    assert set(MIX_ORDER) == set(MIXES)
+
+
+def test_every_mix_has_four_known_benchmarks():
+    for mix in MIXES.values():
+        assert len(mix.benchmarks) == 4
+        assert all(b in BENCHMARKS for b in mix.benchmarks)
+
+
+def test_table2b_contents():
+    assert MIXES["H1"].benchmarks == ("S.all", "libquantum", "wupwise", "mcf")
+    assert MIXES["VH1"].benchmarks == ("S.all",) * 4
+    assert MIXES["M3"].benchmarks == ("mgrid", "mesa", "zeusmp", "namd")
+
+
+def test_paper_hmipc_recorded_and_ordered():
+    assert MIXES["VH2"].paper_hmipc == 0.058
+    assert MIXES["M3"].paper_hmipc == 1.523
+    # Group-level ordering: VH slowest, M fastest.
+    vh = max(m.paper_hmipc for m in MIXES.values() if m.group == "VH")
+    h = max(m.paper_hmipc for m in MIXES.values() if m.group == "H")
+    m_min = min(m.paper_hmipc for m in MIXES.values() if m.group == "M")
+    assert vh < h < m_min
+
+
+def test_mixes_in_groups_keeps_evaluation_order():
+    hv = mixes_in_groups("H", "VH")
+    assert [m.name for m in hv] == ["H1", "H2", "H3", "VH1", "VH2", "VH3"]
+
+
+def test_get_mix_error():
+    with pytest.raises(KeyError, match="H1"):
+        get_mix("Z9")
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError):
+        WorkloadMix("X", "H", ("S.all", "S.all", "S.all", "quake3"), 0.1)

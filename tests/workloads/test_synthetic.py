@@ -1,0 +1,187 @@
+"""Unit tests for the synthetic trace generators."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceItem
+from repro.workloads import synthetic as syn
+
+
+def _take(trace, n):
+    return list(itertools.islice(trace, n))
+
+
+def test_stream_copy_pattern():
+    items = _take(syn.stream_kernel(0, array_bytes=1024, reads_per_element=1,
+                                    writes_per_element=1, element_size=8), 8)
+    # Alternating read/write, lockstep over two arrays.
+    assert [i.is_write for i in items] == [False, True] * 4
+    assert items[0].addr == 0 and items[1].addr == 1024
+    assert items[2].addr == 8 and items[3].addr == 1024 + 8
+
+
+def test_stream_arrays_are_disjoint():
+    base = 1 << 20
+    items = _take(syn.stream_kernel(base, array_bytes=4096,
+                                    reads_per_element=2, writes_per_element=1), 300)
+    reads = {i.addr for i in items if not i.is_write}
+    writes = {i.addr for i in items if i.is_write}
+    assert all(base <= a < base + 8192 for a in reads)
+    assert all(base + 8192 <= a < base + 12288 for a in writes)
+
+
+def test_stream_wraps_after_full_sweep():
+    items = _take(syn.stream_kernel(0, array_bytes=64, reads_per_element=1,
+                                    writes_per_element=0, element_size=8), 16)
+    assert items[8].addr == items[0].addr
+
+
+def test_stream_all_rotates_kernels():
+    items = _take(syn.stream_all(0, array_bytes=512), 4000)
+    # All four kernel regions get touched.
+    regions = {i.addr // (4 * 512) for i in items}
+    assert len(regions) >= 4
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        next(syn.stream_kernel(0, 1024, 0, 0))
+
+
+def test_sequential_scan_strides_and_wraps():
+    items = _take(syn.sequential_scan(0, footprint=256, stride=64, gap=5), 6)
+    assert [i.addr for i in items] == [0, 64, 128, 192, 0, 64]
+    assert all(i.gap == 5 for i in items)
+
+
+def test_random_uniform_stays_in_footprint():
+    items = _take(syn.random_uniform(1 << 30, footprint=4096, seed=7), 500)
+    assert all((1 << 30) <= i.addr < (1 << 30) + 4096 for i in items)
+
+
+def test_random_uniform_rmw_pairs():
+    items = _take(syn.random_uniform(0, footprint=1 << 20, rmw=True, seed=7), 10)
+    for read, write in zip(items[::2], items[1::2]):
+        assert not read.is_write and write.is_write
+        assert read.addr == write.addr
+
+
+def test_pointer_chase_visits_lines_without_repeats_within_pass():
+    items = _take(syn.pointer_chase(0, footprint=64 * 64, gap=1, seed=3), 64)
+    lines = [i.addr // 64 for i in items]
+    assert len(set(lines)) == len(lines)  # full-period LCG: no repeats
+    assert all(0 <= l < 64 for l in lines)
+
+
+def test_pointer_chase_is_not_sequential():
+    items = _take(syn.pointer_chase(0, footprint=1 << 20, gap=1, seed=3), 100)
+    deltas = {items[k + 1].addr - items[k].addr for k in range(99)}
+    assert len(deltas) > 10  # nothing stride-predictable
+
+
+def test_strided_single_stream():
+    items = _take(
+        syn.strided(0, footprint=1 << 20, stride=128, gap=7, num_streams=1), 4
+    )
+    assert [i.addr for i in items] == [0, 128, 256, 384]
+    assert all(i.gap == 7 for i in items)
+
+
+def test_strided_multi_stream_round_robins_disjoint_regions():
+    items = _take(
+        syn.strided(0, footprint=3 << 20, stride=64, gap=7, num_streams=3), 6
+    )
+    region = 1 << 20
+    assert [i.addr for i in items] == [
+        0, region, 2 * region, 64, region + 64, 2 * region + 64,
+    ]
+
+
+def test_strided_streams_have_distinct_pcs():
+    items = _take(
+        syn.strided(0, footprint=3 << 20, stride=64, gap=7, num_streams=3), 3
+    )
+    assert len({i.pc for i in items}) == 3  # trainable per-stream strides
+
+
+def test_strided_validation():
+    with pytest.raises(ValueError):
+        next(syn.strided(0, 1 << 20, 64, 1, num_streams=0))
+
+
+def test_hot_cold_fractions():
+    items = _take(
+        syn.hot_cold(0, hot_bytes=4096, cold_bytes=1 << 20,
+                     cold_fraction=0.25, seed=11),
+        4000,
+    )
+    cold = sum(1 for i in items if i.addr >= 4096)
+    assert 0.18 < cold / len(items) < 0.32
+
+
+def test_hot_cold_validation():
+    with pytest.raises(ValueError):
+        next(syn.hot_cold(0, 4096, 4096, cold_fraction=1.5))
+
+
+def test_generators_are_deterministic():
+    a = _take(syn.random_uniform(0, 1 << 20, seed=5), 50)
+    b = _take(syn.random_uniform(0, 1 << 20, seed=5), 50)
+    c = _take(syn.random_uniform(0, 1 << 20, seed=6), 50)
+    assert a == b
+    assert a != c
+
+
+def test_interleave_round_robin():
+    t1 = iter([TraceItem(0, 1, False, 0)] * 5)
+    t2 = iter([TraceItem(0, 2, False, 0)] * 5)
+    items = _take(syn.interleave([t1, t2]), 4)
+    assert [i.addr for i in items] == [1, 2, 1, 2]
+
+
+def test_interleave_requires_traces():
+    with pytest.raises(ValueError):
+        next(syn.interleave([]))
+
+
+def test_zipf_concentrates_on_hot_lines():
+    items = _take(syn.zipf(0, footprint=1 << 20, alpha=1.2, seed=9), 4000)
+    from collections import Counter
+
+    counts = Counter(i.addr for i in items)
+    top_share = sum(c for _, c in counts.most_common(10)) / len(items)
+    assert top_share > 0.25  # heavy head
+    assert len(counts) > 100  # long tail
+
+
+def test_zipf_alpha_controls_skew():
+    def head_share(alpha):
+        items = _take(syn.zipf(0, 1 << 20, alpha=alpha, seed=9), 3000)
+        from collections import Counter
+
+        counts = Counter(i.addr for i in items)
+        return sum(c for _, c in counts.most_common(5)) / len(items)
+
+    assert head_share(1.5) > head_share(0.6)
+
+
+def test_zipf_stays_in_footprint_and_validates():
+    items = _take(syn.zipf(1 << 30, footprint=4096, seed=1), 200)
+    assert all((1 << 30) <= i.addr < (1 << 30) + 4096 for i in items)
+    with pytest.raises(ValueError):
+        next(syn.zipf(0, 4096, alpha=0.0))
+
+
+def test_phased_switches_generators():
+    a = iter([TraceItem(0, 1, False, 0)] * 100)
+    b = iter([TraceItem(0, 2, False, 0)] * 100)
+    items = _take(syn.phased([a, b], phase_length=3), 9)
+    assert [i.addr for i in items] == [1, 1, 1, 2, 2, 2, 1, 1, 1]
+
+
+def test_phased_validation():
+    with pytest.raises(ValueError):
+        next(syn.phased([], 5))
+    with pytest.raises(ValueError):
+        next(syn.phased([iter([TraceItem(0, 1, False, 0)])], 0))

@@ -1,0 +1,107 @@
+"""Unit tests for trace capture/replay."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import TraceItem
+from repro.workloads import synthetic as syn
+from repro.workloads.tracefile import capture, read_trace, trace_length, write_trace
+
+ITEMS = [
+    TraceItem(0, 0x1000, False, 0x400),
+    TraceItem(5, 0xDEADBEEF, True, 0x404),
+    TraceItem(100, 0x0, False, 0x0),
+]
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt"
+    assert write_trace(ITEMS, path) == 3
+    assert list(read_trace(path)) == ITEMS
+
+
+def test_gzip_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt.gz"
+    write_trace(ITEMS, path)
+    assert list(read_trace(path)) == ITEMS
+    # Actually compressed on disk.
+    assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+def test_capture_from_generator(tmp_path):
+    path = tmp_path / "stream.trace"
+    generator = syn.stream_kernel(0, array_bytes=4096,
+                                  reads_per_element=1, writes_per_element=1)
+    assert capture(generator, 50, path) == 50
+    assert trace_length(path) == 50
+    replayed = list(read_trace(path))
+    fresh = list(itertools.islice(
+        syn.stream_kernel(0, array_bytes=4096,
+                          reads_per_element=1, writes_per_element=1), 50))
+    assert replayed == fresh
+
+
+def test_loop_replay(tmp_path):
+    path = tmp_path / "t.txt"
+    write_trace(ITEMS, path)
+    looped = list(itertools.islice(read_trace(path, loop=True), 7))
+    assert looped == ITEMS + ITEMS + ITEMS[:1]
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("# header\n\n0 1000 R 400\n")
+    items = list(read_trace(path))
+    assert items == [TraceItem(0, 0x1000, False, 0x400)]
+
+
+def test_malformed_record_raises(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("0 1000 X 400\n")
+    with pytest.raises(ValueError, match="malformed"):
+        list(read_trace(path))
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("# nothing\n")
+    with pytest.raises(ValueError, match="no records"):
+        list(read_trace(path))
+
+
+def test_capture_validation(tmp_path):
+    with pytest.raises(ValueError):
+        capture(iter([]), 0, tmp_path / "t.txt")
+
+
+def test_replayed_trace_drives_a_core(tmp_path):
+    """End to end: captured trace -> file -> core simulation."""
+    from repro.common.address import PageAllocator
+    from repro.cache.array import CacheArray
+    from repro.cache.l1 import L1Cache
+    from repro.cpu.core import Core
+    from repro.engine import Engine
+    from repro.mshr.conventional import ConventionalMshr
+
+    path = tmp_path / "replay.trace"
+    capture(syn.sequential_scan(0, footprint=1 << 20, gap=4), 500, path)
+
+    class InstantL2:
+        def __init__(self, engine):
+            self.engine = engine
+
+        def access(self, request):
+            self.engine.schedule(20, request.complete, self.engine.now + 20)
+
+    engine = Engine()
+    l1 = L1Cache(
+        engine, 0, CacheArray(4096, 4, 64), ConventionalMshr(8),
+        InstantL2(engine),
+    )
+    core = Core(engine, 0, read_trace(path, loop=True), l1, PageAllocator())
+    core.start()
+    core.begin_measurement(1_000)
+    engine.run(stop_when=lambda: core.frozen, until=10_000_000)
+    assert core.frozen
+    assert core.frozen_ipc > 0
