@@ -47,6 +47,9 @@ def main() -> None:
         "",
         "Generated from the live docstrings (`python docs/generate_api.py`).",
         "One entry per public symbol of each subpackage's `__all__`.",
+        "Narrative guides: [modeling](modeling.md), [workloads](workloads.md),",
+        "[extending](extending.md), [resilience](resilience.md) (watchdogs,",
+        "retries, checkpoint/resume).",
         "",
     ]
     for package_name in PACKAGES:

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI smoke test for the resilience layer.
+
+Runs a tiny matrix with one injected crashing cell and asserts the
+table still comes back with partial results and a recorded failure.
+Exits non-zero (with a diagnostic) on any violated expectation.
+
+    PYTHONPATH=src python scripts/smoke_resilience.py
+"""
+
+import sys
+
+from repro.common.units import MIB
+from repro.experiments import RunPolicy, run_matrix
+from repro.experiments.faults import CRASH_EXITCODE, FaultSpec, install
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1000)
+
+
+def main() -> int:
+    configs = [
+        config_3d_fast().derive(
+            name=name, l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB
+        )
+        for name in ("healthy", "doomed")
+    ]
+    install(FaultSpec("crash", "doomed", "M1", times=-1))
+    table = run_matrix(
+        configs,
+        [MIXES["M1"], MIXES["M3"]],
+        TINY,
+        workers=2,
+        policy=RunPolicy(cell_timeout=120.0, retries=1, backoff_base=0.05),
+    )
+
+    checks = [
+        (len(table.cells) == 3, f"expected 3 partial results, got {len(table.cells)}"),
+        (table.ok("healthy", "M1"), "healthy/M1 should have completed"),
+        (table.ok("healthy", "M3"), "healthy/M3 should have completed"),
+        (table.ok("doomed", "M3"), "doomed/M3 should have completed"),
+        (not table.ok("doomed", "M1"), "doomed/M1 should have failed"),
+    ]
+    failure = table.failure("doomed", "M1")
+    if failure is not None:
+        checks += [
+            (failure.error_type == "WorkerCrash",
+             f"expected WorkerCrash, got {failure.error_type}"),
+            (failure.attempts == 2,
+             f"expected 2 attempts (1 retry), got {failure.attempts}"),
+            (str(CRASH_EXITCODE) in failure.message,
+             f"exit code missing from message: {failure.message!r}"),
+        ]
+
+    bad = [message for ok, message in checks if not ok]
+    for message in bad:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not bad:
+        print("resilience smoke: crashed cell degraded gracefully, "
+              f"{len(table.cells)} healthy cells intact")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@ Commands:
 * ``ablation {scheduler,interleave,prefetch,replacement,mshr}``
 
 All experiment commands accept ``--scale`` (smoke/default/large),
-``--mixes`` (comma-separated) and ``--seed``.
+``--mixes`` (comma-separated) and ``--seed``, plus resilience knobs:
+``--cell-timeout SECONDS`` (kill and retry hung cells),
+``--retries N`` (re-attempt failed cells with exponential backoff),
+``--journal PATH`` (checkpoint each completed cell) and ``--resume``
+(skip cells already in the journal).  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .experiments import (
+    RunPolicy,
     run_figure4,
     run_full_suite,
     run_figure6a,
@@ -65,6 +70,41 @@ def _mixes_arg(value: Optional[str]):
     if not value:
         return None
     return [MIXES[name.strip()] for name in value.split(",")]
+
+
+def _policy_from_args(args, default_name: str) -> Optional[RunPolicy]:
+    """Build a RunPolicy from the resilience flags (None when unused).
+
+    ``--resume`` without an explicit ``--journal`` defaults to
+    ``results/<experiment>.journal.jsonl`` so that re-running the same
+    command with ``--resume`` added picks up where it left off.
+    """
+    journal = args.journal
+    if journal is None and args.resume:
+        journal = f"results/{default_name}.journal.jsonl"
+    if (
+        args.cell_timeout is None
+        and args.retries == 0
+        and journal is None
+        and not args.resume
+    ):
+        return None
+    return RunPolicy(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        journal_path=journal,
+        resume=args.resume,
+    )
+
+
+def _print_failures(table) -> None:
+    """Surface recorded cell failures after a degraded run."""
+    failures = getattr(table, "failures", None)
+    if failures:
+        print(f"\nWARNING: {len(failures)} cell(s) failed:", flush=True)
+        for _, failure in sorted(failures.items()):
+            print(f"  {failure.describe()}")
+        print("re-run with --resume to retry only the failed cells")
 
 
 def _cmd_list(args) -> int:
@@ -134,24 +174,34 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    from .common.errors import CellFailedError
+
     scale = get_scale(args.scale)
     mixes = _mixes_arg(args.mixes)
     seed, workers = args.seed, args.workers
-    if args.which == "4":
-        result = run_figure4(scale=scale, mixes=mixes, seed=seed, workers=workers)
-    elif args.which == "6a":
-        result = run_figure6a(scale=scale, mixes=mixes, seed=seed, workers=workers)
-    elif args.which == "6b":
-        result = run_figure6b(scale=scale, mixes=mixes, seed=seed, workers=workers)
-    elif args.which == "7":
-        result = run_figure7(
-            panel=args.panel, scale=scale, mixes=mixes, seed=seed, workers=workers
-        )
+    if args.which in ("7", "9"):
+        name = f"figure{args.which}_{args.panel.replace('-mc', '')}-mc"
     else:
-        result = run_figure9(
-            panel=args.panel, scale=scale, mixes=mixes, seed=seed, workers=workers
-        )
-    print(result.format())
+        name = f"figure{args.which}"
+    policy = _policy_from_args(args, name)
+    common = dict(
+        scale=scale, mixes=mixes, seed=seed, workers=workers, policy=policy
+    )
+    if args.which == "4":
+        result = run_figure4(**common)
+    elif args.which == "6a":
+        result = run_figure6a(**common)
+    elif args.which == "6b":
+        result = run_figure6b(**common)
+    elif args.which == "7":
+        result = run_figure7(panel=args.panel, **common)
+    else:
+        result = run_figure9(panel=args.panel, **common)
+    try:
+        print(result.format())
+    except CellFailedError as exc:
+        print(f"report incomplete — {exc}")
+    _print_failures(getattr(result, "table", None))
     return 0
 
 
@@ -163,6 +213,7 @@ def _cmd_table(args) -> int:
         result = run_table2b(
             scale=scale, mixes=_mixes_arg(args.mixes), seed=args.seed,
             workers=args.workers,
+            policy=_policy_from_args(args, "table2b"),
         )
     print(result.format())
     return 0
@@ -201,6 +252,18 @@ def _cmd_fairness(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    journal_dir = None
+    if args.resume or args.journal is not None:
+        # --journal names a *directory* for report runs (one journal
+        # per experiment inside it).
+        journal_dir = args.journal or args.output or "results"
+    policy = None
+    if args.cell_timeout is not None or args.retries or args.resume:
+        policy = RunPolicy(
+            cell_timeout=args.cell_timeout,
+            retries=args.retries,
+            resume=args.resume,
+        )
     reports = run_full_suite(
         scale=get_scale(args.scale),
         mixes=_mixes_arg(args.mixes),
@@ -208,6 +271,8 @@ def _cmd_report(args) -> int:
         workers=args.workers,
         output_dir=args.output,
         only=args.only.split(",") if args.only else None,
+        policy=policy,
+        journal_dir=journal_dir,
     )
     for name, text in reports.items():
         print(f"\n===== {name} =====")
@@ -230,8 +295,10 @@ def _cmd_ablation(args) -> int:
         mixes=_mixes_arg(args.mixes),
         seed=args.seed,
         workers=args.workers,
+        policy=_policy_from_args(args, f"ablation_{args.which}"),
     )
     print(result.format())
+    _print_failures(getattr(result, "table", None))
     return 0
 
 
@@ -242,6 +309,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated mix names (default: per-figure)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell attempt; hung cells are killed "
+        "and retried",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts per failed cell (exponential backoff)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed cells to this journal "
+        "(default with --resume: results/<experiment>.journal.jsonl)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in the journal; failed cells "
+        "are re-simulated",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

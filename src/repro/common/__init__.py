@@ -1,6 +1,15 @@
-"""Shared primitives: units, addresses, requests and statistics."""
+"""Shared primitives: units, addresses, requests, statistics and errors."""
 
 from .address import PageAllocator, line_address, line_index
+from .errors import (
+    CellFailedError,
+    CellTimeout,
+    InjectedFault,
+    SimulationDeadlock,
+    SimulationError,
+    SimulationHang,
+    WorkerCrash,
+)
 from .request import AccessType, MemoryRequest
 from .stats import StatGroup, StatRegistry
 from .units import (
@@ -18,7 +27,14 @@ from .units import (
 
 __all__ = [
     "AccessType",
+    "CellFailedError",
+    "CellTimeout",
+    "InjectedFault",
     "MemoryRequest",
+    "SimulationDeadlock",
+    "SimulationError",
+    "SimulationHang",
+    "WorkerCrash",
     "PageAllocator",
     "StatGroup",
     "StatRegistry",

@@ -1,0 +1,109 @@
+"""Structured exception taxonomy for simulation and experiment failures.
+
+The engine, the machine driver, and the experiment runner all used to
+raise (or swallow) a single flat ``SimulationError``; a crashed sweep
+could not tell a runaway simulation from a deadlocked one from a worker
+process that was OOM-killed.  The taxonomy below keeps ``SimulationError``
+as the common base (existing ``except SimulationError`` sites keep
+working) and adds one subclass per distinct failure mode, each carrying
+enough context to diagnose the cell post-mortem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for engine misuse and simulation failures."""
+
+
+class SimulationHang(SimulationError):
+    """A simulation exceeded its event or cycle budget without finishing.
+
+    Raised by the engine watchdog (``max_events``/``max_cycles``) and by
+    :meth:`repro.system.machine.Machine.run` when a warmup or measurement
+    window does not complete within ``max_cycles``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        events_fired: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.events_fired = events_fired
+        self.queue_depth = queue_depth
+
+
+class SimulationDeadlock(SimulationError):
+    """The event queue drained while the machine still had pending work.
+
+    A discrete-event simulation makes progress only through scheduled
+    events; if the queue empties while MSHRs or memory-controller queues
+    still hold outstanding requests, some component dropped a callback
+    and the simulation can never finish.  Detected by the engine's
+    no-progress watchdog (see :class:`repro.engine.simulator.Watchdog`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        pending_work: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.pending_work = pending_work
+
+
+class CellTimeout(SimulationError):
+    """A matrix cell exceeded its wall-clock budget and was killed."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        elapsed: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.timeout = timeout
+
+
+class WorkerCrash(SimulationError):
+    """A worker process died without reporting a result (crash/OOM-kill)."""
+
+    def __init__(self, message: str, *, exitcode: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class InjectedFault(SimulationError):
+    """Raised by the fault-injection hooks (testing the resilience layer)."""
+
+
+class CellFailedError(RuntimeError):
+    """Strict access to a matrix cell that failed after all retries.
+
+    Raised by :class:`repro.experiments.runner.ResultTable` accessors when
+    the requested (config, mix) cell is recorded as a
+    :class:`~repro.experiments.runner.CellFailure` rather than a result.
+    """
+
+
+__all__ = [
+    "CellFailedError",
+    "CellTimeout",
+    "InjectedFault",
+    "SimulationDeadlock",
+    "SimulationError",
+    "SimulationHang",
+    "WorkerCrash",
+]

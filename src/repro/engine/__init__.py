@@ -1,6 +1,19 @@
 """Discrete-event simulation engine (integer cycle time)."""
 
 from .event import Event
-from .simulator import Engine, SimulationError
+from .simulator import (
+    Engine,
+    SimulationDeadlock,
+    SimulationError,
+    SimulationHang,
+    Watchdog,
+)
 
-__all__ = ["Engine", "Event", "SimulationError"]
+__all__ = [
+    "Engine",
+    "Event",
+    "SimulationDeadlock",
+    "SimulationError",
+    "SimulationHang",
+    "Watchdog",
+]

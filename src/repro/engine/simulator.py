@@ -3,18 +3,54 @@
 One :class:`Engine` instance drives a whole simulated machine.  Time is an
 integer number of CPU cycles (3.333 GHz in the paper's configuration; the
 engine itself is unit-agnostic).
+
+``Engine.run`` accepts an optional :class:`Watchdog` that bounds a run by
+event and cycle budgets and detects *deadlock*: the queue draining while
+the machine still has outstanding work (an MSHR entry or memory-controller
+queue slot whose completion callback was dropped).
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..common.errors import (
+    SimulationDeadlock,
+    SimulationError,
+    SimulationHang,
+)
 from .event import Event
 
+__all__ = [
+    "Engine",
+    "SimulationDeadlock",
+    "SimulationError",
+    "SimulationHang",
+    "Watchdog",
+]
 
-class SimulationError(RuntimeError):
-    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+@dataclass
+class Watchdog:
+    """Progress limits for one :meth:`Engine.run` call.
+
+    Attributes:
+        max_events: budget of fired events for this run; exceeding it
+            raises :class:`SimulationHang`.
+        max_cycles: absolute cycle ceiling; an event scheduled beyond it
+            raises :class:`SimulationHang` instead of firing.
+        pending_work: probe returning the machine's outstanding request
+            count (MSHR entries + controller queues).  When the event
+            queue drains while this returns non-zero, the run raises
+            :class:`SimulationDeadlock` — the simulation can never
+            finish because nothing is scheduled to finish it.
+    """
+
+    max_events: Optional[int] = None
+    max_cycles: Optional[int] = None
+    pending_work: Optional[Callable[[], int]] = None
 
 
 class Engine:
@@ -84,6 +120,7 @@ class Engine:
         until: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
         max_events: Optional[int] = None,
+        watchdog: Optional[Watchdog] = None,
     ) -> None:
         """Drain the event queue.
 
@@ -92,9 +129,27 @@ class Engine:
                 time is advanced to ``until`` when the deadline is reached.
             stop_when: predicate checked after every event; the run stops
                 as soon as it returns ``True``.
-            max_events: safety valve against runaway simulations.
+            max_events: safety valve against runaway simulations
+                (shorthand for ``Watchdog(max_events=...)``).
+            watchdog: event/cycle budgets and deadlock detection for this
+                run; combines with ``max_events`` (tighter budget wins).
         """
-        fired = 0
+        budget = max_events
+        max_cycles = None
+        pending_work = None
+        if watchdog is not None:
+            if watchdog.max_events is not None:
+                budget = (
+                    watchdog.max_events
+                    if budget is None
+                    else min(budget, watchdog.max_events)
+                )
+            max_cycles = watchdog.max_cycles
+            pending_work = watchdog.pending_work
+        # Budgets are measured against the engine-wide events_fired
+        # counter so run() and step() account identically; cancelled
+        # events never increment it in either path.
+        start_fired = self._events_fired
         while self._queue:
             event = self._queue[0]
             if event.cancelled:
@@ -103,16 +158,40 @@ class Engine:
             if until is not None and event.time > until:
                 self._now = until
                 return
+            if max_cycles is not None and event.time > max_cycles:
+                raise SimulationHang(
+                    f"exceeded max_cycles={max_cycles}: next event at cycle "
+                    f"{event.time} with {len(self._queue)} events queued and "
+                    f"{self._events_fired - start_fired} fired this run",
+                    cycle=self._now,
+                    events_fired=self._events_fired - start_fired,
+                    queue_depth=len(self._queue),
+                )
+            if budget is not None and self._events_fired - start_fired >= budget:
+                # Budget exhausted with live events still pending: the
+                # simulation is runaway, not merely finished on the nose.
+                raise SimulationHang(
+                    f"exceeded max_events={budget} at cycle {self._now} "
+                    f"with {len(self._queue)} events still queued",
+                    cycle=self._now,
+                    events_fired=self._events_fired - start_fired,
+                    queue_depth=len(self._queue),
+                )
             heapq.heappop(self._queue)
             self._now = event.time
             self._events_fired += 1
             event.fn(*event.args)
-            fired += 1
             if stop_when is not None and stop_when():
                 return
-            if max_events is not None and fired >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self._now}"
+        if pending_work is not None:
+            outstanding = pending_work()
+            if outstanding:
+                raise SimulationDeadlock(
+                    f"event queue drained at cycle {self._now} with "
+                    f"{outstanding} outstanding requests still in flight "
+                    "(a completion callback was lost)",
+                    cycle=self._now,
+                    pending_work=outstanding,
                 )
         if until is not None and self._now < until:
             self._now = until

@@ -14,18 +14,31 @@ from .charts import bar, grouped_bars, speedup_chart
 from .fairness import FairnessResult, fairness_study
 from .figure4 import Figure4Result, run_figure4
 from .full_run import run_full_suite
-from .persistence import load_table, save_table
+from .persistence import CellJournal, journal_signature, load_table, save_table
 from .stack_study import StackStudyResult, run_stack_study
 from .sweep import SweepResult, sweep_field
 from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
 from .figure7 import Figure7Result, run_figure7
 from .figure9 import Figure9Result, run_figure9
 from .report import format_comparison, format_table
-from .runner import ResultTable, geometric_mean, harmonic_mean, run_matrix
+from .runner import (
+    CellFailure,
+    ResultTable,
+    RunPolicy,
+    geometric_mean,
+    harmonic_mean,
+    parallelism_from_env,
+    run_matrix,
+)
 from .table2 import Table2aResult, Table2bResult, run_table2a, run_table2b
 
 __all__ = [
     "BottleneckReport",
+    "CellFailure",
+    "CellJournal",
+    "RunPolicy",
+    "journal_signature",
+    "parallelism_from_env",
     "analyze",
     "bar",
     "compare_reports",

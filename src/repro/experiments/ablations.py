@@ -14,7 +14,7 @@ from ..system.config import SystemConfig, config_quad_mc
 from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import WorkloadMix, mixes_in_groups
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 
 @dataclass
@@ -45,10 +45,11 @@ def _run(
     mixes: Optional[Sequence[WorkloadMix]],
     seed: int,
     workers: Optional[int],
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     if mixes is None:
         mixes = mixes_in_groups("H", "VH")
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return AblationResult(
         title=title,
         table=table,
@@ -62,6 +63,7 @@ def run_scheduler_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """FR-FCFS (paper's assumption) vs FIFO vs write-drain batching."""
     base = config_quad_mc()
@@ -72,7 +74,7 @@ def run_scheduler_ablation(
             base.derive(name="fcfs", scheduler="fcfs"),
             base.derive(name="writedrain", scheduler="frfcfs-writedrain"),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 
@@ -81,6 +83,7 @@ def run_interleave_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """Streamlined page-interleaved banking vs conventional line banking."""
     base = config_quad_mc()
@@ -90,7 +93,7 @@ def run_interleave_ablation(
             base.derive(name="page-interleaved"),
             base.derive(name="line-interleaved", l2_interleave="line"),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 
@@ -99,6 +102,7 @@ def run_prefetch_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """Prefetchers on (Table 1) vs off."""
     base = config_quad_mc()
@@ -108,7 +112,7 @@ def run_prefetch_ablation(
             base.derive(name="prefetch-on"),
             base.derive(name="prefetch-off", l1_prefetch=False, l2_prefetch=False),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 
@@ -117,6 +121,7 @@ def run_mshr_org_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> "MshrOrgAblation":
     """VBF vs plain linear probing vs ideal CAM at 8x capacity.
 
@@ -131,7 +136,7 @@ def run_mshr_org_ablation(
         base.derive(name="vbf", l2_mshr_organization="vbf"),
         base.derive(name="linear-probe", l2_mshr_organization="direct-mapped"),
     ]
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return MshrOrgAblation(
         table=table,
         mixes=[m.name for m in mixes],
@@ -143,6 +148,7 @@ def run_replacement_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """L2 replacement policy: LRU (Table 1) vs random vs SRRIP."""
     base = config_quad_mc()
@@ -153,7 +159,7 @@ def run_replacement_ablation(
             base.derive(name="random", l2_replacement="random"),
             base.derive(name="srrip", l2_replacement="srrip"),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 
@@ -162,6 +168,7 @@ def run_page_policy_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """Open-page (paper) vs closed-page (auto-precharge) DRAM."""
     base = config_quad_mc()
@@ -171,7 +178,7 @@ def run_page_policy_ablation(
             base.derive(name="open-page"),
             base.derive(name="closed-page", dram_page_policy="closed"),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 
@@ -180,6 +187,7 @@ def run_mapping_ablation(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> AblationResult:
     """Plain page interleaving (paper) vs XOR permutation interleaving."""
     base = config_quad_mc()
@@ -189,7 +197,7 @@ def run_mapping_ablation(
             base.derive(name="modulo"),
             base.derive(name="xor-permuted", dram_mapping_scheme="xor"),
         ],
-        scale, mixes, seed, workers,
+        scale, mixes, seed, workers, policy,
     )
 
 

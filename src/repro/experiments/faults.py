@@ -1,0 +1,153 @@
+"""Deterministic fault injection for testing the resilience layer itself.
+
+The retry, timeout, and resume paths of :func:`repro.experiments.runner.
+run_matrix` only matter when cells actually fail — which healthy code
+never does in CI.  This module lets tests (and the CI smoke job) inject
+failures into specific matrix cells, deterministically keyed on
+``(config name, mix name, attempt number)`` so the same spec reproduces
+the same failure in-process, across forked workers, and across retries.
+
+A fault spec is ``kind:config:mix[:times][:seconds]``:
+
+* ``kind`` — ``raise`` (throw :class:`~repro.common.errors.InjectedFault`),
+  ``crash`` (``os._exit``: simulates a segfault/OOM-killed worker),
+  ``hang`` (sleep ``seconds``, default 3600: simulates a livelock; the
+  runner's wall-clock timeout must kill it), or ``slow`` (sleep
+  ``seconds`` then proceed normally).
+* ``config`` / ``mix`` — cell coordinates; ``*`` matches any.
+* ``times`` — affect attempts ``1..times`` (default 1, so the first retry
+  succeeds); ``-1`` means every attempt.
+* ``seconds`` — sleep length for ``hang``/``slow``.
+
+Specs reach worker processes through the ``REPRO_FAULTS`` environment
+variable (inherited on fork) or in-process via :func:`install` (serial
+runs and tests).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.errors import InjectedFault
+
+#: Environment variable holding ``;``-separated fault specs.
+ENV_VAR = "REPRO_FAULTS"
+
+KINDS = ("raise", "crash", "hang", "slow")
+
+#: Exit code used by ``crash`` faults (distinctive in post-mortems).
+CRASH_EXITCODE = 117
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, matched against (config, mix, attempt)."""
+
+    kind: str
+    config: str
+    mix: str
+    times: int = 1
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(KINDS)}"
+            )
+
+    def matches(self, config: str, mix: str, attempt: int) -> bool:
+        if self.config != "*" and self.config != config:
+            return False
+        if self.mix != "*" and self.mix != mix:
+            return False
+        return self.times < 0 or attempt <= self.times
+
+    def encode(self) -> str:
+        return (
+            f"{self.kind}:{self.config}:{self.mix}:{self.times}:{self.seconds:g}"
+        )
+
+
+def parse_fault(text: str) -> FaultSpec:
+    """Parse one ``kind:config:mix[:times][:seconds]`` spec."""
+    parts = text.strip().split(":")
+    if len(parts) < 3:
+        raise ValueError(
+            f"fault spec {text!r} needs at least kind:config:mix"
+        )
+    kind, config, mix = parts[0], parts[1], parts[2]
+    times = int(parts[3]) if len(parts) > 3 and parts[3] else 1
+    seconds = float(parts[4]) if len(parts) > 4 and parts[4] else 3600.0
+    return FaultSpec(kind=kind, config=config, mix=mix, times=times, seconds=seconds)
+
+
+def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``;``-separated list of fault specs (empty → no faults)."""
+    return tuple(
+        parse_fault(part) for part in text.split(";") if part.strip()
+    )
+
+
+def encode_faults(specs: Tuple[FaultSpec, ...]) -> str:
+    """Inverse of :func:`parse_faults` (for exporting via ``REPRO_FAULTS``)."""
+    return ";".join(spec.encode() for spec in specs)
+
+
+_installed: Optional[Tuple[FaultSpec, ...]] = None
+
+
+def install(*specs: FaultSpec) -> None:
+    """Activate faults in this process (overrides ``REPRO_FAULTS``)."""
+    global _installed
+    _installed = tuple(specs)
+
+
+def clear() -> None:
+    """Deactivate in-process faults (``REPRO_FAULTS`` applies again)."""
+    global _installed
+    _installed = None
+
+
+def active_faults() -> Tuple[FaultSpec, ...]:
+    """Faults in effect: installed ones, else parsed from the environment."""
+    if _installed is not None:
+        return _installed
+    return parse_faults(os.environ.get(ENV_VAR, ""))
+
+
+def inject(config: str, mix: str, attempt: int) -> None:
+    """Apply the first matching active fault for this cell attempt.
+
+    Called by the runner's worker entry point before simulating a cell.
+    No matching fault means no effect — production sweeps run this as a
+    single dict lookup against an empty tuple.
+    """
+    for spec in active_faults():
+        if not spec.matches(config, mix, attempt):
+            continue
+        if spec.kind == "raise":
+            raise InjectedFault(
+                f"injected fault in cell ({config}, {mix}) attempt {attempt}"
+            )
+        if spec.kind == "crash":
+            os._exit(CRASH_EXITCODE)
+        if spec.kind in ("hang", "slow"):
+            time.sleep(spec.seconds)
+        return
+
+
+__all__ = [
+    "CRASH_EXITCODE",
+    "ENV_VAR",
+    "FaultSpec",
+    "active_faults",
+    "clear",
+    "encode_faults",
+    "inject",
+    "install",
+    "parse_fault",
+    "parse_faults",
+]

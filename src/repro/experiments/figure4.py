@@ -16,7 +16,7 @@ from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
 from .charts import speedup_chart
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 #: Paper's geometric-mean speedups over 2D on the H/VH workloads.
 PAPER_GM_H_VH = {"3D": 1.347, "3D-wide": 1.718, "3D-fast": 2.168}
@@ -77,10 +77,11 @@ def run_figure4(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4."""
     if mixes is None:
         mixes = [MIXES[name] for name in MIX_ORDER]
     configs = [config_2d(), config_3d(), config_3d_wide(), config_3d_fast()]
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return Figure4Result(table=table, mixes=[m.name for m in mixes])

@@ -24,7 +24,7 @@ from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import WorkloadMix, mixes_in_groups
 from .charts import speedup_chart
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 #: Paper GM(H,VH) speedups over 3D-fast for the (MCs, ranks) grid.
 PAPER_GRID_H_VH: Dict[Tuple[int, int], float] = {
@@ -140,6 +140,7 @@ def run_figure6a(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Figure6aResult:
     """Regenerate the MC x rank grid plus the extra-L2 comparison."""
     if mixes is None:
@@ -147,7 +148,7 @@ def run_figure6a(
     configs = [_grid_config(m, r) for m, r in GRID_POINTS]
     configs.append(_extra_l2_config(512 * KIB, "+512K-L2"))
     configs.append(_extra_l2_config(1 * MIB, "+1M-L2"))
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return Figure6aResult(table=table, mixes=[m.name for m in mixes])
 
 
@@ -156,6 +157,7 @@ def run_figure6b(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Figure6bResult:
     """Regenerate the row-buffer-entry sweep for the two highlighted configs."""
     if mixes is None:
@@ -172,7 +174,7 @@ def run_figure6b(
                     row_buffer_entries=entries,
                 )
             )
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return Figure6bResult(
         table=table, mixes=[m.name for m in mixes], baseline=baseline.name
     )

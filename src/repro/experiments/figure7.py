@@ -21,7 +21,7 @@ from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
 from .charts import grouped_bars
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 SCALES = (2, 4, 8)
 
@@ -107,6 +107,7 @@ def run_figure7(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Figure7Result:
     """Regenerate one panel of Figure 7 ("dual-mc" = (a), "quad-mc" = (b))."""
     if panel not in ("dual-mc", "quad-mc"):
@@ -114,5 +115,5 @@ def run_figure7(
     if mixes is None:
         mixes = [MIXES[name] for name in MIX_ORDER]
     base = config_dual_mc() if panel == "dual-mc" else config_quad_mc()
-    table = run_matrix(_variants(base), mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(_variants(base), mixes, scale, seed=seed, workers=workers, policy=policy)
     return Figure7Result(panel=panel, table=table, mixes=[m.name for m in mixes])

@@ -26,7 +26,7 @@ from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
 from .charts import grouped_bars
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 PAPER_GM_H_VH = {"dual-mc": 23.0, "quad-mc": 17.8}
 PAPER_PROBES_PER_ACCESS = {"dual-mc": 2.31, "quad-mc": 2.21}
@@ -125,6 +125,7 @@ def run_figure9(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Figure9Result:
     """Regenerate one panel of Figure 9 ("dual-mc" = (a), "quad-mc" = (b))."""
     if panel not in ("dual-mc", "quad-mc"):
@@ -132,5 +133,5 @@ def run_figure9(
     if mixes is None:
         mixes = [MIXES[name] for name in MIX_ORDER]
     base = config_dual_mc() if panel == "dual-mc" else config_quad_mc()
-    table = run_matrix(_variants(base), mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(_variants(base), mixes, scale, seed=seed, workers=workers, policy=policy)
     return Figure9Result(panel=panel, table=table, mixes=[m.name for m in mixes])

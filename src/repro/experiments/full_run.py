@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import WorkloadMix
+from .runner import RunPolicy
 from .ablations import (
     run_interleave_ablation,
     run_mapping_ablation,
@@ -36,26 +37,49 @@ def _jobs(
     mixes: Optional[Sequence[WorkloadMix]],
     seed: int,
     workers: Optional[int],
+    policy: Optional[RunPolicy] = None,
+    journal_dir: Optional[Path] = None,
 ) -> List[Tuple[str, Callable[[], object]]]:
-    common = dict(scale=scale, mixes=mixes, seed=seed, workers=workers)
+    def common(name: str) -> dict:
+        job_policy = policy
+        if journal_dir is not None:
+            job_policy = (policy or RunPolicy()).with_journal(
+                journal_dir / f"{name}.journal.jsonl"
+            )
+        return dict(
+            scale=scale, mixes=mixes, seed=seed, workers=workers,
+            policy=job_policy,
+        )
+
     return [
         ("table2a", lambda: run_table2a(scale=scale, seed=seed)),
-        ("table2b", lambda: run_table2b(**common)),
-        ("figure4", lambda: run_figure4(**common)),
-        ("figure6a", lambda: run_figure6a(**common)),
-        ("figure6b", lambda: run_figure6b(**common)),
-        ("figure7_dual", lambda: run_figure7(panel="dual-mc", **common)),
-        ("figure7_quad", lambda: run_figure7(panel="quad-mc", **common)),
-        ("figure9_dual", lambda: run_figure9(panel="dual-mc", **common)),
-        ("figure9_quad", lambda: run_figure9(panel="quad-mc", **common)),
-        ("ablation_scheduler", lambda: run_scheduler_ablation(**common)),
-        ("ablation_interleave", lambda: run_interleave_ablation(**common)),
-        ("ablation_prefetch", lambda: run_prefetch_ablation(**common)),
-        ("ablation_replacement", lambda: run_replacement_ablation(**common)),
-        ("ablation_page_policy", lambda: run_page_policy_ablation(**common)),
-        ("ablation_mapping", lambda: run_mapping_ablation(**common)),
-        ("ablation_mshr_org", lambda: run_mshr_org_ablation(**common)),
-        ("study_stack", lambda: run_stack_study(**common)),
+        ("table2b", lambda: run_table2b(**common("table2b"))),
+        ("figure4", lambda: run_figure4(**common("figure4"))),
+        ("figure6a", lambda: run_figure6a(**common("figure6a"))),
+        ("figure6b", lambda: run_figure6b(**common("figure6b"))),
+        ("figure7_dual",
+         lambda: run_figure7(panel="dual-mc", **common("figure7_dual"))),
+        ("figure7_quad",
+         lambda: run_figure7(panel="quad-mc", **common("figure7_quad"))),
+        ("figure9_dual",
+         lambda: run_figure9(panel="dual-mc", **common("figure9_dual"))),
+        ("figure9_quad",
+         lambda: run_figure9(panel="quad-mc", **common("figure9_quad"))),
+        ("ablation_scheduler",
+         lambda: run_scheduler_ablation(**common("ablation_scheduler"))),
+        ("ablation_interleave",
+         lambda: run_interleave_ablation(**common("ablation_interleave"))),
+        ("ablation_prefetch",
+         lambda: run_prefetch_ablation(**common("ablation_prefetch"))),
+        ("ablation_replacement",
+         lambda: run_replacement_ablation(**common("ablation_replacement"))),
+        ("ablation_page_policy",
+         lambda: run_page_policy_ablation(**common("ablation_page_policy"))),
+        ("ablation_mapping",
+         lambda: run_mapping_ablation(**common("ablation_mapping"))),
+        ("ablation_mshr_org",
+         lambda: run_mshr_org_ablation(**common("ablation_mshr_org"))),
+        ("study_stack", lambda: run_stack_study(**common("study_stack"))),
     ]
 
 
@@ -67,14 +91,21 @@ def run_full_suite(
     output_dir: Optional[str] = None,
     only: Optional[Sequence[str]] = None,
     progress: bool = True,
+    policy: Optional[RunPolicy] = None,
+    journal_dir: Optional[str] = None,
 ) -> Dict[str, str]:
     """Run every experiment; returns {experiment name: formatted report}.
 
     Args:
         only: restrict to these experiment names (see ``_jobs``).
         output_dir: when set, write each report to ``<name>.txt`` there.
+        policy: resilience knobs (timeouts/retries/resume) applied to
+            every matrix in the suite.
+        journal_dir: when set, each experiment checkpoints its cells to
+            ``<journal_dir>/<name>.journal.jsonl`` (enables resume).
     """
-    jobs = _jobs(scale, mixes, seed, workers)
+    journal_path = Path(journal_dir) if journal_dir else None
+    jobs = _jobs(scale, mixes, seed, workers, policy, journal_path)
     if only is not None:
         known = {name for name, _ in jobs}
         unknown = set(only) - known

@@ -3,20 +3,39 @@
 Full default-scale sweeps take tens of minutes; saving the raw
 ``ResultTable`` lets analysis (speedups, GMs, new cuts of the data)
 re-run instantly without re-simulating.
+
+Two complementary mechanisms:
+
+* :func:`save_table`/:func:`load_table` — a complete table as one JSON
+  document, written atomically (temp file + ``os.replace``) so an
+  interrupt mid-save never corrupts an existing results file.
+* :class:`CellJournal` — an incremental JSONL journal appended (and
+  fsync'd) one record per *completed cell* while a matrix is running,
+  so an interrupted sweep can resume and skip finished cells
+  (``RunPolicy(journal_path=..., resume=True)``).
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Tuple, Union
 
 from ..system.machine import CoreResult, MachineResult
-from .runner import ResultTable
+from ..system.scale import ExperimentScale
+from .runner import CellFailure, ResultTable
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+#: Version written by :func:`save_table`.
+_FORMAT_VERSION = 2
+#: Versions :func:`load_table` understands (v1 files predate ``failures``).
+_READABLE_VERSIONS = (1, 2)
+
+#: Version written into journal headers.
+_JOURNAL_VERSION = 1
 
 
 def _result_to_dict(result: MachineResult) -> dict:
@@ -55,8 +74,46 @@ def _result_from_dict(data: dict) -> MachineResult:
     )
 
 
+def _failure_to_dict(failure: CellFailure) -> dict:
+    return {
+        "config": failure.config,
+        "mix": failure.mix,
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "traceback": failure.traceback,
+        "attempts": failure.attempts,
+        "elapsed": failure.elapsed,
+    }
+
+
+def _failure_from_dict(data: dict) -> CellFailure:
+    return CellFailure(
+        config=data["config"],
+        mix=data["mix"],
+        error_type=data["error_type"],
+        message=data["message"],
+        traceback=data.get("traceback", ""),
+        attempts=data.get("attempts", 1),
+        elapsed=data.get("elapsed", 0.0),
+    )
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without ever exposing a partial file."""
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def save_table(table: ResultTable, path: PathLike) -> None:
-    """Write a result table to a JSON file."""
+    """Write a result table to a JSON file (atomically)."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "configs": table.configs,
@@ -69,25 +126,204 @@ def save_table(table: ResultTable, path: PathLike) -> None:
             }
             for (config, mix), result in sorted(table.cells.items())
         ],
+        "failures": [
+            _failure_to_dict(failure)
+            for _, failure in sorted(table.failures.items())
+        ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    _write_atomic(Path(path), json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_table(path: PathLike) -> ResultTable:
-    """Read a result table back; raises on version mismatch."""
+    """Read a result table back; raises on unknown format versions."""
     payload = json.loads(Path(path).read_text())
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
+        readable = "/".join(str(v) for v in _READABLE_VERSIONS)
         raise ValueError(
             f"result file {path} has format version {version}; "
-            f"this library reads version {_FORMAT_VERSION}"
+            f"this library reads versions {readable} — "
+            "it was probably written by a newer release"
         )
     cells = {
         (cell["config"], cell["mix"]): _result_from_dict(cell["result"])
         for cell in payload["cells"]
     }
+    failures = {
+        (record["config"], record["mix"]): _failure_from_dict(record)
+        for record in payload.get("failures", [])
+    }
     return ResultTable(
         configs=list(payload["configs"]),
         mixes=list(payload["mixes"]),
         cells=cells,
+        failures=failures,
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental cell journal (checkpoint/resume)
+
+
+def journal_signature(
+    configs, mixes, scale: ExperimentScale, seed: int
+) -> dict:
+    """Identity of one matrix: a journal only resumes an identical run."""
+    return {
+        "configs": list(configs),
+        "mixes": list(mixes),
+        "scale": scale.name,
+        "warmup_instructions": scale.warmup_instructions,
+        "measure_instructions": scale.measure_instructions,
+        "seed": seed,
+    }
+
+
+class CellJournal:
+    """Append-only JSONL journal of per-cell outcomes.
+
+    Line 1 is a header carrying the matrix signature; every further line
+    records one completed cell (``kind: result``) or one exhausted-retry
+    failure (``kind: failure``).  Each append is flushed and fsync'd so
+    a kill -9 loses at most the cell in flight; a truncated final line
+    (killed mid-append) is tolerated and ignored on load.
+    """
+
+    def __init__(
+        self,
+        handle: io.TextIOBase,
+        path: Path,
+        completed: Dict[Tuple[str, str], MachineResult],
+        failed: Dict[Tuple[str, str], CellFailure],
+    ) -> None:
+        self._handle = handle
+        self.path = path
+        #: Cells already simulated successfully (populated on resume).
+        self.completed = completed
+        #: Failures recorded by the interrupted run (informational).
+        self.failed = failed
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: PathLike, signature: dict, resume: bool = False
+    ) -> "CellJournal":
+        """Open a journal for writing.
+
+        With ``resume=True`` an existing journal is validated against
+        ``signature`` (raising ``ValueError`` on mismatch — a journal
+        from a different matrix/seed/scale must not silently poison a
+        run), its completed cells are loaded, and appending continues.
+        Otherwise any existing journal is truncated and restarted.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        completed: Dict[Tuple[str, str], MachineResult] = {}
+        failed: Dict[Tuple[str, str], CellFailure] = {}
+        if resume and path.exists() and path.stat().st_size > 0:
+            header, completed, failed = cls._read(path)
+            if header.get("signature") != signature:
+                raise ValueError(
+                    f"journal {path} was written by a different run "
+                    f"(its signature {header.get('signature')!r} does not "
+                    f"match this matrix); delete it or drop --resume"
+                )
+            handle = open(path, "a")
+        else:
+            handle = open(path, "w")
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "journal_version": _JOURNAL_VERSION,
+                        "signature": signature,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        return cls(handle, path, completed, failed)
+
+    @staticmethod
+    def _read(path: Path):
+        header: dict = {}
+        completed: Dict[Tuple[str, str], MachineResult] = {}
+        failed: Dict[Tuple[str, str], CellFailure] = {}
+        with open(path) as handle:
+            for index, line in enumerate(handle):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn final append from a killed run; everything
+                    # before it is intact, so just stop here.
+                    break
+                kind = record.get("kind")
+                if index == 0:
+                    if kind != "header":
+                        raise ValueError(
+                            f"{path} is not a cell journal (first line is "
+                            f"{kind!r}, expected a header)"
+                        )
+                    if record.get("journal_version") != _JOURNAL_VERSION:
+                        raise ValueError(
+                            f"journal {path} has version "
+                            f"{record.get('journal_version')}; this library "
+                            f"reads version {_JOURNAL_VERSION}"
+                        )
+                    header = record
+                elif kind == "result":
+                    key = (record["config"], record["mix"])
+                    completed[key] = _result_from_dict(record["result"])
+                    failed.pop(key, None)
+                elif kind == "failure":
+                    failure = _failure_from_dict(record["failure"])
+                    failed[(failure.config, failure.mix)] = failure
+        return header, completed, failed
+
+    @classmethod
+    def load(cls, path: PathLike):
+        """Read a journal without opening it for writing.
+
+        Returns ``(completed, failed)`` dictionaries keyed by
+        ``(config, mix)``.
+        """
+        _, completed, failed = cls._read(Path(path))
+        return completed, failed
+
+    # -- appending ------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_result(
+        self, config: str, mix: str, result: MachineResult, attempts: int = 1
+    ) -> None:
+        """Checkpoint one successfully completed cell."""
+        self._append(
+            {
+                "kind": "result",
+                "config": config,
+                "mix": mix,
+                "attempts": attempts,
+                "result": _result_to_dict(result),
+            }
+        )
+
+    def record_failure(self, failure: CellFailure) -> None:
+        """Record a cell that failed after all retries (re-run on resume)."""
+        self._append({"kind": "failure", "failure": _failure_to_dict(failure)})
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CellJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

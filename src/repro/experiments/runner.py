@@ -1,23 +1,46 @@
-"""Experiment runner: config x workload matrices with optional parallelism.
+"""Experiment runner: config x workload matrices with fault isolation.
 
 Every figure in the paper is a matrix of (configuration, workload mix)
 simulations reduced to speedups and geometric means.  ``run_matrix``
 executes such a matrix, optionally across processes
 (``REPRO_PARALLEL=N``), and returns an indexable result table.
+
+A full default-scale sweep takes tens of minutes, so the runner is built
+to survive partial failure rather than abort on it:
+
+* each cell runs in its own worker process with an optional wall-clock
+  timeout (a hung or OOM-killed cell cannot take the matrix down);
+* failed attempts are retried with exponential backoff + jitter, up to
+  :attr:`RunPolicy.retries` extra attempts;
+* a cell that still fails becomes a recorded :class:`CellFailure` in
+  ``ResultTable.failures`` instead of an exception — healthy cells keep
+  their results;
+* with :attr:`RunPolicy.journal_path` set, every completed cell is
+  appended (fsync'd) to an on-disk journal so an interrupted sweep can
+  resume, re-simulating only missing or failed cells
+  (:attr:`RunPolicy.resume`).
+
+See ``docs/resilience.md`` for the full semantics.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import random
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..common.errors import CellFailedError
 from ..system.config import SystemConfig
 from ..system.machine import MachineResult, run_workload
 from ..system.scale import ExperimentScale
 from ..workloads.mixes import MIXES, WorkloadMix
+from . import faults
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -38,8 +61,83 @@ def harmonic_mean(values: Iterable[float]) -> float:
     return len(values) / sum(1.0 / v for v in values)
 
 
-def _run_cell(args: Tuple[SystemConfig, str, Tuple[str, ...], int, int, int]):
-    config, mix_name, benchmarks, warmup, measure, seed = args
+@dataclass(frozen=True)
+class RunPolicy:
+    """Resilience knobs for one ``run_matrix`` invocation.
+
+    Attributes:
+        cell_timeout: wall-clock seconds per cell *attempt*; exceeding it
+            kills the worker and counts as a failed attempt.  Timeouts
+            require process isolation, so setting this forces the
+            per-cell-process path even for ``workers=1``.
+        retries: extra attempts after the first failure (total attempts
+            is ``retries + 1``).
+        backoff_base / backoff_factor / backoff_max: exponential backoff
+            between attempts — attempt *n* waits
+            ``min(backoff_max, backoff_base * backoff_factor**(n-1))``
+            seconds before re-running.
+        backoff_jitter: multiplies the delay by ``1 + jitter*U(0,1)`` to
+            decorrelate retries across cells.
+        journal_path: append one fsync'd JSON record per completed cell
+            here (see :class:`repro.experiments.persistence.CellJournal`).
+        resume: skip cells already recorded as successful in the journal;
+            failed or missing cells are re-simulated.
+    """
+
+    cell_timeout: Optional[float] = None
+    retries: int = 0
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 8.0
+    backoff_jitter: float = 0.25
+    journal_path: Optional[Union[str, "os.PathLike[str]"]] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+
+    def with_journal(self, path) -> "RunPolicy":
+        """Copy of this policy journaling to ``path``."""
+        return replace(self, journal_path=path)
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        return delay * (1.0 + self.backoff_jitter * rng.random())
+
+
+@dataclass
+class CellFailure:
+    """Post-mortem record of one matrix cell that failed after retries."""
+
+    config: str
+    mix: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed: float
+
+    def describe(self) -> str:
+        return (
+            f"cell ({self.config}, {self.mix}) failed after "
+            f"{self.attempts} attempt(s) [{self.elapsed:.1f}s]: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+def _run_cell(args):
+    """Simulate one cell (runs inside the worker process)."""
+    config, mix_name, benchmarks, warmup, measure, seed, attempt = args
+    faults.inject(config.name, mix_name, attempt)
     result = run_workload(
         config,
         benchmarks,
@@ -53,14 +151,44 @@ def _run_cell(args: Tuple[SystemConfig, str, Tuple[str, ...], int, int, int]):
 
 @dataclass
 class ResultTable:
-    """Results of a config x mix matrix."""
+    """Results of a config x mix matrix.
+
+    ``cells`` holds results for completed cells; ``failures`` holds a
+    :class:`CellFailure` for every cell that failed after all retries.
+    Accessors are *strict* by default: touching a failed cell raises
+    :class:`~repro.common.errors.CellFailedError` with the post-mortem.
+    Use :meth:`ok`/:meth:`result_or_none` or ``gm_speedup(...,
+    skip_failed=True)`` for lenient access over partial results.
+    """
 
     configs: List[str]
     mixes: List[str]
     cells: Dict[Tuple[str, str], MachineResult]
+    failures: Dict[Tuple[str, str], CellFailure] = field(default_factory=dict)
+
+    def ok(self, config_name: str, mix_name: str) -> bool:
+        """True when this cell completed successfully."""
+        return (config_name, mix_name) in self.cells
+
+    def failure(self, config_name: str, mix_name: str) -> Optional[CellFailure]:
+        """The failure record for this cell, if it failed."""
+        return self.failures.get((config_name, mix_name))
 
     def result(self, config_name: str, mix_name: str) -> MachineResult:
-        return self.cells[(config_name, mix_name)]
+        """Strict accessor: raises ``CellFailedError`` on a failed cell."""
+        try:
+            return self.cells[(config_name, mix_name)]
+        except KeyError:
+            failure = self.failures.get((config_name, mix_name))
+            if failure is not None:
+                raise CellFailedError(failure.describe()) from None
+            raise
+
+    def result_or_none(
+        self, config_name: str, mix_name: str
+    ) -> Optional[MachineResult]:
+        """Lenient accessor: ``None`` for failed or missing cells."""
+        return self.cells.get((config_name, mix_name))
 
     def hmipc(self, config_name: str, mix_name: str) -> float:
         return self.result(config_name, mix_name).hmipc
@@ -77,26 +205,308 @@ class ResultTable:
         config_name: str,
         baseline: str,
         groups: Optional[Sequence[str]] = None,
+        skip_failed: bool = False,
     ) -> float:
-        """Geometric-mean speedup over the mixes in ``groups`` (or all)."""
+        """Geometric-mean speedup over the mixes in ``groups`` (or all).
+
+        With ``skip_failed=True`` mixes where either config failed are
+        dropped (raising only when *no* mix completed for both); the
+        default is strict and raises on the first failed cell touched.
+        """
         names = [
             m
             for m in self.mixes
             if groups is None or MIXES[m].group in groups
         ]
+        if skip_failed:
+            names = [
+                m
+                for m in names
+                if self.ok(config_name, m) and self.ok(baseline, m)
+            ]
+            if not names:
+                raise CellFailedError(
+                    f"no mixes completed for both {config_name} and {baseline}"
+                )
         return geometric_mean(
             self.speedup(config_name, m, baseline) for m in names
         )
 
 
 def parallelism_from_env() -> int:
-    """Worker count from ``REPRO_PARALLEL`` (default: serial)."""
-    value = os.environ.get("REPRO_PARALLEL", "1")
+    """Worker count from ``REPRO_PARALLEL`` (default: serial).
+
+    Accepts a positive integer or ``auto`` (one worker per CPU).
+    """
+    value = os.environ.get("REPRO_PARALLEL", "1").strip()
+    if value.lower() == "auto":
+        return os.cpu_count() or 1
     try:
         workers = int(value)
     except ValueError:
-        raise ValueError(f"REPRO_PARALLEL must be an integer, got {value!r}")
-    return max(1, workers)
+        raise ValueError(
+            f"REPRO_PARALLEL must be a positive integer or 'auto', "
+            f"got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"REPRO_PARALLEL must be >= 1, got {workers}")
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Internal execution machinery
+
+
+@dataclass
+class _Job:
+    """One cell plus its retry state."""
+
+    config: SystemConfig
+    mix_name: str
+    benchmarks: Tuple[str, ...]
+    warmup: int
+    measure: int
+    seed: int
+    attempt: int = 1
+    ready_at: float = 0.0
+    elapsed: float = 0.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.config.name, self.mix_name)
+
+    def cell_args(self):
+        return (
+            self.config,
+            self.mix_name,
+            self.benchmarks,
+            self.warmup,
+            self.measure,
+            self.seed,
+            self.attempt,
+        )
+
+
+class _Recorder:
+    """Collects cell outcomes and mirrors them into the journal."""
+
+    def __init__(self, journal=None) -> None:
+        self.cells: Dict[Tuple[str, str], MachineResult] = {}
+        self.failures: Dict[Tuple[str, str], CellFailure] = {}
+        self.journal = journal
+
+    def record_result(self, job: _Job, result: MachineResult) -> None:
+        self.cells[job.key] = result
+        self.failures.pop(job.key, None)
+        if self.journal is not None:
+            self.journal.record_result(
+                job.config.name, job.mix_name, result, attempts=job.attempt
+            )
+
+    def record_failure(self, job: _Job, error: Tuple[str, str, str]) -> None:
+        failure = CellFailure(
+            config=job.config.name,
+            mix=job.mix_name,
+            error_type=error[0],
+            message=error[1],
+            traceback=error[2],
+            attempts=job.attempt,
+            elapsed=job.elapsed,
+        )
+        self.failures[job.key] = failure
+        if self.journal is not None:
+            self.journal.record_failure(failure)
+
+
+def _retry_or_fail(
+    job: _Job,
+    error: Tuple[str, str, str],
+    pending: List[_Job],
+    policy: RunPolicy,
+    rng: random.Random,
+    recorder: _Recorder,
+    now: float,
+) -> None:
+    """Requeue a failed attempt with backoff, or record the failure."""
+    if job.attempt <= policy.retries:
+        job.ready_at = now + policy.backoff_delay(job.attempt, rng)
+        job.attempt += 1
+        pending.append(job)
+    else:
+        recorder.record_failure(job, error)
+
+
+def _run_serial(
+    jobs: List[_Job],
+    policy: RunPolicy,
+    rng: random.Random,
+    recorder: _Recorder,
+) -> None:
+    """In-process execution with retries (no wall-clock timeouts).
+
+    ``KeyboardInterrupt``/``SystemExit`` propagate so Ctrl-C still stops
+    a sweep — completed cells are already safe in the journal.
+    """
+    for job in jobs:
+        while True:
+            start = time.monotonic()
+            try:
+                _, _, result = _run_cell(job.cell_args())
+            except Exception as exc:
+                job.elapsed += time.monotonic() - start
+                error = (type(exc).__name__, str(exc), traceback.format_exc())
+                if job.attempt <= policy.retries:
+                    time.sleep(policy.backoff_delay(job.attempt, rng))
+                    job.attempt += 1
+                    continue
+                recorder.record_failure(job, error)
+                break
+            job.elapsed += time.monotonic() - start
+            recorder.record_result(job, result)
+            break
+
+
+def _cell_worker(conn, args) -> None:
+    """Worker-process entry point: simulate one cell, ship the outcome."""
+    try:
+        _, _, result = _run_cell(args)
+    except Exception as exc:
+        conn.send(("error", type(exc).__name__, str(exc), traceback.format_exc()))
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    job: _Job
+    process: "multiprocessing.process.BaseProcess"
+    conn: "multiprocessing.connection.Connection"
+    started: float
+
+
+def _reap(entry: _Running) -> None:
+    entry.conn.close()
+    entry.process.join(timeout=5.0)
+    if entry.process.is_alive():  # pragma: no cover - defensive
+        entry.process.kill()
+        entry.process.join()
+
+
+def _run_isolated(
+    jobs: List[_Job],
+    workers: int,
+    policy: RunPolicy,
+    rng: random.Random,
+    recorder: _Recorder,
+) -> None:
+    """Process-per-cell execution with timeouts, retries, and isolation.
+
+    Unlike a process *pool*, one process per cell attempt means a hung
+    or crashed cell is killed and retried without poisoning a shared
+    worker, and worker death is observed directly (pipe EOF + exitcode)
+    instead of surfacing as ``BrokenProcessPool`` for the whole matrix.
+    """
+    ctx = multiprocessing.get_context()
+    pending: List[_Job] = list(jobs)
+    running: List[_Running] = []
+
+    def spawn(job: _Job) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_cell_worker, args=(child_conn, job.cell_args()), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        running.append(
+            _Running(job=job, process=process, conn=parent_conn,
+                     started=time.monotonic())
+        )
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            ready_jobs = sorted(
+                (j for j in pending if j.ready_at <= now),
+                key=lambda j: j.ready_at,
+            )
+            while len(running) < workers and ready_jobs:
+                job = ready_jobs.pop(0)
+                pending.remove(job)
+                spawn(job)
+
+            if not running:
+                # Everything is waiting out a backoff window.
+                delay = min(j.ready_at for j in pending) - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+
+            wait_bounds = []
+            if policy.cell_timeout is not None:
+                wait_bounds.extend(
+                    entry.started + policy.cell_timeout for entry in running
+                )
+            if pending:
+                wait_bounds.append(min(j.ready_at for j in pending))
+            timeout = None
+            if wait_bounds:
+                timeout = max(0.0, min(wait_bounds) - time.monotonic())
+            readable = _connection_wait(
+                [entry.conn for entry in running], timeout=timeout
+            )
+
+            now = time.monotonic()
+            finished = [entry for entry in running if entry.conn in readable]
+            for entry in finished:
+                running.remove(entry)
+                entry.job.elapsed += now - entry.started
+                try:
+                    message = entry.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                _reap(entry)
+                if message is not None and message[0] == "ok":
+                    recorder.record_result(entry.job, message[1])
+                    continue
+                if message is None:
+                    error = (
+                        "WorkerCrash",
+                        f"worker exited with code {entry.process.exitcode} "
+                        "before reporting a result",
+                        "",
+                    )
+                else:
+                    error = (message[1], message[2], message[3])
+                _retry_or_fail(
+                    entry.job, error, pending, policy, rng, recorder, now
+                )
+
+            if policy.cell_timeout is not None:
+                expired = [
+                    entry
+                    for entry in running
+                    if now - entry.started >= policy.cell_timeout
+                ]
+                for entry in expired:
+                    running.remove(entry)
+                    entry.process.terminate()
+                    entry.job.elapsed += now - entry.started
+                    _reap(entry)
+                    error = (
+                        "CellTimeout",
+                        f"attempt {entry.job.attempt} exceeded the "
+                        f"{policy.cell_timeout:g}s wall-clock budget",
+                        "",
+                    )
+                    _retry_or_fail(
+                        entry.job, error, pending, policy, rng, recorder, now
+                    )
+    finally:
+        for entry in running:  # interrupted: don't leak worker processes
+            entry.process.terminate()
+            _reap(entry)
 
 
 def run_matrix(
@@ -105,35 +515,67 @@ def run_matrix(
     scale: ExperimentScale,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> ResultTable:
-    """Simulate every (config, mix) pair."""
+    """Simulate every (config, mix) pair.
+
+    With the default :class:`RunPolicy` any cell failure is recorded in
+    ``ResultTable.failures`` after ``policy.retries`` extra attempts and
+    the rest of the matrix still completes; pass ``cell_timeout``,
+    ``retries``, ``journal_path``/``resume`` on ``policy`` for the full
+    resilience behaviour (see module docstring).
+    """
     names = [c.name for c in configs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate config names in matrix: {names}")
+    mix_names = [m.name for m in mixes]
+    policy = RunPolicy() if policy is None else policy
+    if policy.resume and policy.journal_path is None:
+        raise ValueError("resume=True needs a journal_path to resume from")
+    workers = parallelism_from_env() if workers is None else max(1, workers)
+
     jobs = [
-        (
-            config,
-            mix.name,
-            mix.benchmarks,
-            scale.warmup_instructions,
-            scale.measure_instructions,
-            seed,
+        _Job(
+            config=config,
+            mix_name=mix.name,
+            benchmarks=tuple(mix.benchmarks),
+            warmup=scale.warmup_instructions,
+            measure=scale.measure_instructions,
+            seed=seed,
         )
         for config in configs
         for mix in mixes
     ]
-    workers = parallelism_from_env() if workers is None else max(1, workers)
-    cells: Dict[Tuple[str, str], MachineResult] = {}
-    if workers > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for config_name, mix_name, result in pool.map(_run_cell, jobs):
-                cells[(config_name, mix_name)] = result
-    else:
-        for job in jobs:
-            config_name, mix_name, result = _run_cell(job)
-            cells[(config_name, mix_name)] = result
+
+    journal = None
+    recorder = _Recorder()
+    if policy.journal_path is not None:
+        from .persistence import CellJournal, journal_signature
+
+        signature = journal_signature(names, mix_names, scale, seed)
+        journal = CellJournal.open(
+            policy.journal_path, signature, resume=policy.resume
+        )
+        recorder.journal = journal
+        if policy.resume:
+            recorder.cells.update(journal.completed)
+            jobs = [job for job in jobs if job.key not in journal.completed]
+
+    rng = random.Random(seed ^ 0x5EED5EED)
+    try:
+        use_processes = bool(jobs) and (
+            workers > 1 or policy.cell_timeout is not None
+        )
+        if use_processes:
+            _run_isolated(jobs, workers, policy, rng, recorder)
+        else:
+            _run_serial(jobs, policy, rng, recorder)
+    finally:
+        if journal is not None:
+            journal.close()
     return ResultTable(
         configs=names,
-        mixes=[m.name for m in mixes],
-        cells=cells,
+        mixes=mix_names,
+        cells=recorder.cells,
+        failures=recorder.failures,
     )

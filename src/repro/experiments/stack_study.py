@@ -33,7 +33,7 @@ from ..system.config import (
 from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import WorkloadMix, mixes_in_groups
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 ORDER = ("2D", "2D+L3", "3D", "3D-fast", "quad-MC")
 
@@ -75,9 +75,10 @@ def run_stack_study(
     seed: int = 42,
     workers: Optional[int] = None,
     l3_size: int = 64 * MIB,
+    policy: Optional[RunPolicy] = None,
 ) -> StackStudyResult:
     """Run the cache-vs-memory stack allocation study."""
     if mixes is None:
         mixes = mixes_in_groups("H", "VH")
-    table = run_matrix(_configs(l3_size), mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(_configs(l3_size), mixes, scale, seed=seed, workers=workers, policy=policy)
     return StackStudyResult(table=table, mixes=[m.name for m in mixes])

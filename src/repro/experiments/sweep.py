@@ -17,7 +17,7 @@ from ..system.config import SystemConfig
 from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.mixes import WorkloadMix, mixes_in_groups
 from .report import format_table
-from .runner import ResultTable, run_matrix
+from .runner import ResultTable, RunPolicy, run_matrix
 
 
 @dataclass
@@ -60,6 +60,7 @@ def sweep_field(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> SweepResult:
     """Vary one config field; everything else pinned to ``base``."""
     if not values:
@@ -78,7 +79,7 @@ def sweep_field(
         base.derive(name=f"{field}={value}", **{field: value})
         for value in values
     ]
-    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers)
+    table = run_matrix(configs, mixes, scale, seed=seed, workers=workers, policy=policy)
     return SweepResult(
         field=field,
         values=list(values),

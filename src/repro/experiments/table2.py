@@ -19,7 +19,7 @@ from ..system.scale import DEFAULT, ExperimentScale
 from ..workloads.benchmarks import BENCHMARKS
 from ..workloads.mixes import MIX_ORDER, MIXES, WorkloadMix
 from .report import format_table
-from .runner import run_matrix
+from .runner import RunPolicy, run_matrix
 
 
 def _single_core_config():
@@ -111,11 +111,12 @@ def run_table2b(
     mixes: Optional[Sequence[WorkloadMix]] = None,
     seed: int = 42,
     workers: Optional[int] = None,
+    policy: Optional[RunPolicy] = None,
 ) -> Table2bResult:
     """Measure baseline HMIPC for every mix on the 2D machine."""
     if mixes is None:
         mixes = [MIXES[name] for name in MIX_ORDER]
-    table = run_matrix([config_2d()], mixes, scale, seed=seed, workers=workers)
+    table = run_matrix([config_2d()], mixes, scale, seed=seed, workers=workers, policy=policy)
     return Table2bResult(
         hmipc={m.name: table.hmipc("2D", m.name) for m in mixes}
     )

@@ -26,7 +26,8 @@ from ..cache.l3 import StackedL3
 from ..cache.tlb import Tlb
 from ..cpu.core import Core
 from ..dram.timing import DramTiming, ddr2_commodity, stacked_commodity, true_3d
-from ..engine.simulator import Engine, SimulationError
+from ..common.errors import SimulationHang
+from ..engine.simulator import Engine, Watchdog
 from ..interconnect.bus import Bus
 from ..interconnect.links import offchip_fsb, tsv_bus
 from ..memctrl.memsys import MainMemory
@@ -262,13 +263,36 @@ class Machine:
         self._core_results: Dict[int, CoreResult] = {}
 
     # ------------------------------------------------------------------
+    def outstanding_requests(self) -> int:
+        """Requests in flight: MSHR occupancy plus MC queue depths.
+
+        A non-zero count while the event queue is empty means the
+        simulation is deadlocked (some completion callback was lost);
+        the engine watchdog uses this probe to detect that.
+        """
+        mshr = sum(f.occupancy for f in self.l2_mshr_files)
+        mrq = sum(len(mc.mrq) for mc in self.memory.controllers)
+        return mshr + mrq
+
     def run(
         self,
         warmup_instructions: int = 20_000,
         measure_instructions: int = 80_000,
         max_cycles: int = 500_000_000,
+        max_events: Optional[int] = None,
     ) -> MachineResult:
-        """Warm up, measure, and collect results (paper methodology)."""
+        """Warm up, measure, and collect results (paper methodology).
+
+        Args:
+            max_cycles: cycle ceiling per phase; exceeding it raises
+                :class:`~repro.common.errors.SimulationHang`.
+            max_events: optional event budget per phase (watchdog against
+                runaway simulations that keep scheduling work without
+                committing instructions).
+        """
+        watchdog = Watchdog(
+            max_events=max_events, pending_work=self.outstanding_requests
+        )
         for core in self.cores:
             core.start()
         if self.tuner is not None:
@@ -280,11 +304,15 @@ class Machine:
                 stop_when=lambda: all(
                     core.committed >= warmup_instructions for core in self.cores
                 ),
+                watchdog=watchdog,
             )
             if not all(c.committed >= warmup_instructions for c in self.cores):
-                raise SimulationError(
+                raise SimulationHang(
                     f"warmup did not finish within {max_cycles} cycles "
-                    f"(committed: {[c.committed for c in self.cores]})"
+                    f"(committed: {[c.committed for c in self.cores]})",
+                    cycle=self.engine.now,
+                    events_fired=self.engine.events_fired,
+                    queue_depth=self.engine.pending,
                 )
 
         for core in self.cores:
@@ -297,11 +325,15 @@ class Machine:
         self.engine.run(
             until=max_cycles,
             stop_when=lambda: all(core.frozen for core in self.cores),
+            watchdog=watchdog,
         )
         if not all(core.frozen for core in self.cores):
-            raise SimulationError(
+            raise SimulationHang(
                 f"measurement did not finish within {max_cycles} cycles "
-                f"(committed: {[c.committed for c in self.cores]})"
+                f"(committed: {[c.committed for c in self.cores]})",
+                cycle=self.engine.now,
+                events_fired=self.engine.events_fired,
+                queue_depth=self.engine.pending,
             )
         return self._collect()
 

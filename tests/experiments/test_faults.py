@@ -1,0 +1,254 @@
+"""Fault injection, retry/backoff, timeouts, and graceful degradation.
+
+These tests exercise the resilience layer itself: the fault-injection
+hooks deterministically crash/hang/slow specific matrix cells, and the
+assertions check that the runner isolates, retries, and records those
+failures without losing the healthy cells.
+"""
+
+import pytest
+
+from repro.common.errors import CellFailedError, InjectedFault
+from repro.common.units import MIB
+from repro.experiments import faults
+from repro.experiments.faults import FaultSpec
+from repro.experiments.runner import RunPolicy, parallelism_from_env, run_matrix
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1000)
+
+#: Fast backoff so retry tests don't sleep for real.
+FAST = dict(backoff_base=0.01, backoff_max=0.05)
+
+
+def _small(name, **overrides):
+    return config_3d_fast().derive(
+        name=name,
+        l2_size=1 * MIB,
+        l2_assoc=16,
+        dram_capacity=64 * MIB,
+        **overrides,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def matrix():
+    configs = [_small("base"), _small("narrow", memory_bus="tsv8")]
+    mixes = [MIXES["M1"], MIXES["M3"]]
+    return configs, mixes
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and matching
+
+
+def test_parse_fault_spec():
+    spec = faults.parse_fault("crash:base:M1:2:5.5")
+    assert spec == FaultSpec("crash", "base", "M1", times=2, seconds=5.5)
+
+
+def test_parse_defaults_and_roundtrip():
+    spec = faults.parse_fault("raise:cfg:mix")
+    assert spec.times == 1
+    specs = (spec, FaultSpec("hang", "*", "M3", times=-1, seconds=9.0))
+    assert faults.parse_faults(faults.encode_faults(specs)) == specs
+
+
+def test_parse_rejects_unknown_kind_and_short_specs():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        faults.parse_fault("explode:a:b")
+    with pytest.raises(ValueError, match="kind:config:mix"):
+        faults.parse_fault("raise:a")
+
+
+def test_matching_wildcards_and_attempts():
+    spec = FaultSpec("raise", "*", "M1", times=2)
+    assert spec.matches("anything", "M1", 1)
+    assert spec.matches("anything", "M1", 2)
+    assert not spec.matches("anything", "M1", 3)  # first retry succeeds
+    assert not spec.matches("anything", "M3", 1)
+    always = FaultSpec("raise", "cfg", "*", times=-1)
+    assert always.matches("cfg", "M9", 999)
+
+
+def test_inject_raises_only_for_matching_cell():
+    faults.install(FaultSpec("raise", "base", "M1"))
+    faults.inject("base", "M3", 1)  # no-op
+    with pytest.raises(InjectedFault):
+        faults.inject("base", "M1", 1)
+
+
+# ----------------------------------------------------------------------
+# parallelism_from_env (satellite)
+
+
+def test_parallelism_default_is_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert parallelism_from_env() == 1
+
+
+def test_parallelism_auto_uses_cpu_count(monkeypatch):
+    import os
+
+    monkeypatch.setenv("REPRO_PARALLEL", "auto")
+    assert parallelism_from_env() == (os.cpu_count() or 1)
+
+
+def test_parallelism_rejects_non_integer_cleanly(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "lots")
+    with pytest.raises(ValueError, match="positive integer") as excinfo:
+        parallelism_from_env()
+    # `raise ... from None`: no confusing chained int() traceback.
+    assert excinfo.value.__suppress_context__
+
+
+@pytest.mark.parametrize("value", ["0", "-4"])
+def test_parallelism_rejects_non_positive(monkeypatch, value):
+    monkeypatch.setenv("REPRO_PARALLEL", value)
+    with pytest.raises(ValueError, match=">= 1"):
+        parallelism_from_env()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation (serial path)
+
+
+def test_failed_cell_is_recorded_not_raised(matrix):
+    configs, mixes = matrix
+    faults.install(FaultSpec("raise", "narrow", "M1", times=-1))
+    table = run_matrix(configs, mixes, TINY, workers=1)
+    assert sorted(table.cells) == [
+        ("base", "M1"), ("base", "M3"), ("narrow", "M3"),
+    ]
+    failure = table.failure("narrow", "M1")
+    assert failure.error_type == "InjectedFault"
+    assert failure.attempts == 1
+    assert "narrow" in failure.message and failure.traceback
+
+
+def test_strict_and_lenient_accessors(matrix):
+    configs, mixes = matrix
+    faults.install(FaultSpec("raise", "narrow", "M1", times=-1))
+    table = run_matrix(configs, mixes, TINY, workers=1)
+    assert table.ok("base", "M1") and not table.ok("narrow", "M1")
+    assert table.result_or_none("narrow", "M1") is None
+    with pytest.raises(CellFailedError, match="InjectedFault"):
+        table.result("narrow", "M1")
+    with pytest.raises(CellFailedError):
+        table.hmipc("narrow", "M1")
+    with pytest.raises(CellFailedError):
+        table.gm_speedup("narrow", "base")  # strict default
+    # Lenient GM skips the failed mix and uses the surviving one.
+    gm = table.gm_speedup("narrow", "base", skip_failed=True)
+    assert gm == pytest.approx(table.speedup("narrow", "M3", "base"))
+
+
+def test_unknown_cell_still_raises_keyerror(matrix):
+    configs, mixes = matrix
+    table = run_matrix(configs, [MIXES["M3"]], TINY, workers=1)
+    with pytest.raises(KeyError):
+        table.result("base", "nope")
+
+
+def test_retry_recovers_transient_failure(matrix):
+    configs, mixes = matrix
+    faults.install(FaultSpec("raise", "base", "M3", times=1))
+    table = run_matrix(
+        configs, mixes, TINY, workers=1, policy=RunPolicy(retries=1, **FAST)
+    )
+    assert not table.failures
+    assert table.ok("base", "M3")
+
+
+def test_retries_exhausted_counts_attempts(matrix):
+    configs, mixes = matrix
+    faults.install(FaultSpec("raise", "base", "M3", times=-1))
+    table = run_matrix(
+        configs, mixes, TINY, workers=1, policy=RunPolicy(retries=2, **FAST)
+    )
+    assert table.failure("base", "M3").attempts == 3
+
+
+# ----------------------------------------------------------------------
+# Process isolation: crashes, hangs, timeouts (acceptance scenario)
+
+
+def test_crash_and_hang_cells_degrade_gracefully(matrix):
+    """A crashed worker and a hung worker must not take down the matrix."""
+    configs, mixes = matrix
+    faults.install(
+        FaultSpec("crash", "base", "M1", times=-1),
+        FaultSpec("hang", "narrow", "M3", times=-1, seconds=120.0),
+    )
+    table = run_matrix(
+        configs,
+        mixes,
+        TINY,
+        workers=2,
+        policy=RunPolicy(cell_timeout=3.0, retries=1, **FAST),
+    )
+    # Healthy cells all completed.
+    assert table.ok("base", "M3") and table.ok("narrow", "M1")
+    crash = table.failure("base", "M1")
+    assert crash.error_type == "WorkerCrash"
+    assert str(faults.CRASH_EXITCODE) in crash.message
+    assert crash.attempts == 2
+    hang = table.failure("narrow", "M3")
+    assert hang.error_type == "CellTimeout"
+    assert hang.attempts == 2
+    assert hang.elapsed >= 2 * 3.0 * 0.9  # two timed-out attempts
+
+
+def test_hang_timeout_then_retry_succeeds(matrix):
+    configs, _ = matrix
+    # Hangs only on attempt 1; the retry (fresh process) completes.
+    faults.install(FaultSpec("hang", "base", "M3", times=1, seconds=120.0))
+    table = run_matrix(
+        configs,
+        [MIXES["M3"]],
+        TINY,
+        workers=2,
+        policy=RunPolicy(cell_timeout=3.0, retries=1, **FAST),
+    )
+    assert not table.failures
+    assert table.ok("base", "M3")
+
+
+def test_env_var_reaches_worker_processes(matrix, monkeypatch):
+    configs, mixes = matrix
+    monkeypatch.setenv(faults.ENV_VAR, "raise:narrow:M3:-1")
+    table = run_matrix(
+        configs, mixes, TINY, workers=2, policy=RunPolicy(retries=0)
+    )
+    assert table.failure("narrow", "M3").error_type == "InjectedFault"
+    assert len(table.cells) == 3
+
+
+def test_slow_fault_just_delays(matrix):
+    configs, _ = matrix
+    faults.install(FaultSpec("slow", "base", "M3", times=-1, seconds=0.2))
+    table = run_matrix(configs, [MIXES["M3"]], TINY, workers=1)
+    assert not table.failures
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="retries"):
+        RunPolicy(retries=-1)
+    with pytest.raises(ValueError, match="cell_timeout"):
+        RunPolicy(cell_timeout=0)
+    with pytest.raises(ValueError, match="journal_path"):
+        run_matrix(
+            [_small("base")],
+            [MIXES["M3"]],
+            TINY,
+            workers=1,
+            policy=RunPolicy(resume=True),
+        )

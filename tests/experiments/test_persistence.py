@@ -62,3 +62,65 @@ def test_file_is_stable_json(tmp_path, table):
     save_table(table, a)
     save_table(table, b)
     assert a.read_text() == b.read_text()  # deterministic serialization
+
+
+def test_save_leaves_no_temp_files(tmp_path, table):
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    save_table(table, path)  # overwrite goes through the same temp path
+    assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+
+
+def test_version_1_files_still_load(tmp_path, table):
+    """Files written before the failures field (v1) remain readable."""
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    payload = json.loads(path.read_text())
+    payload["format_version"] = 1
+    del payload["failures"]
+    path.write_text(json.dumps(payload))
+    loaded = load_table(path)
+    assert loaded.failures == {}
+    assert loaded.result("small", "M3").hmipc == pytest.approx(
+        table.result("small", "M3").hmipc
+    )
+
+
+def test_future_version_rejected_with_clear_error(tmp_path, table):
+    path = tmp_path / "results.json"
+    save_table(table, path)
+    payload = json.loads(path.read_text())
+    payload["format_version"] = 99
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="newer release"):
+        load_table(path)
+
+
+def test_failures_roundtrip(tmp_path, table):
+    from repro.experiments.runner import CellFailure, ResultTable
+
+    with_failure = ResultTable(
+        configs=table.configs + ["broken"],
+        mixes=table.mixes,
+        cells=dict(table.cells),
+        failures={
+            ("broken", "M3"): CellFailure(
+                config="broken",
+                mix="M3",
+                error_type="CellTimeout",
+                message="attempt 2 exceeded the 30s wall-clock budget",
+                traceback="",
+                attempts=2,
+                elapsed=61.5,
+            )
+        },
+    )
+    path = tmp_path / "results.json"
+    save_table(with_failure, path)
+    loaded = load_table(path)
+    failure = loaded.failure("broken", "M3")
+    assert failure.error_type == "CellTimeout"
+    assert failure.attempts == 2
+    assert failure.elapsed == pytest.approx(61.5)
+    assert not loaded.ok("broken", "M3")
+    assert loaded.ok("small", "M3")

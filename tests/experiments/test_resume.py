@@ -1,0 +1,236 @@
+"""Checkpoint/resume: the cell journal and run_matrix(resume=True).
+
+The acceptance scenario: a sweep is interrupted (or some cells fail),
+and a second invocation with ``resume=True`` re-simulates *only* the
+missing/failed cells — verified by counting ``run_workload`` calls.
+"""
+
+import json
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.common.units import MIB
+from repro.experiments import faults
+from repro.experiments.faults import FaultSpec
+from repro.experiments.persistence import CellJournal, journal_signature
+from repro.experiments.runner import RunPolicy, run_matrix
+from repro.system.config import config_3d_fast
+from repro.system.scale import ExperimentScale
+from repro.workloads.mixes import MIXES
+
+TINY = ExperimentScale("tiny", 300, 1000)
+FAST = dict(backoff_base=0.01, backoff_max=0.05)
+
+
+def _small(name, **overrides):
+    return config_3d_fast().derive(
+        name=name,
+        l2_size=1 * MIB,
+        l2_assoc=16,
+        dram_capacity=64 * MIB,
+        **overrides,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def matrix():
+    configs = [_small("base"), _small("narrow", memory_bus="tsv8")]
+    mixes = [MIXES["M1"], MIXES["M3"]]
+    return configs, mixes
+
+
+@pytest.fixture()
+def counted_runs(monkeypatch):
+    """Count run_workload invocations made by the (serial) runner."""
+    calls = []
+    original = runner_module.run_workload
+
+    def counting(config, benchmarks, **kwargs):
+        calls.append((config.name, kwargs.get("workload_name")))
+        return original(config, benchmarks, **kwargs)
+
+    monkeypatch.setattr(runner_module, "run_workload", counting)
+    return calls
+
+
+def test_resume_skips_completed_cells(tmp_path, matrix, counted_runs):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    faults.install(FaultSpec("raise", "base", "M1", times=-1))
+    first = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    assert len(first.cells) == 3
+    assert first.failure("base", "M1") is not None
+    assert len(counted_runs) == 3  # the faulted cell never reached a sim
+
+    faults.clear()  # "transient outage over"
+    counted_runs.clear()
+    second = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    # Only the previously failed cell was re-simulated.
+    assert counted_runs == [("base", "M1")]
+    assert len(second.cells) == 4
+    assert not second.failures
+
+
+def test_resumed_results_match_fresh_results(tmp_path, matrix):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    fresh = run_matrix(configs, mixes, TINY, workers=1)
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    resumed = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    for key, result in fresh.cells.items():
+        assert resumed.cells[key].hmipc == pytest.approx(result.hmipc)
+        assert resumed.cells[key].total_cycles == result.total_cycles
+
+
+def test_interrupted_matrix_resumes_where_it_left_off(
+    tmp_path, matrix, counted_runs, monkeypatch
+):
+    """Kill a matrix mid-run; completed cells are not re-simulated."""
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+
+    original = runner_module.run_workload
+    state = {"n": 0}
+
+    def dying(config, benchmarks, **kwargs):
+        state["n"] += 1
+        if state["n"] == 3:  # "Ctrl-C" after two finished cells
+            raise KeyboardInterrupt
+        return original(config, benchmarks, **kwargs)
+
+    monkeypatch.setattr(runner_module, "run_workload", dying)
+    with pytest.raises(KeyboardInterrupt):
+        run_matrix(
+            configs, mixes, TINY, workers=1,
+            policy=RunPolicy(journal_path=journal),
+        )
+
+    monkeypatch.setattr(runner_module, "run_workload", original)
+    completed, _ = CellJournal.load(journal)
+    assert len(completed) == 2
+
+    counted_runs.clear()
+    table = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    assert len(table.cells) == 4
+    assert len(counted_runs) == 2  # only the two missing cells
+
+
+def test_resume_works_across_process_isolation(tmp_path, matrix):
+    """Journal written by the process-isolated path resumes serially."""
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    faults.install(FaultSpec("crash", "narrow", "M1", times=-1))
+    first = run_matrix(
+        configs, mixes, TINY, workers=2,
+        policy=RunPolicy(journal_path=journal, **FAST),
+    )
+    assert first.failure("narrow", "M1").error_type == "WorkerCrash"
+    faults.clear()
+    second = run_matrix(
+        configs, mixes, TINY, workers=2,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    assert len(second.cells) == 4 and not second.failures
+
+
+def test_resume_rejects_mismatched_signature(tmp_path, matrix):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    with pytest.raises(ValueError, match="different run"):
+        run_matrix(
+            configs, mixes, TINY, seed=7, workers=1,
+            policy=RunPolicy(journal_path=journal, resume=True),
+        )
+
+
+def test_journal_tolerates_torn_final_line(tmp_path, matrix, counted_runs):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    # Simulate a kill -9 mid-append: a truncated trailing record.
+    intact = journal.read_text()
+    last = intact.splitlines()[-1]
+    journal.write_text(intact + last[: len(last) // 2])
+    completed, _ = CellJournal.load(journal)
+    assert len(completed) == 4  # everything before the torn line survives
+
+    counted_runs.clear()
+    table = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    assert counted_runs == [] and len(table.cells) == 4
+
+
+def test_journal_without_resume_restarts(tmp_path, matrix, counted_runs):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, [MIXES["M1"]], TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    counted_runs.clear()
+    run_matrix(
+        configs, [MIXES["M1"]], TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),  # no resume: fresh start
+    )
+    assert len(counted_runs) == 2
+
+
+def test_journal_rejects_non_journal_file(tmp_path, matrix):
+    configs, mixes = matrix
+    path = tmp_path / "bogus.jsonl"
+    path.write_text(json.dumps({"kind": "result"}) + "\n")
+    with pytest.raises(ValueError, match="not a cell journal"):
+        run_matrix(
+            configs, mixes, TINY, workers=1,
+            policy=RunPolicy(journal_path=path, resume=True),
+        )
+
+
+def test_journal_records_attempts_and_failures(tmp_path, matrix):
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    faults.install(FaultSpec("raise", "base", "M3", times=1))
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, retries=1, **FAST),
+    )
+    records = [json.loads(line) for line in journal.read_text().splitlines()]
+    assert records[0]["kind"] == "header"
+    assert records[0]["signature"] == journal_signature(
+        ["base", "narrow"], ["M1", "M3"], TINY, 42
+    )
+    by_cell = {
+        (r["config"], r["mix"]): r for r in records if r["kind"] == "result"
+    }
+    assert by_cell[("base", "M3")]["attempts"] == 2  # recovered on retry

@@ -108,3 +108,43 @@ def test_fairness_command(capsys, monkeypatch):
     assert main(["fairness", "--config", "3d-fast", "--mix", "M3"]) == 0
     out = capsys.readouterr().out
     assert "weighted speedup" in out
+
+
+def test_figure_with_journal_and_resume(capsys, monkeypatch, tmp_path):
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    journal = tmp_path / "fig4.journal.jsonl"
+    argv = ["figure", "4", "--mixes", "M3", "--workers", "1",
+            "--journal", str(journal)]
+    assert main(argv) == 0
+    assert journal.exists()
+    capsys.readouterr()
+    # Resuming re-renders the figure entirely from the journal.
+    assert main(argv + ["--resume"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_figure_with_injected_failure_degrades(capsys, monkeypatch, tmp_path):
+    from repro.experiments import faults
+    from repro.system import scale as scale_mod
+
+    tiny = scale_mod.ExperimentScale("smoke", 300, 1000)
+    monkeypatch.setitem(scale_mod._SCALES, "smoke", tiny)
+    monkeypatch.setenv(faults.ENV_VAR, "raise:3D-wide:M3:-1")
+    assert main(["figure", "4", "--mixes", "M3", "--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "report incomplete" in out
+    assert "WARNING: 1 cell(s) failed" in out
+    assert "--resume" in out
+
+
+def test_resilience_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["figure", "4", "--cell-timeout", "30", "--retries", "2", "--resume"]
+    )
+    assert args.cell_timeout == 30.0
+    assert args.retries == 2
+    assert args.resume and args.journal is None
