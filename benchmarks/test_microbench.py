@@ -17,6 +17,33 @@ from repro.mshr.vbf_mshr import VbfMshr
 
 
 def test_engine_event_throughput(benchmark):
+    """The tracked engine workload: 32 interleaved delay chains.
+
+    Mirrors ``bench_engine_parallel`` in ``scripts/bench_trajectory.py``:
+    a deep queue of short, mixed delays is where the calendar-queue
+    insert path earns its keep.
+    """
+
+    def run():
+        engine = Engine()
+        counter = [0]
+
+        def tick(delay):
+            counter[0] += 1
+            if counter[0] < 10_000:
+                engine.schedule(delay, tick, delay)
+
+        for i in range(32):
+            engine.schedule(i % 13 + 1, tick, i % 13 + 1)
+        engine.run()
+        return counter[0]
+
+    assert benchmark(run) >= 10_000
+
+
+def test_engine_chain_throughput(benchmark):
+    """Secondary: a single delay-1 chain (queue depth ~1, pure dispatch)."""
+
     def run():
         engine = Engine()
         counter = [0]

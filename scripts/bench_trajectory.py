@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""Record the simulator's performance trajectory across PRs.
+
+Runs the hot-path micro-benchmarks (mirroring ``benchmarks/test_microbench.py``)
+plus one fixed smoke-scale figure-4 cell, and writes the measured throughput
+numbers to ``BENCH_<n>.json`` at the repository root.  When an earlier
+``BENCH_<m>.json`` exists the report embeds per-metric speedups against it, so
+every PR inherits a perf baseline from the previous one.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py            # next label
+    PYTHONPATH=src python scripts/bench_trajectory.py --label 2  # force BENCH_2
+    PYTHONPATH=src python scripts/bench_trajectory.py --check    # CI: fail on
+                                                                 # >30% regression
+
+``--check`` compares against the newest committed baseline without writing a
+new file unless ``--out`` is given, and exits non-zero when any metric slowed
+down by more than ``--max-regression`` (default 0.30).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dram.bank import Bank  # noqa: E402
+from repro.dram.refresh import RefreshSchedule  # noqa: E402
+from repro.dram.timing import true_3d  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.mshr.conventional import ConventionalMshr  # noqa: E402
+from repro.mshr.vbf_mshr import VbfMshr  # noqa: E402
+from repro.system.config import config_2d  # noqa: E402
+from repro.system.machine import Machine  # noqa: E402
+from repro.system.scale import get_scale  # noqa: E402
+from repro.workloads.mixes import MIXES  # noqa: E402
+
+#: The fixed figure-4 cell: the 2D baseline on the first high-memory mix.
+SMOKE_MIX = "H1"
+SMOKE_SEED = 42
+
+BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+
+
+def best_of(fn, repeats):
+    """Run ``fn`` ``repeats`` times; return (best_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+
+
+def bench_engine_parallel(events, repeats, chains=32):
+    """The tracked engine micro-benchmark: many interleaved delay chains.
+
+    32 self-rescheduling chains with coprime-ish delays (``i % 13 + 1``)
+    keep a realistically deep queue — the shape of a multi-core machine
+    with many in-flight events per cycle — where the calendar queue's
+    O(1) insert beats the heap's O(log n).  A single depth-1 chain (see
+    :func:`bench_engine_chain`) degenerates to a one-event queue and
+    cannot show that gap.
+    """
+
+    def run():
+        engine = Engine()
+        counter = [0]
+
+        def tick(delay):
+            counter[0] += 1
+            if counter[0] < events:
+                engine.schedule(delay, tick, delay)
+
+        for i in range(chains):
+            engine.schedule(i % 13 + 1, tick, i % 13 + 1)
+        engine.run()
+        return counter[0]
+
+    seconds, fired = best_of(run, repeats)
+    assert fired >= events
+    return {
+        "value": fired / seconds,
+        "unit": "events/sec",
+        "higher_is_better": True,
+        "wall_seconds": seconds,
+    }
+
+
+def bench_engine_chain(events, repeats):
+    """Secondary metric: a single self-rescheduling delay-1 chain.
+
+    Queue depth is ~1 throughout, so this isolates fixed per-event
+    dispatch overhead rather than queue-discipline costs."""
+
+    def run():
+        engine = Engine()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < events:
+                engine.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return counter[0]
+
+    seconds, fired = best_of(run, repeats)
+    assert fired == events
+    return {
+        "value": events / seconds,
+        "unit": "events/sec",
+        "higher_is_better": True,
+        "wall_seconds": seconds,
+    }
+
+
+def bench_engine_mixed(events, repeats):
+    """Interleaved schedule: short delays, cancellations, far-future events.
+
+    Exercises same-cycle FIFO, lazy cancellation, and the far-future
+    (refresh-like) path together, so scheduler regressions that the plain
+    chain cannot see still show up in the trajectory.
+    """
+
+    def run():
+        engine = Engine()
+        rng = random.Random(1234)
+        fired = [0]
+        pending = []
+
+        def tick():
+            fired[0] += 1
+            if fired[0] >= events:
+                return
+            roll = rng.random()
+            if roll < 0.70:
+                engine.schedule(rng.randrange(1, 40), tick)
+            elif roll < 0.85:
+                pending.append(engine.schedule(rng.randrange(1, 200), tick))
+                engine.schedule(1, tick)
+            elif roll < 0.95 and pending:
+                pending.pop(rng.randrange(len(pending))).cancel()
+                engine.schedule(1, tick)
+            else:
+                engine.schedule(rng.randrange(5_000, 50_000), tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return fired[0]
+
+    seconds, fired = best_of(run, repeats)
+    return {
+        "value": fired / seconds,
+        "unit": "events/sec",
+        "higher_is_better": True,
+        "wall_seconds": seconds,
+    }
+
+
+def _mshr_workload(mshr, operations):
+    live = []
+    rng = random.Random(7)
+    for _ in range(operations):
+        if live and (len(live) >= mshr.capacity or rng.random() < 0.5):
+            line = live.pop(rng.randrange(len(live)))
+            mshr.search(line)
+            mshr.deallocate(line)
+        else:
+            line = rng.randrange(1 << 20) * 64
+            found, _ = mshr.search(line)
+            if found is None and not mshr.is_full:
+                mshr.allocate(line)
+                live.append(line)
+    return mshr.total_probes
+
+
+def bench_mshr(factory, operations, repeats):
+    def run():
+        return _mshr_workload(factory(), operations)
+
+    seconds, probes = best_of(run, repeats)
+    assert probes > 0
+    return {
+        "value": operations / seconds,
+        "unit": "ops/sec",
+        "higher_is_better": True,
+        "wall_seconds": seconds,
+    }
+
+
+def bench_dram_bank(accesses, repeats):
+    def run():
+        timing = true_3d()
+        bank = Bank(timing, RefreshSchedule(timing, phase=10**9), 4)
+        now = 0
+        rng = random.Random(3)
+        for _ in range(accesses):
+            data_time, _ = bank.access(now, rng.randrange(64), False)
+            now = data_time
+        return now
+
+    seconds, _ = best_of(run, repeats)
+    return {
+        "value": accesses / seconds,
+        "unit": "accesses/sec",
+        "higher_is_better": True,
+        "wall_seconds": seconds,
+    }
+
+
+def bench_figure4_smoke(repeats):
+    """One full-machine figure-4 cell (2D config, H1 mix) at smoke scale."""
+    scale = get_scale("smoke")
+    mix = MIXES[SMOKE_MIX]
+
+    def run():
+        machine = Machine(
+            config_2d(), list(mix.benchmarks), seed=SMOKE_SEED,
+            workload_name=mix.name,
+        )
+        result = machine.run(
+            warmup_instructions=scale.warmup_instructions,
+            measure_instructions=scale.measure_instructions,
+        )
+        return result.total_cycles, machine.engine.events_fired
+
+    seconds, (cycles, events) = best_of(run, repeats)
+    return {
+        "value": seconds,
+        "unit": "seconds",
+        "higher_is_better": False,
+        "wall_seconds": seconds,
+        "total_cycles": cycles,
+        "events_fired": events,
+        "cycles_per_sec": cycles / seconds,
+        "events_per_sec": events / seconds,
+    }
+
+
+def run_suite(quick):
+    chain_events = 20_000 if quick else 100_000
+    ops = 2_000 if quick else 5_000
+    repeats = 2 if quick else 3
+    return {
+        "engine_microbench": bench_engine_parallel(chain_events, repeats + 1),
+        "engine_chain": bench_engine_chain(chain_events, repeats + 1),
+        "engine_mixed": bench_engine_mixed(chain_events, repeats),
+        "mshr_vbf": bench_mshr(lambda: VbfMshr(32), ops, repeats),
+        "mshr_conventional": bench_mshr(lambda: ConventionalMshr(32), ops, repeats),
+        "dram_bank": bench_dram_bank(ops, repeats),
+        "figure4_smoke": bench_figure4_smoke(1 if quick else 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Baselines and comparison
+
+
+def existing_baselines():
+    found = {}
+    for path in REPO_ROOT.iterdir():
+        match = BENCH_FILE_RE.match(path.name)
+        if match:
+            found[int(match.group(1))] = path
+    return found
+
+
+def compare(metrics, baseline_metrics):
+    """Per-metric speedups of ``metrics`` over ``baseline_metrics``.
+
+    Speedup > 1.0 always means "got faster", regardless of metric polarity.
+    """
+    speedups = {}
+    for name, metric in metrics.items():
+        old = baseline_metrics.get(name)
+        if old is None or not old.get("value"):
+            continue
+        if metric.get("higher_is_better", True):
+            speedups[name] = metric["value"] / old["value"]
+        else:
+            speedups[name] = old["value"] / metric["value"]
+    return speedups
+
+
+def git_revision():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", type=int, default=None,
+                        help="n for BENCH_<n>.json (default: next free)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="explicit output path (overrides --label)")
+    parser.add_argument("--compare-to", type=Path, default=None,
+                        help="baseline file (default: newest BENCH_<m>.json "
+                             "with m < label)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on regression beyond "
+                             "--max-regression; does not write unless --out")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated slowdown fraction in --check mode")
+    args = parser.parse_args(argv)
+
+    baselines = existing_baselines()
+    label = args.label
+    if label is None:
+        label = (max(baselines) + 1) if baselines else 1
+
+    baseline_path = args.compare_to
+    if baseline_path is None:
+        earlier = [n for n in baselines if n < label]
+        if earlier:
+            baseline_path = baselines[max(earlier)]
+
+    print(f"benchmarking ({'quick' if args.quick else 'full'}) ...",
+          flush=True)
+    metrics = run_suite(args.quick)
+    for name, metric in sorted(metrics.items()):
+        print(f"  {name:24s} {metric['value']:>14.1f} {metric['unit']}")
+
+    report = {
+        "schema": 1,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "metrics": metrics,
+    }
+
+    failed = []
+    if baseline_path is not None and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        speedups = compare(metrics, baseline.get("metrics", {}))
+        report["baseline"] = {
+            "file": baseline_path.name,
+            "label": baseline.get("label"),
+            "speedups": speedups,
+        }
+        print(f"vs {baseline_path.name}:")
+        floor = 1.0 - args.max_regression
+        for name, speedup in sorted(speedups.items()):
+            flag = ""
+            if speedup < floor:
+                failed.append((name, speedup))
+                flag = "  <-- REGRESSION"
+            print(f"  {name:24s} {speedup:6.2f}x{flag}")
+    elif args.check:
+        print("no baseline found; nothing to check against")
+
+    out = args.out
+    if out is None and not args.check:
+        out = REPO_ROOT / f"BENCH_{label}.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+
+    if args.check and failed:
+        names = ", ".join(f"{n} ({s:.2f}x)" for n, s in failed)
+        print(f"FAIL: regression beyond {args.max_regression:.0%}: {names}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

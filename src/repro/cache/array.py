@@ -9,7 +9,7 @@ Lines are identified by their aligned physical address.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..common.units import is_power_of_two, log2int
 from .replacement import make_policy
@@ -41,78 +41,85 @@ class CacheArray:
         self.num_sets = size_bytes // (assoc * line_size)
         self.policy = make_policy(policy, assoc, seed)
         self._line_shift = log2int(line_size)
-        # set index -> OrderedDict mapping line address -> dirty flag.
+        # Precomputed masks: align is a single AND, and power-of-two set
+        # counts (the common case) index with shift-and-mask.
+        self._align_mask = ~(line_size - 1)
+        self._set_mask = (
+            self.num_sets - 1 if is_power_of_two(self.num_sets) else None
+        )
+        # Bound policy hooks: one attribute load instead of two per access.
+        self._on_access = self.policy.on_access
+        self._on_fill = self.policy.on_fill
+        self._on_evict = self.policy.on_evict
+        self._choose_victim = self.policy.choose_victim
+        # One OrderedDict per set, mapping line address -> dirty flag.
         # The dict's order is owned by the policy (LRU keeps it LRU->MRU).
-        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
 
     def set_index(self, line_addr: int) -> int:
+        if self._set_mask is not None:
+            return (line_addr >> self._line_shift) & self._set_mask
         return (line_addr >> self._line_shift) % self.num_sets
 
     def align(self, addr: int) -> int:
-        return addr & ~(self.line_size - 1)
-
-    def _set_for(self, line_addr: int) -> "OrderedDict[int, bool]":
-        index = self.set_index(line_addr)
-        existing = self._sets.get(index)
-        if existing is None:
-            existing = OrderedDict()
-            self._sets[index] = existing
-        return existing
+        return addr & self._align_mask
 
     def lookup(self, addr: int) -> bool:
         """Hit test with replacement-state update (a real access)."""
-        line = self.align(addr)
-        cache_set = self._set_for(line)
+        line = addr & self._align_mask
+        index = self.set_index(line)
+        cache_set = self._sets[index]
         if line in cache_set:
-            self.policy.on_access(cache_set, self.set_index(line), line)
+            self._on_access(cache_set, index, line)
             return True
         return False
 
     def probe(self, addr: int) -> bool:
         """Hit test without disturbing replacement state (prefetch filters)."""
-        line = self.align(addr)
-        return line in self._sets.get(self.set_index(line), ())
+        line = addr & self._align_mask
+        return line in self._sets[self.set_index(line)]
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Insert a line; returns the evicted ``(line, dirty)`` if any."""
-        line = self.align(addr)
+        line = addr & self._align_mask
         set_idx = self.set_index(line)
-        cache_set = self._set_for(line)
+        cache_set = self._sets[set_idx]
         if line in cache_set:
             # Refill of a resident line (e.g. racing prefetch): just
             # merge the dirty bit and touch replacement state.
             cache_set[line] = cache_set[line] or dirty
-            self.policy.on_access(cache_set, set_idx, line)
+            self._on_access(cache_set, set_idx, line)
             return None
         victim: Optional[Tuple[int, bool]] = None
         if len(cache_set) >= self.assoc:
-            victim_line = self.policy.choose_victim(cache_set, set_idx)
+            victim_line = self._choose_victim(cache_set, set_idx)
             victim = (victim_line, cache_set.pop(victim_line))
-            self.policy.on_evict(cache_set, set_idx, victim_line)
+            self._on_evict(cache_set, set_idx, victim_line)
         cache_set[line] = dirty
-        self.policy.on_fill(cache_set, set_idx, line)
+        self._on_fill(cache_set, set_idx, line)
         return victim
 
     def mark_dirty(self, addr: int) -> None:
         """Set the dirty bit of a resident line (write hit)."""
-        line = self.align(addr)
-        cache_set = self._set_for(line)
+        line = addr & self._align_mask
+        set_idx = self.set_index(line)
+        cache_set = self._sets[set_idx]
         if line not in cache_set:
             raise KeyError(f"line {line:#x} not resident")
         cache_set[line] = True
-        self.policy.on_access(cache_set, self.set_index(line), line)
+        self._on_access(cache_set, set_idx, line)
 
     def invalidate(self, addr: int) -> Optional[bool]:
         """Drop a line; returns its dirty bit, or None if absent."""
-        line = self.align(addr)
+        line = addr & self._align_mask
         set_idx = self.set_index(line)
-        cache_set = self._sets.get(set_idx)
-        if cache_set is None or line not in cache_set:
+        cache_set = self._sets[set_idx]
+        if line not in cache_set:
             return None
         dirty = cache_set.pop(line)
-        self.policy.on_evict(cache_set, set_idx, line)
+        self._on_evict(cache_set, set_idx, line)
         return dirty
 
     @property
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._sets.values())
+        return sum(len(s) for s in self._sets)

@@ -43,6 +43,14 @@ class L1Cache:
         self.l2 = l2
         registry = registry if registry is not None else StatRegistry()
         self.stats = registry.group(f"l1.core{core_id}")
+        # Bound counter slots: one attribute store per event on the hot
+        # path instead of a string-keyed dict update.
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_secondary_misses = self.stats.counter("secondary_misses")
+        self._c_mshr_rejects = self.stats.counter("mshr_rejects")
+        self._c_writebacks = self.stats.counter("writebacks")
         self.latency = latency
         self.prefetcher = prefetcher
         self._free_waiters: Deque[Callable[[], None]] = deque()
@@ -59,9 +67,9 @@ class L1Cache:
         """
         now = self.engine.now
         line = self.array.align(request.addr)
-        self.stats.add("accesses")
+        self._c_accesses.value += 1.0
         if self.array.lookup(line):
-            self.stats.add("hits")
+            self._c_hits.value += 1.0
             if request.is_write:
                 self.array.mark_dirty(line)
             request.complete(now + self.latency)
@@ -71,7 +79,7 @@ class L1Cache:
         # Miss path.
         entry, _ = self.mshr.search(line)
         if entry is not None:
-            self.stats.add("secondary_misses")
+            self._c_secondary_misses.value += 1.0
             entry.merge(request)
             if request.is_write:
                 self._fill_dirty[line] = True
@@ -79,10 +87,10 @@ class L1Cache:
 
         new_entry, _ = self.mshr.allocate(line)
         if new_entry is None:
-            self.stats.add("mshr_rejects")
+            self._c_mshr_rejects.value += 1.0
             return False
 
-        self.stats.add("misses")
+        self._c_misses.value += 1.0
         new_entry.merge(request)
         self._fill_dirty[line] = request.is_write
         fetch = MemoryRequest(
@@ -122,7 +130,7 @@ class L1Cache:
         dirty = dirty or any(r.is_write for r in entry.requests)
         victim = self.array.fill(line, dirty=dirty)
         if victim is not None and victim[1]:
-            self.stats.add("writebacks")
+            self._c_writebacks.value += 1.0
             writeback = MemoryRequest(
                 victim[0],
                 AccessType.WRITEBACK,

@@ -60,6 +60,21 @@ class BankedL2Cache:
         self.mshr_files = list(mshr_files)
         registry = registry if registry is not None else StatRegistry()
         self.stats = registry.group("l2")
+        # Bound counter slots for the per-access path; per-core demand
+        # counters are cached lazily by core id (no f-string per access).
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_writeback_hits = self.stats.counter("writeback_hits")
+        self._c_writeback_misses = self.stats.counter("writeback_misses")
+        self._c_prefetch_misses = self.stats.counter("prefetch_misses")
+        self._c_prefetch_partial_hits = self.stats.counter("prefetch_partial_hits")
+        self._c_mshr_merges = self.stats.counter("mshr_merges")
+        self._c_mshr_stalls = self.stats.counter("mshr_stalls")
+        self._c_mshr_stall_cycles = self.stats.counter("mshr_stall_cycles")
+        self._c_evictions = self.stats.counter("evictions")
+        self._core_demand_accesses = {}
+        self._core_demand_misses = {}
         self.num_banks = num_banks
         self.interleave = interleave
         self.latency = latency
@@ -68,6 +83,15 @@ class BankedL2Cache:
         self.line_size = array.line_size
         self._line_shift = log2int(self.line_size)
         self._page_shift = log2int(page_size)
+        # Bank routing precomputed to a shift (+ mask when the bank count
+        # is a power of two): one expression per access instead of string
+        # comparisons and modulo arithmetic.
+        self._bank_shift = (
+            self._page_shift if interleave == "page" else self._line_shift
+        )
+        self._bank_mask = (
+            num_banks - 1 if num_banks & (num_banks - 1) == 0 else None
+        )
         self.prefetcher = prefetcher
         self.request_bus = request_bus
         self.mshr_latency_enabled = mshr_latency_enabled
@@ -87,9 +111,9 @@ class BankedL2Cache:
     # ------------------------------------------------------------------
     def bank_index(self, addr: int) -> int:
         """Which L2 bank serves ``addr`` (Section 4.1's interleaving)."""
-        if self.interleave == "page":
-            return (addr >> self._page_shift) % self.num_banks
-        return (addr >> self._line_shift) % self.num_banks
+        if self._bank_mask is not None:
+            return (addr >> self._bank_shift) & self._bank_mask
+        return (addr >> self._bank_shift) % self.num_banks
 
     def mshr_bank_index(self, addr: int) -> int:
         """MSHR banking mirrors the memory-controller interleaving."""
@@ -108,11 +132,13 @@ class BankedL2Cache:
         READ/PREFETCH requests are completed when their data is available
         at the L2 edge; WRITEBACKs are posted and complete at tag time.
         """
+        engine = self.engine
         bank = self.bank_index(request.addr)
-        arrival = self.engine.now + self.routing_latency
-        start = max(arrival, self._bank_free_at[bank])
+        arrival = engine.now + self.routing_latency
+        free_at = self._bank_free_at[bank]
+        start = arrival if arrival > free_at else free_at
         self._bank_free_at[bank] = start + self.bank_occupancy
-        self.engine.schedule_at(start + self.latency, self._tag_check, request)
+        engine.schedule_at(start + self.latency, self._tag_check, request)
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -120,38 +146,50 @@ class BankedL2Cache:
     def _tag_check(self, request: MemoryRequest) -> None:
         now = self.engine.now
         line = self.array.align(request.addr)
-        self.stats.add("accesses")
+        self._c_accesses.value += 1.0
         demand = request.access.is_demand
         if demand:
-            self.stats.add(f"core{request.core_id}_demand_accesses")
+            self._core_demand_counter(
+                self._core_demand_accesses, "accesses", request.core_id
+            ).value += 1.0
         hit = self.array.lookup(line)
 
         if request.access is AccessType.WRITEBACK:
             if hit:
                 self.array.mark_dirty(line)
-                self.stats.add("writeback_hits")
+                self._c_writeback_hits.value += 1.0
             else:
                 # Non-inclusive corner: forward straight to memory.
-                self.stats.add("writeback_misses")
+                self._c_writeback_misses.value += 1.0
                 self._post_memory_writeback(line)
             request.complete(now)
             return
 
         if hit:
-            self.stats.add("hits")
+            self._c_hits.value += 1.0
             self._note_prefetch_usefulness(line)
             if demand:
                 self._train_prefetcher(request, was_miss=False)
             request.complete(now + self.routing_latency)
             return
 
-        self.stats.add("misses")
+        self._c_misses.value += 1.0
         if demand:
-            self.stats.add(f"core{request.core_id}_demand_misses")
+            self._core_demand_counter(
+                self._core_demand_misses, "misses", request.core_id
+            ).value += 1.0
             self._train_prefetcher(request, was_miss=True)
         elif request.access is AccessType.PREFETCH:
-            self.stats.add("prefetch_misses")
+            self._c_prefetch_misses.value += 1.0
         self._mshr_path(request)
+
+    def _core_demand_counter(self, cache, kind, core_id):
+        """Cached per-core demand counter (key ``core<N>_demand_<kind>``)."""
+        slot = cache.get(core_id)
+        if slot is None:
+            slot = self.stats.counter(f"core{core_id}_demand_{kind}")
+            cache[core_id] = slot
+        return slot
 
     def _mshr_path(self, request: MemoryRequest) -> None:
         """Search/allocate the MSHR bank; stall the request when full."""
@@ -166,14 +204,14 @@ class BankedL2Cache:
                 # A demand merged into a prefetch entry: the prefetch was
                 # timely enough to hide part of the miss.
                 entry.is_prefetch = False
-                self.stats.add("prefetch_partial_hits")
-            self.stats.add("mshr_merges")
+                self._c_prefetch_partial_hits.value += 1.0
+            self._c_mshr_merges.value += 1.0
             return
 
         new_entry, alloc_probes = file.allocate(line)
         probes += alloc_probes
         if new_entry is None:
-            self.stats.add("mshr_stalls")
+            self._c_mshr_stalls.value += 1.0
             request.annotations["mshr_stall_start"] = self.engine.now
             self._mshr_waiters[bank_idx].append(request)
             return
@@ -182,7 +220,7 @@ class BankedL2Cache:
         new_entry.is_prefetch = request.access is AccessType.PREFETCH
         stall_start = request.annotations.pop("mshr_stall_start", None)
         if stall_start is not None:
-            self.stats.add("mshr_stall_cycles", self.engine.now - stall_start)
+            self._c_mshr_stall_cycles.value += self.engine.now - stall_start
         mem_request = MemoryRequest(
             line,
             AccessType.READ,
@@ -218,7 +256,7 @@ class BankedL2Cache:
         victim = self.array.fill(line, dirty=False)
         if victim is not None:
             victim_line, victim_dirty = victim
-            self.stats.add("evictions")
+            self._c_evictions.value += 1.0
             self._prefetched_lines.pop(victim_line, None)
             # Inclusion: the L1s must drop their copies; a dirty L1 copy
             # supersedes whatever we held and must reach memory.

@@ -45,6 +45,13 @@ class StackedL3:
         self.latency = latency
         registry = registry if registry is not None else StatRegistry()
         self.stats = registry.group(name)
+        # Bound counter slots for the per-access tag-check path.
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_merges = self.stats.counter("merges")
+        self._c_writeback_hits = self.stats.counter("writeback_hits")
+        self._c_writeback_misses = self.stats.counter("writeback_misses")
         # line -> requests waiting on an in-flight fill from memory.
         self._inflight: Dict[int, List[MemoryRequest]] = {}
 
@@ -77,28 +84,28 @@ class StackedL3:
     def _tag_check(self, request: MemoryRequest) -> None:
         now = self.engine.now
         line = self.array.align(request.addr)
-        self.stats.add("accesses")
+        self._c_accesses.value += 1.0
 
         if request.access is AccessType.WRITEBACK:
             if self.array.lookup(line):
                 self.array.mark_dirty(line)
-                self.stats.add("writeback_hits")
+                self._c_writeback_hits.value += 1.0
             else:
-                self.stats.add("writeback_misses")
+                self._c_writeback_misses.value += 1.0
                 self._forward_writeback(line)
             request.complete(now)
             return
 
         if self.array.lookup(line):
-            self.stats.add("hits")
+            self._c_hits.value += 1.0
             request.complete(now)
             return
 
-        self.stats.add("misses")
+        self._c_misses.value += 1.0
         waiting = self._inflight.get(line)
         if waiting is not None:
             waiting.append(request)
-            self.stats.add("merges")
+            self._c_merges.value += 1.0
             return
         self._inflight[line] = [request]
         fetch = MemoryRequest(

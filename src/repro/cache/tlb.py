@@ -9,7 +9,7 @@ DTLB: 64-entry, 4-way set-associative.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Optional
 
 from ..common.stats import StatGroup
 from ..common.units import is_power_of_two, log2int
@@ -38,20 +38,29 @@ class Tlb:
         self.num_sets = entries // assoc
         self.walk_penalty = walk_penalty
         self._page_shift = log2int(page_size)
-        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self._set_mask = (
+            self.num_sets - 1 if is_power_of_two(self.num_sets) else None
+        )
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
         self.stats = stats if stats is not None else StatGroup(name)
+        # Bound counter slots: access() runs once per dispatched memory op.
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
 
     def access(self, vaddr: int) -> int:
         """Translate-latency for this access: 0 on a hit, walk penalty on
         a miss (the entry is filled)."""
         vpn = vaddr >> self._page_shift
-        set_idx = vpn % self.num_sets
-        tlb_set = self._sets.setdefault(set_idx, OrderedDict())
+        if self._set_mask is not None:
+            set_idx = vpn & self._set_mask
+        else:
+            set_idx = vpn % self.num_sets
+        tlb_set = self._sets[set_idx]
         if vpn in tlb_set:
             tlb_set.move_to_end(vpn)
-            self.stats.add("hits")
+            self._c_hits.value += 1.0
             return 0
-        self.stats.add("misses")
+        self._c_misses.value += 1.0
         if len(tlb_set) >= self.assoc:
             tlb_set.popitem(last=False)
         tlb_set[vpn] = True
@@ -59,11 +68,12 @@ class Tlb:
 
     def contains(self, vaddr: int) -> bool:
         vpn = vaddr >> self._page_shift
-        return vpn in self._sets.get(vpn % self.num_sets, ())
+        return vpn in self._sets[vpn % self.num_sets]
 
     def flush(self) -> None:
         """Drop every translation (context switch)."""
-        self._sets.clear()
+        for tlb_set in self._sets:
+            tlb_set.clear()
         self.stats.add("flushes")
 
     def miss_rate(self) -> float:

@@ -15,10 +15,13 @@ class AccessType(enum.Enum):
     WRITEBACK = "writeback"
     PREFETCH = "prefetch"
 
-    @property
-    def is_demand(self) -> bool:
-        """Demand accesses (loads/stores) matter for IPC; others are traffic."""
-        return self in (AccessType.READ, AccessType.WRITE)
+    def __init__(self, label: str) -> None:
+        # Plain member attributes instead of properties: both flags are
+        # read on every hot-path access.
+        #: Demand accesses (loads/stores) matter for IPC; others are traffic.
+        self.is_demand = label in ("read", "write")
+        #: Whether the access moves data toward memory.
+        self.is_write = label in ("write", "writeback")
 
 
 _request_ids = itertools.count()
@@ -43,6 +46,7 @@ class MemoryRequest:
         "issued_to_dram_at",
         "completed_at",
         "callback",
+        "is_write",
         "row_buffer_hit",
         "mshr_probes",
         "annotations",
@@ -68,13 +72,10 @@ class MemoryRequest:
         self.issued_to_dram_at: Optional[int] = None
         self.completed_at: Optional[int] = None
         self.callback = callback
+        self.is_write = access.is_write
         self.row_buffer_hit: Optional[bool] = None
         self.mshr_probes = 0
         self.annotations: dict = {}
-
-    @property
-    def is_write(self) -> bool:
-        return self.access in (AccessType.WRITE, AccessType.WRITEBACK)
 
     @property
     def latency(self) -> Optional[int]:

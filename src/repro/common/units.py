@@ -49,8 +49,19 @@ def is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
 
 
+_LOG2_CACHE: dict = {}
+
+
 def log2int(value: int) -> int:
-    """Exact integer log2; raises for non-powers-of-two."""
-    if not is_power_of_two(value):
-        raise ValueError(f"{value} is not a positive power of two")
-    return value.bit_length() - 1
+    """Exact integer log2; raises for non-powers-of-two.
+
+    Memoized: sizes recur constantly (line, page, bank counts), so repeat
+    callers pay one dict hit instead of re-validating.
+    """
+    shift = _LOG2_CACHE.get(value)
+    if shift is None:
+        if not is_power_of_two(value):
+            raise ValueError(f"{value} is not a positive power of two")
+        shift = value.bit_length() - 1
+        _LOG2_CACHE[value] = shift
+    return shift

@@ -22,8 +22,8 @@ continues to contend for the shared L2, MSHRs and memory.
 
 from __future__ import annotations
 
-import math
 from collections import deque
+from math import ceil
 from typing import Deque, Optional
 
 from ..common.address import PageAllocator
@@ -32,6 +32,9 @@ from ..common.stats import StatRegistry
 from ..engine.simulator import Engine
 from ..cache.l1 import L1Cache
 from .trace import Trace, TraceItem
+
+_READ = AccessType.READ
+_WRITE = AccessType.WRITE
 
 
 class _InFlight:
@@ -72,6 +75,13 @@ class Core:
         self.allocator = allocator
         registry = registry if registry is not None else StatRegistry()
         self.stats = registry.group(f"core{core_id}")
+        # Bound counter slots for the dispatch/commit hot path.
+        self._c_rob_stalls = self.stats.counter("rob_stalls")
+        self._c_tlb_walk_cycles = self.stats.counter("tlb_walk_cycles")
+        self._c_l1_mshr_stalls = self.stats.counter("l1_mshr_stalls")
+        self._c_dispatched_refs = self.stats.counter("dispatched_refs")
+        self._c_load_latency_sum = self.stats.counter("load_latency_sum")
+        self._c_loads_completed = self.stats.counter("loads_completed")
         self.width = width
         self.rob_size = rob_size
         self.base_cpi = base_cpi
@@ -100,6 +110,9 @@ class Core:
         # Invoked once when the measurement quota is reached (the machine
         # uses it to snapshot shared-structure statistics per core).
         self.on_frozen = None
+        # One-shot commit watch (see watch_commit).
+        self._commit_watch: Optional[int] = None
+        self._on_commit_watch = None
 
     # ------------------------------------------------------------------
     # Control
@@ -117,6 +130,19 @@ class Core:
         self.measure_quota = quota
         self.frozen = False
         self.frozen_ipc = None
+
+    def watch_commit(self, threshold: int, callback) -> None:
+        """Invoke ``callback(self)`` once when ``committed`` reaches ``threshold``.
+
+        Fires immediately if the threshold is already met, otherwise from
+        inside the commit event that crosses it.  The machine uses this to
+        end the warmup phase without polling a predicate on every event.
+        """
+        if self.committed >= threshold:
+            callback(self)
+        else:
+            self._commit_watch = threshold
+            self._on_commit_watch = callback
 
     @property
     def measurement_done(self) -> bool:
@@ -143,13 +169,16 @@ class Core:
         if self._dispatch_scheduled:
             return
         self._dispatch_scheduled = True
-        self.engine.schedule_at(max(at, self.engine.now), self._dispatch)
+        engine = self.engine
+        now = engine.now
+        engine.schedule_at(at if at > now else now, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
         if self._l1_blocked:
             return
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         if now < self._next_dispatch_time:
             self._schedule_dispatch(self._next_dispatch_time)
             return
@@ -166,7 +195,7 @@ class Core:
         ):
             self._pending_item = item
             self._rob_blocked = True
-            self.stats.add("rob_stalls")
+            self._c_rob_stalls.value += 1.0
             return  # resumed by commit
 
         if self.tlb is not None:
@@ -174,13 +203,13 @@ class Core:
             if walk_penalty:
                 self._pending_item = item
                 self._next_dispatch_time = now + walk_penalty
-                self.stats.add("tlb_walk_cycles", walk_penalty)
+                self._c_tlb_walk_cycles.value += walk_penalty
                 self._schedule_dispatch(self._next_dispatch_time)
                 return
 
         paddr = self.allocator.translate(item.addr)
         inflight = _InFlight(next_icount, item.is_write, None)
-        access = AccessType.WRITE if item.is_write else AccessType.READ
+        access = _WRITE if item.is_write else _READ
         request = MemoryRequest(
             paddr,
             access,
@@ -192,7 +221,7 @@ class Core:
         if not self.l1.access(request):
             self._pending_item = item
             self._l1_blocked = True
-            self.stats.add("l1_mshr_stalls")
+            self._c_l1_mshr_stalls.value += 1.0
             self.l1.on_mshr_free(self._resume_after_l1)
             return
 
@@ -203,8 +232,9 @@ class Core:
             # Stores commit from the store buffer without waiting for data.
             inflight.completed_time = now
             self._schedule_commit(now)
-        self.stats.add("dispatched_refs")
-        front_end = max(1, math.ceil((item.gap + 1) / self.width))
+        self._c_dispatched_refs.value += 1.0
+        # Integer ceil-division; gap >= 0 keeps this >= 1 by construction.
+        front_end = -(-(item.gap + 1) // self.width)
         self._next_dispatch_time = now + front_end
         self._schedule_dispatch(self._next_dispatch_time)
 
@@ -213,11 +243,13 @@ class Core:
         self._schedule_dispatch(self.engine.now)
 
     def _on_data(self, inflight: _InFlight, request: MemoryRequest) -> None:
+        now = self.engine.now
         if inflight.completed_time is None:
-            inflight.completed_time = self.engine.now
-        self.stats.add("load_latency_sum", request.latency or 0)
-        self.stats.add("loads_completed")
-        self._schedule_commit(self.engine.now)
+            inflight.completed_time = now
+        self._c_load_latency_sum.value += request.latency or 0
+        self._c_loads_completed.value += 1.0
+        if not self._commit_scheduled:
+            self._schedule_commit(now)
 
     # ------------------------------------------------------------------
     # Commit
@@ -226,7 +258,9 @@ class Core:
         if self._commit_scheduled:
             return
         self._commit_scheduled = True
-        self.engine.schedule_at(max(at, self.engine.now), self._commit)
+        engine = self.engine
+        now = engine.now
+        engine.schedule_at(at if at > now else now, self._commit)
 
     def _commit(self) -> None:
         self._commit_scheduled = False
@@ -235,8 +269,11 @@ class Core:
             head = self._outstanding[0]
             if head.completed_time is None:
                 return  # waiting on load data; resumed by _on_data
-            pace = math.ceil((head.icount - self._last_commit_icount) * self.base_cpi)
-            target = max(head.completed_time, self._last_commit_time + max(1, pace))
+            pace = ceil((head.icount - self._last_commit_icount) * self.base_cpi)
+            target = self._last_commit_time + (pace if pace > 1 else 1)
+            completed = head.completed_time
+            if completed > target:
+                target = completed
             if now < target:
                 self._schedule_commit(target)
                 return
@@ -244,6 +281,13 @@ class Core:
             self._last_commit_time = target
             self._last_commit_icount = head.icount
             self.committed = head.icount
+            if (
+                self._commit_watch is not None
+                and self.committed >= self._commit_watch
+            ):
+                self._commit_watch = None
+                callback, self._on_commit_watch = self._on_commit_watch, None
+                callback(self)
             self._check_quota()
             if self._rob_blocked:
                 self._rob_blocked = False

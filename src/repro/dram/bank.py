@@ -49,6 +49,11 @@ class Bank:
         self.page_policy = page_policy
         self.row_buffers = RowBufferCache(row_buffer_entries)
         self.stats = stats if stats is not None else StatGroup(name)
+        # Bound counter slots: access() runs once per DRAM command, so a
+        # single attribute store replaces a string-keyed dict update.
+        self._c_row_hits = self.stats.counter("row_hits")
+        self._c_row_misses = self.stats.counter("row_misses")
+        self._c_dirty_evictions = self.stats.counter("dirty_evictions")
         self.name = name
         # Cycle when the bitcell array can accept a new ACTIVATE.
         self._array_ready = 0
@@ -68,7 +73,8 @@ class Bank:
 
     def earliest_start(self, time: int) -> int:
         """Earliest cycle >= ``time`` the bank could begin a new access."""
-        return self.refresh.earliest_available(max(time, self._bank_ready))
+        ready = self._bank_ready
+        return self.refresh.earliest_available(time if time > ready else ready)
 
     def access(self, start: int, row: int, is_write: bool) -> Tuple[int, bool]:
         """Perform an access beginning no earlier than ``start``.
@@ -87,7 +93,7 @@ class Bank:
             data_time = act_start + self.timing.t_rcd + self.timing.t_cas
             self._array_ready = act_start + self.timing.t_rc
             self._bank_ready = data_time
-            self.stats.add("row_misses")
+            self._c_row_misses.value += 1.0
             return data_time, False
 
         if self.row_buffers.lookup(row):
@@ -95,7 +101,7 @@ class Bank:
             if is_write:
                 self.row_buffers.touch_dirty(row)
             self._bank_ready = begin + self.timing.t_ccd
-            self.stats.add("row_hits")
+            self._c_row_hits.value += 1.0
             return data_time, True
 
         # Row miss: activate the row into a buffer entry.  With a
@@ -108,7 +114,7 @@ class Bank:
             # Dirty eviction: the stale latched row must be restored to
             # the array before the new activate can use it.
             act_start += self.timing.t_wr
-            self.stats.add("dirty_evictions")
+            self._c_dirty_evictions.value += 1.0
         act_start = self.activations.earliest_activate(act_start)
         self.activations.record(act_start)
         data_time = act_start + self.timing.t_rcd + self.timing.t_cas
@@ -116,7 +122,7 @@ class Bank:
         # own; the latched copy continues to serve hits meanwhile.
         self._array_ready = act_start + self.timing.t_rc
         self._bank_ready = data_time
-        self.stats.add("row_misses")
+        self._c_row_misses.value += 1.0
         return data_time, False
 
     def _maybe_cross_refresh_epoch(self, time: int) -> None:

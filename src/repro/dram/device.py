@@ -42,6 +42,9 @@ class DramDevice:
             )
             for i in range(num_ranks)
         ]
+        # Flat [rank][bank] grid: bank() is on the controller's per-entry
+        # scheduling scan, so it indexes instead of chaining method calls.
+        self._bank_grid = [rank.banks for rank in self.ranks]
 
     @property
     def num_ranks(self) -> int:
@@ -57,7 +60,7 @@ class DramDevice:
 
     def bank(self, rank_id: int, bank_id: int) -> Bank:
         """The bank at local ``(rank, bank)`` coordinates."""
-        return self.ranks[rank_id].bank(bank_id)
+        return self._bank_grid[rank_id][bank_id]
 
     def is_row_open(self, rank_id: int, bank_id: int, row: int) -> bool:
         return self.bank(rank_id, bank_id).is_row_open(row)
@@ -66,7 +69,7 @@ class DramDevice:
         self, rank_id: int, bank_id: int, row: int, start: int, is_write: bool
     ) -> Tuple[int, bool]:
         """Access a bank; returns ``(data_time, row_hit)``."""
-        return self.bank(rank_id, bank_id).access(start, row, is_write)
+        return self._bank_grid[rank_id][bank_id].access(start, row, is_write)
 
     def open_row_summary(self) -> List[Tuple[int, int, Tuple[int, ...]]]:
         """(rank, bank, open rows) triples — diagnostic helper."""

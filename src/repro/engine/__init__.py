@@ -3,6 +3,7 @@
 from .event import Event
 from .simulator import (
     Engine,
+    HeapEngine,
     SimulationDeadlock,
     SimulationError,
     SimulationHang,
@@ -12,6 +13,7 @@ from .simulator import (
 __all__ = [
     "Engine",
     "Event",
+    "HeapEngine",
     "SimulationDeadlock",
     "SimulationError",
     "SimulationHang",

@@ -14,7 +14,6 @@ across a 20-layer stack).
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple
 
 from ..common.stats import StatGroup
@@ -42,6 +41,11 @@ class Bus:
         self.wire_latency = wire_latency
         self.name = name
         self.stats = stats if stats is not None else StatGroup(name)
+        # Bound counter slots: transfer() runs once per line crossing.
+        self._c_transfers = self.stats.counter("transfers")
+        self._c_busy_cycles = self.stats.counter("busy_cycles")
+        self._c_bytes = self.stats.counter("bytes")
+        self._c_queue_cycles = self.stats.counter("queue_cycles")
         self._free_at = 0
 
     @property
@@ -51,7 +55,10 @@ class Bus:
 
     def occupancy_cycles(self, size_bytes: int) -> int:
         """How long a transfer of ``size_bytes`` holds the bus."""
-        beats = max(1, math.ceil(size_bytes / self.width_bytes))
+        # Integer ceil-division: avoids float conversion per transfer.
+        beats = -(-size_bytes // self.width_bytes)
+        if beats < 1:
+            beats = 1
         return beats * self.cycles_per_beat
 
     def transfer(self, size_bytes: int, earliest_start: int) -> Tuple[int, int]:
@@ -62,15 +69,16 @@ class Bus:
         wire latency).
         """
         occupancy = self.occupancy_cycles(size_bytes)
-        start = max(earliest_start, self._free_at)
+        free_at = self._free_at
+        start = earliest_start if earliest_start > free_at else free_at
         end = start + occupancy
         self._free_at = end
-        self.stats.add("transfers")
-        self.stats.add("busy_cycles", occupancy)
-        self.stats.add("bytes", size_bytes)
+        self._c_transfers.value += 1.0
+        self._c_busy_cycles.value += occupancy
+        self._c_bytes.value += size_bytes
         queue_delay = start - earliest_start
         if queue_delay > 0:
-            self.stats.add("queue_cycles", queue_delay)
+            self._c_queue_cycles.value += queue_delay
         return start, end + self.wire_latency
 
     def peek_arrival(self, size_bytes: int, earliest_start: int) -> int:

@@ -68,6 +68,14 @@ class MemoryController:
         # the requester), for tail analysis.
         self.read_latency = LatencyHistogram()
         self.stats = stats if stats is not None else StatGroup(f"mc{mc_id}")
+        # Bound counter slots for the per-request enqueue/issue paths.
+        self._c_mrq_accepts = self.stats.counter("mrq_accepts")
+        self._c_mrq_rejections = self.stats.counter("mrq_rejections")
+        self._c_mrq_occupancy_sum = self.stats.counter("mrq_occupancy_sum")
+        self._c_issued = self.stats.counter("issued")
+        self._c_queue_wait_cycles = self.stats.counter("queue_wait_cycles")
+        self._c_row_hits = self.stats.counter("row_hits")
+        self._c_row_misses = self.stats.counter("row_misses")
         self.line_size = mapping.line_size
         self._next_issue_time = 0
         self._pump_event = None
@@ -81,10 +89,10 @@ class MemoryController:
         coords = self.mapping.decompose(request.addr)
         entry = self.mrq.push(request, coords, self.engine.now)
         if entry is None:
-            self.stats.add("mrq_rejections")
+            self._c_mrq_rejections.value += 1.0
             return False
-        self.stats.add("mrq_accepts")
-        self.stats.add("mrq_occupancy_sum", len(self.mrq))
+        self._c_mrq_accepts.value += 1.0
+        self._c_mrq_occupancy_sum.value += len(self.mrq)
         self._schedule_pump(self.engine.now)
         return True
 
@@ -141,8 +149,8 @@ class MemoryController:
         request = entry.request
         coords = entry.coords
         request.issued_to_dram_at = now
-        self.stats.add("issued")
-        self.stats.add("queue_wait_cycles", now - entry.arrival)
+        self._c_issued.value += 1.0
+        self._c_queue_wait_cycles.value += now - entry.arrival
         if request.is_write:
             # Write data crosses the channel first, then is written into
             # the bank (or its row buffer).  The request completes when
@@ -172,4 +180,7 @@ class MemoryController:
 
     def _note_row_outcome(self, request: MemoryRequest, hit: bool) -> None:
         request.row_buffer_hit = hit
-        self.stats.add("row_hits" if hit else "row_misses")
+        if hit:
+            self._c_row_hits.value += 1.0
+        else:
+            self._c_row_misses.value += 1.0

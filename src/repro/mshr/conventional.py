@@ -26,24 +26,28 @@ class ConventionalMshr(MshrFile):
         return line_addr in self._entries
 
     def search(self, line_addr: int) -> Tuple[Optional[MshrEntry], int]:
-        probes = self._count(1)
-        return self._entries.get(line_addr), probes
+        # Probe accounting inlined (every operation costs exactly one).
+        self.total_probes += 1
+        self.total_accesses += 1
+        return self._entries.get(line_addr), 1
 
     def allocate(self, line_addr: int) -> Tuple[Optional[MshrEntry], int]:
-        probes = self._count(1)
+        self.total_probes += 1
+        self.total_accesses += 1
         if line_addr in self._entries:
             raise ValueError(f"line {line_addr:#x} already has an MSHR entry")
-        if self.is_full:
-            return None, probes
+        if self.occupancy >= self.capacity_limit:
+            return None, 1
         entry = MshrEntry(line_addr)
         self._entries[line_addr] = entry
         self.occupancy += 1
-        return entry, probes
+        return entry, 1
 
     def deallocate(self, line_addr: int) -> int:
-        probes = self._count(1)
+        self.total_probes += 1
+        self.total_accesses += 1
         if line_addr not in self._entries:
             raise KeyError(f"no MSHR entry for line {line_addr:#x}")
         del self._entries[line_addr]
         self.occupancy -= 1
-        return probes
+        return 1

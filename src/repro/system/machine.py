@@ -261,6 +261,7 @@ class Machine:
 
         self._l2_snapshot: Dict[int, Dict[str, float]] = {}
         self._core_results: Dict[int, CoreResult] = {}
+        self._unfrozen_count = 0
 
     # ------------------------------------------------------------------
     def outstanding_requests(self) -> int:
@@ -299,13 +300,21 @@ class Machine:
             self.tuner.start()
 
         if warmup_instructions > 0:
-            self.engine.run(
-                until=max_cycles,
-                stop_when=lambda: all(
-                    core.committed >= warmup_instructions for core in self.cores
-                ),
-                watchdog=watchdog,
-            )
+            # Each core reports crossing the warmup quota from inside its
+            # own commit event; the last one stops the run.  This keeps
+            # the engine on its batched fast path (no per-event predicate)
+            # and stops at exactly the event a stop_when poll would have.
+            waiting = [len(self.cores)]
+
+            def _warmed_up(_core: Core) -> None:
+                waiting[0] -= 1
+                if not waiting[0]:
+                    self.engine.request_stop()
+
+            for core in self.cores:
+                core.watch_commit(warmup_instructions, _warmed_up)
+            if waiting[0]:
+                self.engine.run(until=max_cycles, watchdog=watchdog)
             if not all(c.committed >= warmup_instructions for c in self.cores):
                 raise SimulationHang(
                     f"warmup did not finish within {max_cycles} cycles "
@@ -315,6 +324,7 @@ class Machine:
                     queue_depth=self.engine.pending,
                 )
 
+        self._unfrozen_count = len(self.cores)
         for core in self.cores:
             core.on_frozen = self._snapshot_core
             core.begin_measurement(measure_instructions)
@@ -322,11 +332,9 @@ class Machine:
             core.core_id: self._l2_core_counters(core.core_id) for core in self.cores
         }
 
-        self.engine.run(
-            until=max_cycles,
-            stop_when=lambda: all(core.frozen for core in self.cores),
-            watchdog=watchdog,
-        )
+        # _snapshot_core stops the run when the last core freezes, at the
+        # same event a stop_when=all-frozen poll would have stopped on.
+        self.engine.run(until=max_cycles, watchdog=watchdog)
         if not all(core.frozen for core in self.cores):
             raise SimulationHang(
                 f"measurement did not finish within {max_cycles} cycles "
@@ -359,6 +367,9 @@ class Machine:
             l2_mpki=mpki,
             avg_load_latency=(latency_sum / loads) if loads else 0.0,
         )
+        self._unfrozen_count -= 1
+        if not self._unfrozen_count:
+            self.engine.request_stop()
 
     def energy_report(self):
         """DRAM energy estimate over the whole simulation so far."""

@@ -77,3 +77,40 @@ def test_as_dict_is_a_copy():
     snapshot = group.as_dict()
     snapshot["x"] = 99
     assert group.get("x") == 1
+
+
+def test_counter_slot_aliases_string_keyed_interface():
+    """counter() returns the live slot add()/get()/set() operate on."""
+    group = StatGroup("g")
+    slot = group.counter("hits")
+    assert group.counter("hits") is slot  # stable across calls
+    slot.value += 2.0
+    assert group.get("hits") == 2.0
+    group.add("hits", 3)
+    assert slot.value == 5.0
+    group.set("hits", 1)
+    assert slot.value == 1.0
+    slot.add()
+    assert group.get("hits") == 2.0
+
+
+def test_items_yields_insertion_order_without_sorting():
+    """Regression: items() must not pay for a per-call sort.
+
+    Keys are inserted out of alphabetical order; items() reports them in
+    insertion order, as_dict() in sorted order.
+    """
+    group = StatGroup("g")
+    for key in ("zeta", "alpha", "mid"):
+        group.add(key, 1)
+    assert [k for k, _ in group.items()] == ["zeta", "alpha", "mid"]
+    assert list(group.as_dict()) == ["alpha", "mid", "zeta"]
+
+
+def test_frozen_items_also_preserve_insertion_order():
+    group = StatGroup("g")
+    for key in ("b", "a"):
+        group.add(key, 1)
+    group.freeze()
+    assert [k for k, _ in group.items()] == ["b", "a"]
+    assert list(group.as_dict()) == ["a", "b"]

@@ -180,3 +180,46 @@ def test_validation():
     core, _ = _core(engine, _uniform_trace(gap=1))
     with pytest.raises(ValueError):
         core.begin_measurement(0)
+
+
+def test_watch_commit_fires_at_threshold():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=3))
+    seen = []
+
+    def watched(c):
+        seen.append((c.committed, engine.now))
+        engine.request_stop()
+
+    core.watch_commit(500, watched)
+    core.start()
+    engine.run()
+    assert len(seen) == 1
+    committed_at_fire, _ = seen[0]
+    # Fires from inside the commit event that crosses the threshold —
+    # at-or-just-past it (one commit batch is at most `width` wide).
+    assert 500 <= committed_at_fire < 500 + core.width
+
+
+def test_watch_commit_fires_immediately_when_already_past():
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=3))
+    core.start()
+    engine.run(until=5_000)
+    already = core.committed
+    assert already > 10
+    seen = []
+    core.watch_commit(10, seen.append)
+    # Synchronous: no events needed.
+    assert seen == [core]
+    assert core.committed == already
+
+
+def test_watch_commit_can_stop_the_run():
+    """The warmup pattern: end a run via request_stop, no stop_when poll."""
+    engine = Engine()
+    core, _ = _core(engine, _uniform_trace(gap=3))
+    core.watch_commit(300, lambda c: engine.request_stop())
+    core.start()
+    engine.run()
+    assert 300 <= core.committed < 300 + core.width

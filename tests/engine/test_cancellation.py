@@ -1,0 +1,105 @@
+"""Lazy cancellation: cancelled events never fire and never advance time.
+
+``run()`` and ``step()`` share one extraction helper (``_pop_live``), so
+both must discard cancelled events without touching ``now``, the fired
+counter, or event budgets.  Also covers the far-future heap compaction
+that bounds memory under cancel-heavy loads.
+"""
+
+import pytest
+
+from repro.engine import Engine, HeapEngine
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancelled_events_never_advance_now_in_step(engine_cls):
+    engine = engine_cls()
+    engine.schedule(5, lambda: None).cancel()
+    engine.schedule(10, lambda: None)
+    assert engine.step() is True  # fires the live event at t=10 directly
+    assert engine.now == 10
+    assert engine.events_fired == 1
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_all_cancelled_queue_drains_without_time_motion(engine_cls):
+    engine = engine_cls()
+    for delay in (3, 7, 7, 900):  # wheel residents and a heap resident
+        engine.schedule(delay, lambda: None).cancel()
+    assert engine.step() is False
+    assert engine.now == 0
+    assert engine.events_fired == 0
+    engine.run()
+    assert engine.now == 0
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancelled_events_never_advance_now_in_run(engine_cls):
+    engine = engine_cls()
+    times = []
+    engine.schedule(4, lambda: None).cancel()
+    engine.schedule(8, lambda: times.append(engine.now))
+    engine.schedule(6, lambda: None).cancel()
+    engine.run()
+    assert times == [8]
+    assert engine.now == 8
+    assert engine.events_fired == 1
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancelled_events_do_not_consume_budget(engine_cls):
+    engine = engine_cls()
+    fired = []
+    for i in range(10):
+        event = engine.schedule(1 + i, fired.append, i)
+        if i % 2:
+            event.cancel()
+    engine.run(max_events=5)  # exactly the 5 live events
+    assert fired == [0, 2, 4, 6, 8]
+
+
+def test_cancelled_same_cycle_siblings_are_skipped_in_batch():
+    """Within one wheel slot, cancels interleaved with live events."""
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(5, fired.append, i) for i in range(6)]
+    events[0].cancel()
+    events[3].cancel()
+    events[5].cancel()
+    engine.run()
+    assert fired == [1, 2, 4]
+    assert engine.now == 5
+
+
+def test_heap_compaction_bounds_cancelled_residents():
+    """Far-future cancels trigger an in-place heap rebuild."""
+    engine = Engine()
+    keep = engine.schedule(50_000, lambda: None)
+    doomed = [engine.schedule(10_000 + i, lambda: None) for i in range(200)]
+    assert engine.pending == 201
+    for event in doomed:
+        event.cancel()
+    # Compaction kicked in: most cancelled events physically removed
+    # (up to COMPACT_MIN_CANCELLED stragglers may remain), the live
+    # far-future event retained.
+    assert engine.pending < 66
+    assert not keep.cancelled
+    engine.run()
+    assert engine.now == 50_000
+
+
+def test_cancel_from_inside_same_cycle_batch():
+    """An event cancelling a later same-cycle sibling prevents its firing."""
+    engine = Engine()
+    fired = []
+    holder = {}
+
+    def killer():
+        fired.append("killer")
+        holder["victim"].cancel()
+
+    engine.schedule(3, killer)
+    holder["victim"] = engine.schedule(3, fired.append, "victim")
+    engine.schedule(3, fired.append, "survivor")
+    engine.run()
+    assert fired == ["killer", "survivor"]

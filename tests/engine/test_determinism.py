@@ -1,0 +1,120 @@
+"""Golden-order determinism: the calendar-queue engine vs the heap oracle.
+
+The hybrid wheel+heap :class:`Engine` must fire events in an order
+bit-identical to the plain binary-heap :class:`HeapEngine`: global
+``(time, seq)`` order, FIFO within a cycle, cancelled events silently
+skipped, and far-future (heap-resident) events interleaving correctly
+with wheel-resident ones when they land on the same cycle.
+
+Each scenario drives both engines with the *same* deterministic schedule
+(fresh ``random.Random(seed)`` per engine) and compares the full firing
+transcripts.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Engine, HeapEngine
+
+
+def _drive(engine_cls, seed, events=3_000):
+    """A randomized self-extending workload; returns the firing transcript.
+
+    Mixes every scheduling pattern the machine model uses: short delays
+    (wheel), zero delays (same-cycle continuation), bursts on one cycle
+    (FIFO), cancellations of pending events, and far-future delays beyond
+    the wheel horizon (refresh-style heap residents).
+    """
+    engine = engine_cls()
+    rng = random.Random(seed)
+    transcript = []
+    pending = []
+    counter = [0]
+
+    def tick(tag):
+        transcript.append((engine.now, tag))
+        if counter[0] >= events:
+            return
+        roll = rng.random()
+        if roll < 0.40:  # short delay: wheel path
+            counter[0] += 1
+            engine.schedule(rng.randrange(1, 60), tick, counter[0])
+        elif roll < 0.55:  # same-cycle burst: FIFO within one cycle
+            for _ in range(rng.randrange(2, 5)):
+                counter[0] += 1
+                engine.schedule(0, tick, counter[0])
+        elif roll < 0.70:  # keep a handle around for later cancellation
+            counter[0] += 1
+            pending.append(engine.schedule(rng.randrange(1, 300), tick, counter[0]))
+            counter[0] += 1
+            engine.schedule(1, tick, counter[0])
+        elif roll < 0.85 and pending:  # cancel one pending event
+            pending.pop(rng.randrange(len(pending))).cancel()
+            counter[0] += 1
+            engine.schedule(2, tick, counter[0])
+        else:  # far future: beyond the wheel horizon, heap path
+            counter[0] += 1
+            engine.schedule(rng.randrange(600, 20_000), tick, counter[0])
+
+    engine.schedule(0, tick, 0)
+    engine.run()
+    return transcript, engine.now, engine.events_fired
+
+
+@pytest.mark.parametrize("seed", [11, 1234, 987654])
+def test_random_schedules_match_heap_oracle(seed):
+    wheel = _drive(Engine, seed)
+    heap = _drive(HeapEngine, seed)
+    assert wheel == heap
+
+
+def test_same_cycle_tie_between_heap_and_wheel_breaks_on_seq():
+    """A heap resident and wheel residents on one cycle fire in seq order.
+
+    The far-future event is scheduled first (lower seq, heap path); the
+    same-cycle wheel arrivals are scheduled later (higher seq).  Both
+    engines must run the heap event first.
+    """
+    orders = []
+    for engine_cls in (Engine, HeapEngine):
+        engine = engine_cls()
+        fired = []
+        horizon = 512
+        target = horizon + 100
+        engine.schedule(target, fired.append, "far-first")
+
+        def arm(engine=engine, fired=fired, target=target):
+            # now == target - 10 < target: the new events take the wheel.
+            engine.schedule_at(target, fired.append, "near-1")
+            engine.schedule_at(target, fired.append, "near-2")
+
+        engine.schedule(target - 10, arm)
+        engine.run()
+        orders.append(fired)
+    assert orders[0] == orders[1] == ["far-first", "near-1", "near-2"]
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_far_future_refresh_interleaves_with_short_delays(engine_cls):
+    """Refresh-style periodic far events interleave exactly by (time, seq)."""
+    engine = engine_cls()
+    fired = []
+
+    def refresh(n):
+        fired.append(("refresh", engine.now))
+        if n:
+            engine.schedule(1_000, refresh, n - 1)
+
+    def work(n):
+        fired.append(("work", engine.now))
+        if n:
+            engine.schedule(37, work, n - 1)
+
+    engine.schedule(1_000, refresh, 5)
+    engine.schedule(1, work, 150)
+    engine.run()
+    expected_times = sorted(t for _, t in fired)
+    assert [t for _, t in fired] == expected_times
+    assert fired.count(("refresh", 1_000)) == 1
+    assert len([1 for kind, _ in fired if kind == "refresh"]) == 6
