@@ -19,14 +19,21 @@ All experiment commands accept ``--scale`` (smoke/default/large),
 ``--retries N`` (re-attempt failed cells with exponential backoff),
 ``--journal PATH`` (checkpoint each completed cell) and ``--resume``
 (skip cells already in the journal).  See ``docs/resilience.md``.
+
+``run``, ``analyze`` and every experiment command also accept
+``--check [names]`` to attach the runtime invariant checkers from
+:mod:`repro.validate` (zero overhead when omitted).  See
+``docs/validation.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .common.errors import CheckViolation
 from .experiments import (
     RunPolicy,
     run_figure4,
@@ -70,6 +77,22 @@ def _mixes_arg(value: Optional[str]):
     if not value:
         return None
     return [MIXES[name.strip()] for name in value.split(",")]
+
+
+def _add_check_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check", nargs="?", const="all", default=None, metavar="CHECKERS",
+        help="attach runtime invariant checkers (default when given: all; "
+        "or a comma-separated subset of dram-timing,mshr,queue)",
+    )
+
+
+def _export_check_env(args) -> None:
+    """Experiment commands pass --check to workers via REPRO_CHECK."""
+    if getattr(args, "check", None):
+        from .experiments.runner import ENV_CHECK
+
+        os.environ[ENV_CHECK] = args.check
 
 
 def _policy_from_args(args, default_name: str) -> Optional[RunPolicy]:
@@ -156,8 +179,11 @@ def _cmd_run(args) -> int:
         measure_instructions=scale.measure_instructions,
         seed=args.seed,
         workload_name=workload_name,
+        checkers=args.check,
     )
     print(f"config {config.name}, workload {workload_name} ({scale.name} scale)")
+    if args.check:
+        print(f"runtime checkers passed: {args.check}")
     for core in result.cores:
         print(
             f"  core {core.benchmark:12s} IPC {core.ipc:6.3f}  "
@@ -176,6 +202,7 @@ def _cmd_run(args) -> int:
 def _cmd_figure(args) -> int:
     from .common.errors import CellFailedError
 
+    _export_check_env(args)
     scale = get_scale(args.scale)
     mixes = _mixes_arg(args.mixes)
     seed, workers = args.seed, args.workers
@@ -206,6 +233,7 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_table(args) -> int:
+    _export_check_env(args)
     scale = get_scale(args.scale)
     if args.which == "2a":
         result = run_table2a(scale=scale, seed=args.seed)
@@ -227,7 +255,8 @@ def _cmd_analyze(args) -> int:
     mix = MIXES[args.mix]
     scale = get_scale(args.scale)
     machine = Machine(
-        config, list(mix.benchmarks), seed=args.seed, workload_name=mix.name
+        config, list(mix.benchmarks), seed=args.seed, workload_name=mix.name,
+        checkers=args.check,
     )
     result = machine.run(
         warmup_instructions=scale.warmup_instructions,
@@ -252,6 +281,7 @@ def _cmd_fairness(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    _export_check_env(args)
     journal_dir = None
     if args.resume or args.journal is not None:
         # --journal names a *directory* for report runs (one journal
@@ -282,6 +312,8 @@ def _cmd_report(args) -> int:
 
 def _cmd_ablation(args) -> int:
     from .experiments import run_replacement_ablation
+
+    _export_check_env(args)
 
     runners = {
         "scheduler": run_scheduler_ablation,
@@ -328,6 +360,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="skip cells already recorded in the journal; failed cells "
         "are re-simulated",
     )
+    _add_check_flag(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", default="smoke",
                        choices=["smoke", "default", "large"])
     p_run.add_argument("--seed", type=int, default=42)
+    _add_check_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -374,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--scale", default="smoke",
                        choices=["smoke", "default", "large"])
     p_ana.add_argument("--seed", type=int, default=42)
+    _add_check_flag(p_ana)
     p_ana.set_defaults(func=_cmd_analyze)
 
     p_fair = sub.add_parser(
@@ -409,7 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CheckViolation as exc:
+        print(f"CHECK FAILED\n{exc.describe()}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -89,6 +89,45 @@ class InjectedFault(SimulationError):
     """Raised by the fault-injection hooks (testing the resilience layer)."""
 
 
+class CheckViolation(SimulationError):
+    """A runtime correctness checker found an invariant violation.
+
+    Raised by the opt-in checkers in :mod:`repro.validate` (DRAM timing
+    legality, MSHR conservation, memory-controller queue conservation)
+    the moment the violated invariant is observed, with enough context
+    to localize it: which checker, the simulated cycle, the violated
+    constraint, and a dump of the relevant component state.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        checker: Optional[str] = None,
+        cycle: Optional[int] = None,
+        constraint: Optional[str] = None,
+        state: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.checker = checker
+        self.cycle = cycle
+        self.constraint = constraint
+        self.state = dict(state) if state else {}
+
+    def describe(self) -> str:
+        """Multi-line post-mortem: message plus the captured state dump."""
+        lines = [str(self)]
+        if self.checker is not None:
+            lines.append(f"  checker:    {self.checker}")
+        if self.constraint is not None:
+            lines.append(f"  constraint: {self.constraint}")
+        if self.cycle is not None:
+            lines.append(f"  cycle:      {self.cycle}")
+        for key in sorted(self.state):
+            lines.append(f"  {key}: {self.state[key]}")
+        return "\n".join(lines)
+
+
 class CellFailedError(RuntimeError):
     """Strict access to a matrix cell that failed after all retries.
 
@@ -101,6 +140,7 @@ class CellFailedError(RuntimeError):
 __all__ = [
     "CellFailedError",
     "CellTimeout",
+    "CheckViolation",
     "InjectedFault",
     "SimulationDeadlock",
     "SimulationError",

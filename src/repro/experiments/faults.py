@@ -12,8 +12,12 @@ A fault spec is ``kind:config:mix[:times][:seconds]``:
 * ``kind`` — ``raise`` (throw :class:`~repro.common.errors.InjectedFault`),
   ``crash`` (``os._exit``: simulates a segfault/OOM-killed worker),
   ``hang`` (sleep ``seconds``, default 3600: simulates a livelock; the
-  runner's wall-clock timeout must kill it), or ``slow`` (sleep
-  ``seconds`` then proceed normally).
+  runner's wall-clock timeout must kill it), ``slow`` (sleep
+  ``seconds`` then proceed normally), or ``timing`` (corrupt the DRAM
+  array timing of a checker-enabled run so that banks answer faster
+  than the protocol allows — the :mod:`repro.validate` timing checker
+  must catch it; the ``seconds`` field doubles as the shrink factor
+  when it is in ``(0, 1)``, defaulting to 0.5 otherwise).
 * ``config`` / ``mix`` — cell coordinates; ``*`` matches any.
 * ``times`` — affect attempts ``1..times`` (default 1, so the first retry
   succeeds); ``-1`` means every attempt.
@@ -36,7 +40,11 @@ from ..common.errors import InjectedFault
 #: Environment variable holding ``;``-separated fault specs.
 ENV_VAR = "REPRO_FAULTS"
 
-KINDS = ("raise", "crash", "hang", "slow")
+KINDS = ("raise", "crash", "hang", "slow", "timing")
+
+#: Timing shrink factor applied when a ``timing`` fault leaves the
+#: ``seconds`` field at its sleep-oriented default.
+DEFAULT_TIMING_FACTOR = 0.5
 
 #: Exit code used by ``crash`` faults (distinctive in post-mortems).
 CRASH_EXITCODE = 117
@@ -64,6 +72,13 @@ class FaultSpec:
         if self.mix != "*" and self.mix != mix:
             return False
         return self.times < 0 or attempt <= self.times
+
+    @property
+    def timing_factor(self) -> float:
+        """Shrink factor for ``timing`` faults (``seconds`` reinterpreted)."""
+        if 0.0 < self.seconds < 1.0:
+            return self.seconds
+        return DEFAULT_TIMING_FACTOR
 
     def encode(self) -> str:
         return (
@@ -128,6 +143,10 @@ def inject(config: str, mix: str, attempt: int) -> None:
     for spec in active_faults():
         if not spec.matches(config, mix, attempt):
             continue
+        if spec.kind == "timing":
+            # Timing corruption is applied where the DRAM model is
+            # built (see repro.validate.hooks), not at cell start.
+            continue
         if spec.kind == "raise":
             raise InjectedFault(
                 f"injected fault in cell ({config}, {mix}) attempt {attempt}"
@@ -139,8 +158,23 @@ def inject(config: str, mix: str, attempt: int) -> None:
         return
 
 
+def timing_fault_for(config: str, mix: str, attempt: int = 1) -> Optional[FaultSpec]:
+    """The active ``timing`` fault matching this cell, if any.
+
+    Queried by :func:`repro.validate.hooks.attach_checkers` when it
+    instruments a machine: a match means the DRAM arrays should be
+    corrupted (array timings scaled by :attr:`FaultSpec.timing_factor`)
+    so the timing-legality checker has a real violation to catch.
+    """
+    for spec in active_faults():
+        if spec.kind == "timing" and spec.matches(config, mix, attempt):
+            return spec
+    return None
+
+
 __all__ = [
     "CRASH_EXITCODE",
+    "DEFAULT_TIMING_FACTOR",
     "ENV_VAR",
     "FaultSpec",
     "active_faults",
@@ -150,4 +184,5 @@ __all__ = [
     "install",
     "parse_fault",
     "parse_faults",
+    "timing_fault_for",
 ]

@@ -134,10 +134,19 @@ class CellFailure:
         )
 
 
+#: Environment variable enabling runtime checkers in every cell
+#: (inherited by forked workers, like ``REPRO_FAULTS``).  Value is a
+#: checker spec: ``all`` or a comma-separated subset of
+#: :data:`repro.validate.CHECKER_NAMES`.
+ENV_CHECK = "REPRO_CHECK"
+
+
 def _run_cell(args):
     """Simulate one cell (runs inside the worker process)."""
-    config, mix_name, benchmarks, warmup, measure, seed, attempt = args
+    config, mix_name, benchmarks, warmup, measure, seed, attempt, checkers = args
     faults.inject(config.name, mix_name, attempt)
+    if checkers is None:
+        checkers = os.environ.get(ENV_CHECK) or None
     result = run_workload(
         config,
         benchmarks,
@@ -145,6 +154,7 @@ def _run_cell(args):
         measure_instructions=measure,
         seed=seed,
         workload_name=mix_name,
+        checkers=checkers,
     )
     return (config.name, mix_name, result)
 
@@ -270,6 +280,7 @@ class _Job:
     attempt: int = 1
     ready_at: float = 0.0
     elapsed: float = 0.0
+    checkers: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -284,6 +295,7 @@ class _Job:
             self.measure,
             self.seed,
             self.attempt,
+            self.checkers,
         )
 
 
@@ -516,6 +528,7 @@ def run_matrix(
     seed: int = 42,
     workers: Optional[int] = None,
     policy: Optional[RunPolicy] = None,
+    checkers: Optional[str] = None,
 ) -> ResultTable:
     """Simulate every (config, mix) pair.
 
@@ -524,6 +537,13 @@ def run_matrix(
     the rest of the matrix still completes; pass ``cell_timeout``,
     ``retries``, ``journal_path``/``resume`` on ``policy`` for the full
     resilience behaviour (see module docstring).
+
+    ``checkers`` attaches runtime invariant checkers (see
+    :mod:`repro.validate`) to every cell; a
+    :class:`~repro.common.errors.CheckViolation` fails the cell like any
+    other error (and is retried/journaled the same way).  Setting the
+    ``REPRO_CHECK`` environment variable has the same effect for runs
+    that cannot pass the argument (e.g. the CLI experiment commands).
     """
     names = [c.name for c in configs]
     if len(set(names)) != len(names):
@@ -542,6 +562,7 @@ def run_matrix(
             warmup=scale.warmup_instructions,
             measure=scale.measure_instructions,
             seed=seed,
+            checkers=checkers,
         )
         for config in configs
         for mix in mixes

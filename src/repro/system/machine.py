@@ -102,7 +102,22 @@ class Machine:
         benchmarks: Sequence[str],
         seed: int = 42,
         workload_name: str = "",
+        engine: Optional[Engine] = None,
+        checkers=None,
     ) -> None:
+        """Wire a machine.
+
+        Args:
+            engine: event engine to drive the machine with; defaults to
+                the calendar-queue :class:`~repro.engine.simulator.
+                Engine`.  The differential harness passes a
+                ``HeapEngine`` here to replay the same workload under
+                the reference scheduler.
+            checkers: runtime invariant checkers to attach (``"all"``,
+                a comma-separated string, or an iterable of names from
+                :data:`repro.validate.CHECKER_NAMES`).  ``None`` (the
+                default) attaches nothing and adds zero overhead.
+        """
         if len(benchmarks) != config.num_cores:
             raise ValueError(
                 f"{config.num_cores} cores need {config.num_cores} benchmarks, "
@@ -110,7 +125,7 @@ class Machine:
             )
         self.config = config
         self.workload_name = workload_name or "+".join(benchmarks)
-        self.engine = Engine()
+        self.engine = engine if engine is not None else Engine()
         self.registry = StatRegistry()
         self.allocator = PageAllocator(
             page_size=config.page_size, capacity_bytes=config.dram_capacity
@@ -263,6 +278,14 @@ class Machine:
         self._core_results: Dict[int, CoreResult] = {}
         self._unfrozen_count = 0
 
+        # Runtime invariant checkers (opt-in; imported lazily so plain
+        # runs never touch the validate package).
+        self.checker_set = None
+        if checkers:
+            from ..validate import attach_checkers
+
+            self.checker_set = attach_checkers(self, checkers)
+
     # ------------------------------------------------------------------
     def outstanding_requests(self) -> int:
         """Requests in flight: MSHR occupancy plus MC queue depths.
@@ -343,6 +366,8 @@ class Machine:
                 events_fired=self.engine.events_fired,
                 queue_depth=self.engine.pending,
             )
+        if self.checker_set is not None:
+            self.checker_set.finish()
         return self._collect()
 
     def _l2_core_counters(self, core_id: int) -> Dict[str, float]:
@@ -412,7 +437,14 @@ def run_workload(
     measure_instructions: int = 80_000,
     seed: int = 42,
     workload_name: str = "",
+    checkers=None,
 ) -> MachineResult:
     """One-call convenience: build a machine and run it."""
-    machine = Machine(config, benchmarks, seed=seed, workload_name=workload_name)
+    machine = Machine(
+        config,
+        benchmarks,
+        seed=seed,
+        workload_name=workload_name,
+        checkers=checkers,
+    )
     return machine.run(warmup_instructions, measure_instructions)

@@ -1,0 +1,277 @@
+"""Differential validation: one workload, two implementations.
+
+The calendar-queue :class:`~repro.engine.simulator.Engine` exists only
+as a faster implementation of the :class:`~repro.engine.simulator.
+HeapEngine` contract, and every DRAM timing preset claims to model the
+*same* protocol at different speeds.  Both claims are checked the same
+way: run the identical workload twice, record the full per-bank command
+transcript (:class:`~repro.validate.transcript.TranscriptRecorder`) and
+the final stat tables, and diff them.
+
+* :func:`diff_engines` must report **identical** — the two engines are
+  supposed to be bit-equivalent, so the first differing command (or
+  stat) localizes an engine bug to a cycle and a bank.
+* :func:`diff_timing_presets` must report **divergent** — it exists to
+  show *where* an aggressive timing first changes behaviour, which is
+  how a surprising speedup is audited back to a cause.
+
+``scripts/diff_validate.py`` wraps both as a CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..system.config import SystemConfig
+from .transcript import CommandRecord, TranscriptRecorder
+
+#: Stat keys whose values are allowed to differ between engine
+#: implementations (none today; listed for future wall-clock style keys).
+_STAT_IGNORE: Tuple[str, ...] = ()
+
+
+@dataclass
+class TracedRun:
+    """One simulation run plus everything needed to diff it."""
+
+    label: str
+    config_name: str
+    workload: str
+    engine_name: str
+    transcript: List[CommandRecord]
+    stats: Dict[str, Dict[str, float]]
+    result: object  # MachineResult
+
+    @property
+    def commands(self) -> int:
+        return len(self.transcript)
+
+
+def run_traced(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    *,
+    warmup: int,
+    measure: int,
+    seed: int = 42,
+    workload_name: str = "",
+    engine=None,
+    checkers=None,
+    label: str = "",
+) -> TracedRun:
+    """Run one workload and capture its command transcript and stats."""
+    from ..system.machine import Machine
+
+    machine = Machine(
+        config,
+        benchmarks,
+        seed=seed,
+        workload_name=workload_name,
+        engine=engine,
+        checkers=checkers,
+    )
+    recorder = TranscriptRecorder()
+    from .hooks import instrument_banks
+
+    instrument_banks(machine, recorder)
+    result = machine.run(warmup, measure)
+    return TracedRun(
+        label=label or f"{config.name}/{type(machine.engine).__name__}",
+        config_name=config.name,
+        workload=machine.workload_name,
+        engine_name=type(machine.engine).__name__,
+        transcript=recorder.records,
+        stats=machine.registry.dump(),
+        result=result,
+    )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of diffing two traced runs."""
+
+    lhs_label: str
+    rhs_label: str
+    lhs_commands: int
+    rhs_commands: int
+    #: Index of the first differing transcript record (None = identical
+    #: up to the shorter length; a length mismatch still diverges).
+    first_divergence: Optional[int] = None
+    lhs_record: Optional[CommandRecord] = None
+    rhs_record: Optional[CommandRecord] = None
+    #: Records around the divergence, for context ([(side, record), ...]).
+    context: List[Tuple[str, CommandRecord]] = field(default_factory=list)
+    #: (group, key, lhs value, rhs value) for every differing stat.
+    stat_diffs: List[Tuple[str, str, Optional[float], Optional[float]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def transcripts_identical(self) -> bool:
+        return (
+            self.first_divergence is None
+            and self.lhs_commands == self.rhs_commands
+        )
+
+    @property
+    def stats_identical(self) -> bool:
+        return not self.stat_diffs
+
+    @property
+    def identical(self) -> bool:
+        return self.transcripts_identical and self.stats_identical
+
+    def format(self, max_stat_lines: int = 20) -> str:
+        lines = [f"diff {self.lhs_label} vs {self.rhs_label}:"]
+        if self.identical:
+            lines.append(
+                f"  IDENTICAL — {self.lhs_commands} DRAM commands, "
+                "same transcript, same stat tables"
+            )
+            return "\n".join(lines)
+        if self.transcripts_identical:
+            lines.append(
+                f"  transcripts identical ({self.lhs_commands} commands)"
+            )
+        else:
+            lines.append(
+                f"  TRANSCRIPTS DIVERGE "
+                f"({self.lhs_commands} vs {self.rhs_commands} commands)"
+            )
+            if self.first_divergence is not None:
+                lines.append(
+                    f"  first divergence at command #{self.first_divergence}:"
+                )
+                lines.append(
+                    "    lhs: "
+                    + (self.lhs_record.describe() if self.lhs_record else "<absent>")
+                )
+                lines.append(
+                    "    rhs: "
+                    + (self.rhs_record.describe() if self.rhs_record else "<absent>")
+                )
+                if self.context:
+                    lines.append("  context:")
+                    for side, record in self.context:
+                        lines.append(f"    {side} {record.describe()}")
+            else:
+                lines.append(
+                    "  common prefix identical; one transcript is a strict "
+                    "prefix of the other"
+                )
+        if self.stat_diffs:
+            lines.append(f"  {len(self.stat_diffs)} stat differences:")
+            for group, key, lhs, rhs in self.stat_diffs[:max_stat_lines]:
+                lines.append(f"    {group}.{key}: {lhs} vs {rhs}")
+            if len(self.stat_diffs) > max_stat_lines:
+                lines.append(
+                    f"    ... and {len(self.stat_diffs) - max_stat_lines} more"
+                )
+        return "\n".join(lines)
+
+
+def _diff_stats(
+    lhs: Dict[str, Dict[str, float]], rhs: Dict[str, Dict[str, float]]
+) -> List[Tuple[str, str, Optional[float], Optional[float]]]:
+    diffs = []
+    for group in sorted(set(lhs) | set(rhs)):
+        lgroup = lhs.get(group, {})
+        rgroup = rhs.get(group, {})
+        for key in sorted(set(lgroup) | set(rgroup)):
+            if f"{group}.{key}" in _STAT_IGNORE:
+                continue
+            lval = lgroup.get(key)
+            rval = rgroup.get(key)
+            if lval != rval:
+                diffs.append((group, key, lval, rval))
+    return diffs
+
+
+def diff_runs(lhs: TracedRun, rhs: TracedRun, context: int = 2) -> DiffReport:
+    """Diff two traced runs; first transcript divergence wins the report."""
+    report = DiffReport(
+        lhs_label=lhs.label,
+        rhs_label=rhs.label,
+        lhs_commands=lhs.commands,
+        rhs_commands=rhs.commands,
+    )
+    common = min(lhs.commands, rhs.commands)
+    for index in range(common):
+        if lhs.transcript[index] != rhs.transcript[index]:
+            report.first_divergence = index
+            report.lhs_record = lhs.transcript[index]
+            report.rhs_record = rhs.transcript[index]
+            lo = max(0, index - context)
+            for record in lhs.transcript[lo:index]:
+                report.context.append(("  =", record))
+            break
+    else:
+        if lhs.commands != rhs.commands:
+            # Strict-prefix divergence: point at the first extra record.
+            report.first_divergence = common
+            if lhs.commands > common:
+                report.lhs_record = lhs.transcript[common]
+            if rhs.commands > common:
+                report.rhs_record = rhs.transcript[common]
+    report.stat_diffs = _diff_stats(lhs.stats, rhs.stats)
+    return report
+
+
+def diff_engines(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    *,
+    warmup: int,
+    measure: int,
+    seed: int = 42,
+    workload_name: str = "",
+    checkers=None,
+) -> Tuple[DiffReport, TracedRun, TracedRun]:
+    """Same workload under the calendar-queue and heap engines.
+
+    These must be bit-identical; any difference is an engine bug.
+    """
+    from ..engine.simulator import Engine, HeapEngine
+
+    lhs = run_traced(
+        config, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, engine=Engine(), checkers=checkers,
+        label=f"{config.name}/calendar",
+    )
+    rhs = run_traced(
+        config, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, engine=HeapEngine(), checkers=checkers,
+        label=f"{config.name}/heap",
+    )
+    return diff_runs(lhs, rhs), lhs, rhs
+
+
+def diff_timing_presets(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    *,
+    preset_a: str = "2d",
+    preset_b: str = "true-3d",
+    warmup: int,
+    measure: int,
+    seed: int = 42,
+    workload_name: str = "",
+) -> Tuple[DiffReport, TracedRun, TracedRun]:
+    """Same workload under two DRAM timing presets (expected to diverge).
+
+    The report's first divergence shows the first command whose timing
+    (or row-buffer outcome) the aggressive preset changes — the starting
+    point for auditing a speedup.
+    """
+    lhs = run_traced(
+        config.derive(dram_timing=preset_a),
+        benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, label=f"{config.name}/{preset_a}",
+    )
+    rhs = run_traced(
+        config.derive(dram_timing=preset_b),
+        benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, label=f"{config.name}/{preset_b}",
+    )
+    return diff_runs(lhs, rhs), lhs, rhs

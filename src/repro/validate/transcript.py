@@ -1,0 +1,76 @@
+"""Per-bank command transcripts for differential validation.
+
+A :class:`TranscriptRecorder` observes every instrumented bank access
+(the same seam the timing checker uses) and appends one
+:class:`CommandRecord` per DRAM access, in dispatch order.  Two runs of
+the same workload under different engines must produce *bit-identical*
+transcripts; the first differing record is the first observable
+divergence, and it carries enough state (cycle, bank coordinates, row,
+direction, completion time, row-hit flag, open rows after the access)
+to localize the bug without re-running.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+
+class CommandRecord(NamedTuple):
+    """One DRAM access as observed at the bank seam."""
+
+    index: int
+    mc: int
+    rank: int
+    bank: int
+    start: int
+    row: int
+    op: str  # "RD" | "WR"
+    data_time: int
+    hit: bool
+    open_rows: Tuple[int, ...]
+
+    def describe(self) -> str:
+        outcome = "hit " if self.hit else "miss"
+        return (
+            f"#{self.index:<6d} t={self.start:<8d} "
+            f"mc{self.mc}.rank{self.rank}.bank{self.bank} {self.op} "
+            f"row {self.row:<6d} {outcome} data@{self.data_time} "
+            f"open={list(self.open_rows)}"
+        )
+
+
+class TranscriptRecorder:
+    """Collects the full command transcript of one run."""
+
+    def __init__(self) -> None:
+        self.records: List[CommandRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def on_bank_access(
+        self,
+        mc_id: int,
+        rank_id: int,
+        bank_id: int,
+        start: int,
+        row: int,
+        is_write: bool,
+        data_time: int,
+        hit: bool,
+        open_rows: Tuple[int, ...] = (),
+    ) -> None:
+        self.records.append(
+            CommandRecord(
+                index=len(self.records),
+                mc=mc_id,
+                rank=rank_id,
+                bank=bank_id,
+                start=start,
+                row=row,
+                op="WR" if is_write else "RD",
+                data_time=data_time,
+                hit=hit,
+                open_rows=open_rows,
+            )
+        )

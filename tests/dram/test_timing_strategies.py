@@ -1,0 +1,66 @@
+"""Property tests for ``dram/timing.py`` driven by ``tests.strategies``.
+
+These pin the algebra the shadow-bank checker relies on: scaling and
+shrinking preserve the dataclass invariants, legal generators only
+produce legal timings, and every mutation is a strict speedup of
+exactly one parameter.
+"""
+
+import pytest
+
+from repro.dram.timing import DramTiming, ddr2_commodity, true_3d
+
+from tests.strategies import (
+    TIMING_PARAMS,
+    random_timing,
+    shrink_timing,
+    timing_mutations,
+)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_timing_is_always_legal(seed):
+    timing = random_timing(seed)
+    # Constructing DramTiming already enforces positivity and
+    # t_ras >= t_rcd; spot-check the derived quantity too.
+    assert timing.t_rc == timing.t_ras + timing.t_rp
+    assert all(getattr(timing, param) >= 1 for param in TIMING_PARAMS)
+
+
+@pytest.mark.parametrize("factor", [1.0, 1.3, 2.0])
+def test_uniform_slowdown_is_legal(factor):
+    slow = ddr2_commodity().scaled(factor)
+    assert isinstance(slow, DramTiming)
+    assert slow.t_ras >= slow.t_rcd
+
+
+@pytest.mark.parametrize("param", TIMING_PARAMS)
+def test_shrink_strictly_reduces_one_parameter(param):
+    timing = ddr2_commodity()
+    mutant = shrink_timing(timing, param)
+    assert getattr(mutant, param) < getattr(timing, param)
+    for other in TIMING_PARAMS:
+        if other != param:
+            assert getattr(mutant, other) == getattr(timing, other)
+
+
+def test_shrink_rejects_unknown_parameter():
+    with pytest.raises(ValueError, match="unknown timing parameter"):
+        shrink_timing(ddr2_commodity(), "t_bogus")
+
+
+def test_shrink_preserves_ras_rcd_invariant():
+    # t_ras shrinks are clamped so the mutant still constructs.
+    timing = ddr2_commodity()
+    mutant = shrink_timing(timing, "t_ras", factor=0.01)
+    assert mutant.t_ras >= mutant.t_rcd
+
+
+@pytest.mark.parametrize("preset", [ddr2_commodity, true_3d])
+def test_every_preset_parameter_is_mutable(preset):
+    timing = preset()
+    mutated = dict(timing_mutations(timing))
+    # Every array parameter of the paper's presets admits a shrink.
+    assert set(mutated) == set(TIMING_PARAMS)
+    for param, mutant in mutated.items():
+        assert getattr(mutant, param) < getattr(timing, param)

@@ -8,7 +8,16 @@ that bounds memory under cancel-heavy loads.
 
 import pytest
 
-from repro.engine import Engine, HeapEngine
+from repro.engine import Engine, HeapEngine, SimulationHang
+
+
+def _assert_wheel_consistent(engine):
+    """The wheel count must match the buckets, slot by slot."""
+    resident = sum(
+        len(bucket) for bucket in engine._wheel if bucket is not None
+    )
+    assert resident == engine._wheel_count
+    assert engine.pending == engine._wheel_count + len(engine._heap)
 
 
 @pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
@@ -103,3 +112,205 @@ def test_cancel_from_inside_same_cycle_batch():
     engine.schedule(3, fired.append, "survivor")
     engine.run()
     assert fired == ["killer", "survivor"]
+
+
+# ----------------------------------------------------------------------
+# Lazy-compaction edge cases: the *last* event in a calendar slot at the
+# current cycle gets cancelled.  The slot must be released (not leaked as
+# a cancelled-only bucket), the wheel count must stay exact, and time
+# must never move.
+# ----------------------------------------------------------------------
+def test_cancel_last_event_in_current_cycle_slot_after_step():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "a")
+    leftover = engine.schedule(5, fired.append, "b")
+    assert engine.step() is True  # fires "a"; "b" stays in the live slot
+    assert engine.now == 5
+    leftover.cancel()  # now the last event in the slot at the current cycle
+    assert engine.step() is False
+    assert engine.now == 5
+    assert fired == ["a"]
+    assert engine._wheel[5 & engine._mask] is None  # slot released
+    _assert_wheel_consistent(engine)
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancel_current_cycle_leftover_then_run_to_later_event(engine_cls):
+    engine = engine_cls()
+    fired = []
+    engine.schedule(5, fired.append, "a")
+    leftover = engine.schedule(5, fired.append, "b")
+    engine.step()
+    leftover.cancel()
+    engine.schedule(20, fired.append, "c")  # cycle 25
+    engine.run()
+    assert fired == ["a", "c"]
+    assert engine.now == 25
+    assert engine.pending == 0
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancel_event_spawned_into_current_cycle_during_batch(engine_cls):
+    """A delay-0 event born and killed inside the same cycle's batch.
+
+    On the calendar engine the spawned event forms a *fresh* bucket in
+    the already-detached current slot; cancelling it leaves that bucket
+    cancelled-only, which the next outer pass must release without
+    firing anything or advancing time.
+    """
+    engine = engine_cls()
+    fired = []
+    holder = {}
+
+    def spawner():
+        fired.append("spawner")
+        holder["victim"] = engine.schedule(0, fired.append, "victim")
+
+    def killer():
+        fired.append("killer")
+        holder["victim"].cancel()
+
+    engine.schedule(3, spawner)
+    engine.schedule(3, killer)
+    engine.run()
+    assert fired == ["spawner", "killer"]
+    assert engine.now == 3
+    assert engine.pending == 0
+    if engine_cls is Engine:
+        assert engine._wheel[3 & engine._mask] is None
+        _assert_wheel_consistent(engine)
+
+
+def test_cancelled_current_slot_with_wraparound_live_event():
+    """The released slot must not stall the scan when the next live
+    event's slot index wraps around *behind* the cursor."""
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "first")
+    doomed = engine.schedule(5, fired.append, "doomed")
+    engine.step()  # now = 5, "doomed" is the current-slot leftover
+    doomed.cancel()
+    horizon = engine.horizon
+    # Slot (5 + horizon - 1) & mask == 4: one position behind the cursor.
+    engine.schedule(horizon - 1, fired.append, "far")
+    engine.run()
+    assert fired == ["first", "far"]
+    assert engine.now == 5 + horizon - 1
+    assert engine.pending == 0
+    _assert_wheel_consistent(engine)
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancelled_only_event_before_until_deadline(engine_cls):
+    engine = engine_cls()
+    fired = []
+    engine.schedule(10, fired.append, "early").cancel()
+    engine.schedule(100, fired.append, "late")
+    engine.run(until=50)
+    assert fired == []
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["late"]
+    assert engine.now == 100
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, HeapEngine])
+def test_cancel_after_until_bound_unpop(engine_cls):
+    """Cancel an event that was popped and reinserted by an `until` stop.
+
+    The cancelled sentinel before the deadline forces the calendar
+    engine down the one-event cold path, so "blocked" is extracted,
+    found past the deadline, and unpopped to the front of its slot —
+    then cancelled while it is the last event there.
+    """
+    engine = engine_cls()
+    fired = []
+    engine.schedule(10, fired.append, "a")
+    engine.schedule(60, lambda: None).cancel()
+    blocked = engine.schedule(100, fired.append, "blocked")
+    engine.run(until=50)
+    assert fired == ["a"]
+    assert engine.now == 50
+    blocked.cancel()
+    engine.run()
+    assert fired == ["a"]
+    assert engine.now == 50  # drained without firing or advancing
+    assert engine.pending == 0
+    if engine_cls is Engine:
+        _assert_wheel_consistent(engine)
+
+
+def test_heap_event_migrated_to_wheel_then_cancelled():
+    """An `until` stop can unpop a far-future heap event into the wheel
+    once time has advanced enough; cancelling it there must not disturb
+    the heap's cancelled-event accounting."""
+    engine = Engine()
+    fired = []
+    engine.schedule(200, fired.append, "wheel")
+    far = engine.schedule(600, fired.append, "far")  # heap resident
+    engine.schedule(300, lambda: None).cancel()  # forces the cold path
+    engine.run(until=400)
+    assert fired == ["wheel"]
+    assert engine.now == 400
+    assert len(engine._heap) == 0  # "far" migrated to the wheel
+    far.cancel()  # last event in its wheel slot
+    assert engine._heap_cancelled == 0  # wheel cancels never count here
+    engine.run()
+    assert fired == ["wheel"]
+    assert engine.now == 400
+    assert engine.pending == 0
+    _assert_wheel_consistent(engine)
+
+
+def test_stop_requeued_tail_entirely_cancelled():
+    """request_stop() mid-batch requeues the tail; if the tail is all
+    cancelled, the next run must release it without firing."""
+    engine = Engine()
+    fired = []
+    holder = {}
+
+    def killer():
+        fired.append("killer")
+        holder["victim"].cancel()
+        engine.request_stop()
+
+    engine.schedule(3, killer)
+    holder["victim"] = engine.schedule(3, fired.append, "victim")
+    engine.run()
+    assert fired == ["killer"]
+    assert engine.pending == 1  # the cancelled tail was requeued
+    _assert_wheel_consistent(engine)
+    engine.run()
+    assert fired == ["killer"]
+    assert engine.now == 3
+    assert engine.pending == 0
+    assert engine._wheel[3 & engine._mask] is None
+
+
+def test_budgeted_batch_skips_cancelled_last_event():
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(4, fired.append, i) for i in range(4)]
+    events[3].cancel()  # last event in the slot
+    engine.run(max_events=3)  # budget covers exactly the live events
+    assert fired == [0, 1, 2]
+    assert engine.now == 4
+    assert engine.pending == 0
+    _assert_wheel_consistent(engine)
+
+
+def test_budget_exhaustion_requeues_cancelled_tail():
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(4, fired.append, i) for i in range(4)]
+    events[2].cancel()
+    with pytest.raises(SimulationHang):
+        engine.run(max_events=1)
+    assert fired == [0]
+    _assert_wheel_consistent(engine)
+    engine.run()
+    assert fired == [0, 1, 3]
+    assert engine.now == 4
+    assert engine.pending == 0
+    _assert_wheel_consistent(engine)

@@ -1,0 +1,106 @@
+"""Differential regression tests: engines must be bit-identical.
+
+The calendar-queue engine is only a faster implementation of the heap
+engine's contract — same workload, same seed must give the same DRAM
+command transcript and the same stat tables, record for record and
+counter for counter.  These tests are the regression net under every
+future engine optimization.
+"""
+
+import pytest
+
+from repro.system.config import config_2d, config_3d_fast
+from repro.validate import diff_engines, diff_runs, diff_timing_presets
+from repro.validate.diff import TracedRun
+from repro.workloads.mixes import MIXES
+
+WARMUP, MEASURE = 500, 2_000
+MIX = MIXES["H1"]
+
+
+@pytest.mark.parametrize("factory", [config_2d, config_3d_fast])
+def test_engines_bit_identical(factory):
+    config = factory()
+    report, lhs, rhs = diff_engines(
+        config, list(MIX.benchmarks),
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+    )
+    assert report.identical, report.format()
+    assert lhs.commands == rhs.commands > 0
+    assert lhs.engine_name == "Engine"
+    assert rhs.engine_name == "HeapEngine"
+    # Identity must hold record-for-record, not just in summary.
+    assert lhs.transcript == rhs.transcript
+    assert lhs.stats == rhs.stats
+    assert "IDENTICAL" in report.format()
+
+
+def test_checkers_do_not_perturb_the_simulation():
+    config = config_2d()
+    plain, lhs_plain, _ = diff_engines(
+        config, list(MIX.benchmarks),
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+    )
+    checked, lhs_checked, _ = diff_engines(
+        config, list(MIX.benchmarks),
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+        checkers="all",
+    )
+    assert plain.identical and checked.identical
+    assert lhs_plain.transcript == lhs_checked.transcript
+
+
+def test_diff_reports_first_divergence():
+    config = config_2d()
+    report, lhs, rhs = diff_engines(
+        config, list(MIX.benchmarks),
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+    )
+    # Fabricate a divergence in the middle of the rhs transcript.
+    index = rhs.commands // 2
+    broken = list(rhs.transcript)
+    broken[index] = broken[index]._replace(data_time=broken[index].data_time + 1)
+    mutant = TracedRun(
+        label="mutant", config_name=rhs.config_name, workload=rhs.workload,
+        engine_name=rhs.engine_name, transcript=broken, stats=rhs.stats,
+        result=rhs.result,
+    )
+    diverged = diff_runs(lhs, mutant)
+    assert not diverged.identical
+    assert diverged.first_divergence == index
+    assert diverged.lhs_record == lhs.transcript[index]
+    assert diverged.rhs_record == broken[index]
+    text = diverged.format()
+    assert f"#{index}" in text
+    assert "data@" in text  # bank-state dump of the diverging command
+
+
+def test_diff_reports_length_mismatch():
+    config = config_2d()
+    _, lhs, rhs = diff_engines(
+        config, list(MIX.benchmarks),
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+    )
+    short = TracedRun(
+        label="short", config_name=rhs.config_name, workload=rhs.workload,
+        engine_name=rhs.engine_name, transcript=rhs.transcript[:-3],
+        stats=rhs.stats, result=rhs.result,
+    )
+    report = diff_runs(lhs, short)
+    assert not report.transcripts_identical
+    assert report.first_divergence == len(rhs.transcript) - 3
+    assert report.lhs_record is not None
+    assert report.rhs_record is None
+
+
+def test_timing_presets_diverge():
+    config = config_2d()
+    report, lhs, rhs = diff_timing_presets(
+        config, list(MIX.benchmarks),
+        preset_a="2d", preset_b="true-3d",
+        warmup=WARMUP, measure=MEASURE, workload_name=MIX.name,
+    )
+    assert not report.identical
+    assert report.first_divergence is not None
+    # The faster preset is visible in the very report that localizes it.
+    assert "DIVERGE" in report.format()

@@ -1,0 +1,106 @@
+"""Shadow-bank timing checker properties.
+
+Two directions, both driven by the seeded generators in
+``tests.strategies``:
+
+* soundness — a bank running the *same* timing as the shadow never
+  trips the checker, for random legal access sequences over random
+  legal timings;
+* completeness — shrinking **any single** t-parameter (an illegal
+  speedup) is caught on a conflict-heavy sequence, and the violation
+  names a constraint.
+"""
+
+import pytest
+
+from repro.common.errors import CheckViolation
+from repro.dram.bank import Bank
+from repro.dram.refresh import RefreshSchedule
+from repro.dram.timing import ddr2_commodity, true_3d
+from repro.validate import ShadowBank
+
+from tests.strategies import (
+    TIMING_PARAMS,
+    access_sequence,
+    conflict_stress_sequence,
+    random_timing,
+    shrink_timing,
+    timing_mutations,
+)
+
+
+def _drive(bank, shadow, sequence):
+    """Feed one access sequence through a bank and its shadow."""
+    time = 0
+    for gap, row, is_write in sequence:
+        time += gap
+        data_time, hit = bank.access(time, row, is_write)
+        shadow.observe(time, row, is_write, data_time, hit)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_legal_sequences_never_trip(seed):
+    timing = random_timing(seed)
+    entries = (seed % 3) + 1
+    shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=entries)
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), entries)
+    _drive(bank, shadow, access_sequence(seed, length=120))
+    assert shadow.accesses == 120
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_legal_conflict_stress_never_trips(seed):
+    # The adversarial sequence used for mutation testing must itself be
+    # clean under matching timings (no false positives).
+    timing = ddr2_commodity()
+    shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=1)
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), 1)
+    _drive(bank, shadow, conflict_stress_sequence(seed))
+
+
+@pytest.mark.parametrize("param", TIMING_PARAMS)
+def test_each_shrunk_parameter_is_caught(param):
+    timing = ddr2_commodity()
+    mutant = shrink_timing(timing, param)
+    shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=1)
+    bank = Bank(mutant, RefreshSchedule(mutant, phase=0), 1)
+    with pytest.raises(CheckViolation) as excinfo:
+        _drive(bank, shadow, conflict_stress_sequence(0, length=120))
+    violation = excinfo.value
+    assert violation.checker == "dram-timing"
+    assert violation.constraint, "violation must name a constraint"
+    assert violation.state["bank"] == shadow.label
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_all_mutations_of_true_3d_are_caught(seed):
+    # The aggressive preset has the tightest margins; every constructible
+    # single-parameter shrink must still be detected.
+    timing = true_3d()
+    for param, mutant in timing_mutations(timing):
+        shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=1)
+        bank = Bank(mutant, RefreshSchedule(mutant, phase=0), 1)
+        with pytest.raises(CheckViolation):
+            _drive(bank, shadow, conflict_stress_sequence(seed, length=120))
+
+
+def test_row_buffer_divergence_is_named():
+    # Feeding the shadow a wrong hit flag is diagnosed as row-buffer
+    # state divergence, not a timing inequality.
+    timing = ddr2_commodity()
+    shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=1)
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), 1)
+    data_time, hit = bank.access(0, 3, False)
+    with pytest.raises(CheckViolation) as excinfo:
+        shadow.observe(0, 3, False, data_time, not hit)
+    assert "row-buffer" in excinfo.value.constraint
+
+
+def test_slower_than_reference_is_model_divergence():
+    timing = ddr2_commodity()
+    shadow = ShadowBank(timing, refresh_phase=0, row_buffer_entries=1)
+    bank = Bank(timing, RefreshSchedule(timing, phase=0), 1)
+    data_time, hit = bank.access(0, 1, False)
+    with pytest.raises(CheckViolation) as excinfo:
+        shadow.observe(0, 1, False, data_time + 7, hit)
+    assert "model equality" in excinfo.value.constraint
