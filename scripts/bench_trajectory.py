@@ -2,10 +2,14 @@
 """Record the simulator's performance trajectory across PRs.
 
 Runs the hot-path micro-benchmarks (mirroring ``benchmarks/test_microbench.py``)
-plus one fixed smoke-scale figure-4 cell, and writes the measured throughput
-numbers to ``BENCH_<n>.json`` at the repository root.  When an earlier
-``BENCH_<m>.json`` exists the report embeds per-metric speedups against it, so
-every PR inherits a perf baseline from the previous one.
+plus one fixed smoke-scale figure-4 cell (full-detail and sampled), and writes
+the measured throughput numbers to ``BENCH_<n>.json`` at the repository root.
+When an earlier ``BENCH_<m>.json`` exists the report embeds per-metric
+speedups against it, so every PR inherits a perf baseline from the previous
+one.  The report also compares against the *best* value each metric ever
+reached across all committed baselines, flagging any metric that sits more
+than 10% below its historical best — a slow leak across several PRs shows up
+here even when each single step stayed under the hard gate.
 
 Usage (from the repository root)::
 
@@ -261,6 +265,54 @@ def bench_figure4_smoke(repeats):
     }
 
 
+def bench_figure4_sampled(repeats):
+    """The figure-4 cell under the default sampling plan, default scale.
+
+    Sampling only pays off once the run is long enough to amortise its
+    per-interval transients (the ``min_intervals`` floor makes a
+    smoke-scale sampled run *larger* than the full run), so this metric
+    uses the default scale and pairs the sampled run with a full-detail
+    run of the same cell: ``speedup_vs_detailed`` is the wall-clock win
+    the sampled path delivers.  Accuracy is asserted separately by
+    ``scripts/sample_validate.py``.
+    """
+    from repro.sampling.plan import SamplingPlan
+
+    scale = get_scale("default")
+    mix = MIXES[SMOKE_MIX]
+    plan = SamplingPlan()
+
+    def run(sampling):
+        def go():
+            machine = Machine(
+                config_2d(), list(mix.benchmarks), seed=SMOKE_SEED,
+                workload_name=mix.name,
+            )
+            if sampling:
+                machine.run_sampled(
+                    plan,
+                    warmup_instructions=scale.warmup_instructions,
+                    measure_instructions=scale.measure_instructions,
+                )
+            else:
+                machine.run(
+                    warmup_instructions=scale.warmup_instructions,
+                    measure_instructions=scale.measure_instructions,
+                )
+        return go
+
+    detailed_seconds, _ = best_of(run(False), repeats)
+    seconds, _ = best_of(run(True), repeats)
+    return {
+        "value": seconds,
+        "unit": "seconds",
+        "higher_is_better": False,
+        "wall_seconds": seconds,
+        "detailed_seconds": detailed_seconds,
+        "speedup_vs_detailed": detailed_seconds / seconds,
+    }
+
+
 def run_suite(quick):
     chain_events = 20_000 if quick else 100_000
     ops = 2_000 if quick else 5_000
@@ -273,6 +325,7 @@ def run_suite(quick):
         "mshr_conventional": bench_mshr(lambda: ConventionalMshr(32), ops, repeats),
         "dram_bank": bench_dram_bank(ops, repeats),
         "figure4_smoke": bench_figure4_smoke(1 if quick else 2),
+        "figure4_sampled": bench_figure4_sampled(1 if quick else 2),
     }
 
 
@@ -304,6 +357,33 @@ def compare(metrics, baseline_metrics):
         else:
             speedups[name] = old["value"] / metric["value"]
     return speedups
+
+
+def best_prior_metrics(baselines, label):
+    """Per-metric best value across every ``BENCH_<m>.json`` with m < label.
+
+    Returns ``{name: {"value", "higher_is_better", "source"}}`` where
+    ``source`` names the baseline file that holds the record.
+    """
+    best = {}
+    for n in sorted(n for n in baselines if n < label):
+        data = json.loads(baselines[n].read_text())
+        for name, metric in data.get("metrics", {}).items():
+            value = metric.get("value")
+            if not value:
+                continue
+            hib = metric.get("higher_is_better", True)
+            cur = best.get(name)
+            better = cur is None or (
+                value > cur["value"] if hib else value < cur["value"]
+            )
+            if better:
+                best[name] = {
+                    "value": value,
+                    "higher_is_better": hib,
+                    "source": baselines[n].name,
+                }
+    return best
 
 
 def git_revision():
@@ -381,6 +461,22 @@ def main(argv=None):
             print(f"  {name:24s} {speedup:6.2f}x{flag}")
     elif args.check:
         print("no baseline found; nothing to check against")
+
+    best = best_prior_metrics(baselines, label)
+    if best:
+        best_speedups = compare(metrics, best)
+        flagged = sorted(n for n, s in best_speedups.items() if s < 0.90)
+        report["best_prior"] = {
+            "speedups": best_speedups,
+            "sources": {n: best[n]["source"] for n in best_speedups},
+            "flagged": flagged,
+        }
+        print("vs best prior (across all committed baselines):")
+        for name, speedup in sorted(best_speedups.items()):
+            flag = ""
+            if speedup < 0.90:
+                flag = f"  <-- >10% below best ({best[name]['source']})"
+            print(f"  {name:24s} {speedup:6.2f}x{flag}")
 
     out = args.out
     if out is None and not args.check:

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Sampled-simulation validation harness.
+
+Runs the figure-4 configurations twice — full detail and sampled under a
+:class:`~repro.sampling.plan.SamplingPlan` — and compares the quantity
+the paper actually reports: each configuration's **speedup over the 2D
+baseline**.  The sampled run only has to preserve relative ordering and
+magnitude, not absolute IPC, so the error metric is the per-config
+relative-speedup error
+
+    err(c) = | speedup_sampled(c) / speedup_full(c) - 1 |
+
+Modes:
+
+* ``--smoke`` (CI): the tuned default plan on the figure-4 configs at
+  the ``large`` scale.  Exit 0 only if every non-baseline config's
+  relative-speedup error is <= 2% **and** the sampled sweep finished
+  >= 3x faster (wall-clock) than the full-detail sweep.  The simulation
+  is deterministic for a fixed seed, so the error assertion is stable;
+  only the wall-clock ratio carries machine noise (the default plan was
+  tuned with >10% margin over the 3x floor).
+* default (exploration): same comparison with ``--spec``, ``--scale``,
+  ``--mix``, ``--seed`` and the thresholds exposed, for re-tuning the
+  plan.
+
+Examples::
+
+    PYTHONPATH=src python scripts/sample_validate.py --smoke
+    PYTHONPATH=src python scripts/sample_validate.py \\
+        --spec detailed:1000,warmup:4000 --scale default --mix H2
+
+Sampling at the ``smoke`` scale is *not* expected to pass the error
+bound: 2000/8000-instruction runs leave too few detailed windows to
+amortise per-interval transients (see docs/performance.md, "When not to
+use sampling").
+"""
+
+import argparse
+import sys
+import time
+
+from repro.cli import CONFIGS
+from repro.sampling.plan import SamplingPlan, parse_sample_spec
+from repro.system.machine import run_workload
+from repro.system.scale import get_scale
+from repro.workloads.mixes import MIX_ORDER, MIXES
+
+#: Figure-4 configuration sweep; the first entry is the speedup baseline.
+FIGURE4_CONFIGS = ("2d", "3d", "3d-wide", "3d-fast")
+
+
+def run_pair(config_name, benchmarks, mix_name, scale, seed, plan):
+    """One config, full-detail then sampled; returns (full, sampled, secs)."""
+    config = CONFIGS[config_name]()
+    t0 = time.perf_counter()
+    full = run_workload(
+        config, benchmarks,
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=seed, workload_name=mix_name,
+    )
+    t1 = time.perf_counter()
+    sampled = run_workload(
+        CONFIGS[config_name](), benchmarks,
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=seed, workload_name=mix_name, sampling=plan,
+    )
+    t2 = time.perf_counter()
+    return full, sampled, (t1 - t0, t2 - t1)
+
+
+def validate(plan, scale, mix, seed, max_err, min_speedup) -> int:
+    benchmarks = list(mix.benchmarks)
+    rows = []
+    full_secs = samp_secs = 0.0
+    for name in FIGURE4_CONFIGS:
+        full, sampled, (tf, ts) = run_pair(
+            name, benchmarks, mix.name, scale, seed, plan
+        )
+        full_secs += tf
+        samp_secs += ts
+        rows.append((name, full, sampled))
+        print(
+            f"  {name:8s} full HMIPC {full.hmipc:.4f} ({tf:6.2f}s)   "
+            f"sampled HMIPC {sampled.hmipc:.4f} ({ts:6.2f}s)   "
+            f"rel CI95 max {sampled.extra['sample_rel_ci95_max']:.1%}",
+            flush=True,
+        )
+
+    base_full = rows[0][1].hmipc
+    base_samp = rows[0][2].hmipc
+    failures = []
+    print(f"\nspeedup over {rows[0][0]} (mix {mix.name}, {scale.name} scale, "
+          f"plan {plan.spec()}):")
+    print(f"  {'config':8s} {'full':>7s} {'sampled':>8s} {'err':>7s}")
+    worst = 0.0
+    for name, full, sampled in rows[1:]:
+        full_sp = full.hmipc / base_full
+        samp_sp = sampled.hmipc / base_samp
+        err = abs(samp_sp / full_sp - 1.0)
+        worst = max(worst, err)
+        flag = "" if err <= max_err else "  <-- EXCEEDS BOUND"
+        print(f"  {name:8s} {full_sp:7.3f} {samp_sp:8.3f} {err:7.2%}{flag}")
+        if err > max_err:
+            failures.append(
+                f"{name}: relative-speedup error {err:.2%} > {max_err:.0%}"
+            )
+
+    ratio = full_secs / samp_secs if samp_secs else float("inf")
+    print(
+        f"\nwall-clock: full {full_secs:.2f}s, sampled {samp_secs:.2f}s "
+        f"-> {ratio:.2f}x faster (floor {min_speedup:.1f}x); "
+        f"worst speedup error {worst:.2%} (bound {max_err:.0%})"
+    )
+    if ratio < min_speedup:
+        failures.append(
+            f"sampled sweep only {ratio:.2f}x faster (need {min_speedup:.1f}x)"
+        )
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not failures:
+        print("sample-validate: OK")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: default plan, large scale, 2%% error / 3x floor",
+    )
+    parser.add_argument(
+        "--spec", default=None, metavar="SPEC",
+        help="sampling spec (default: the tuned default plan)",
+    )
+    parser.add_argument("--scale", default="large",
+                        choices=["smoke", "default", "large"])
+    parser.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--max-err", type=float, default=0.02,
+        help="per-config relative-speedup error bound (fraction)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="minimum wall-clock speedup of the sampled sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        plan, scale = SamplingPlan(), get_scale("large")
+        mix, seed = MIXES["H1"], 42
+        max_err, min_speedup = 0.02, 3.0
+    else:
+        plan = parse_sample_spec(args.spec) or SamplingPlan()
+        scale = get_scale(args.scale)
+        mix, seed = MIXES[args.mix], args.seed
+        max_err, min_speedup = args.max_err, args.min_speedup
+    print(
+        f"sample-validate: configs {', '.join(FIGURE4_CONFIGS)}; "
+        f"mix {mix.name}, seed {seed}, {scale.name} scale",
+        flush=True,
+    )
+    return validate(plan, scale, mix, seed, max_err, min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,23 @@ class CacheArray:
             return True
         return False
 
+    def touch(self, addr: int, dirty: bool = False) -> bool:
+        """Fused demand access: hit test + LRU update + dirty merge.
+
+        One call covering what ``lookup`` + ``mark_dirty`` do on the hit
+        path — used by the functional-warmup fast path, where the per
+        -access call overhead dominates.  Returns True on a hit.
+        """
+        line = addr & self._align_mask
+        index = self.set_index(line)
+        cache_set = self._sets[index]
+        if line in cache_set:
+            if dirty:
+                cache_set[line] = True
+            self._on_access(cache_set, index, line)
+            return True
+        return False
+
     def probe(self, addr: int) -> bool:
         """Hit test without disturbing replacement state (prefetch filters)."""
         line = addr & self._align_mask

@@ -67,13 +67,18 @@ class L1Cache:
         """
         now = self.engine.now
         line = self.array.align(request.addr)
+        # Read out what the prefetcher needs up front: completing the
+        # request may release it back to the pool (the core's data
+        # callback is its last consumer), after which its fields belong
+        # to the next acquirer.
+        addr, pc = request.addr, request.pc
         self._c_accesses.value += 1.0
         if self.array.lookup(line):
             self._c_hits.value += 1.0
             if request.is_write:
                 self.array.mark_dirty(line)
             request.complete(now + self.latency)
-            self._train_prefetcher(request, was_miss=False)
+            self._train_prefetcher(addr, pc, was_miss=False)
             return True
 
         # Miss path.
@@ -93,16 +98,16 @@ class L1Cache:
         self._c_misses.value += 1.0
         new_entry.merge(request)
         self._fill_dirty[line] = request.is_write
-        fetch = MemoryRequest(
+        fetch = MemoryRequest.acquire(
             line,
             AccessType.READ,
             core_id=self.core_id,
-            pc=request.pc,
+            pc=pc,
             created_at=now,
             callback=lambda mr, e=new_entry: self._fill(e, mr),
         )
         self.engine.schedule(self.latency, self.l2.access, fetch)
-        self._train_prefetcher(request, was_miss=True)
+        self._train_prefetcher(addr, pc, was_miss=True)
         return True
 
     def on_mshr_free(self, callback: Callable[[], None]) -> None:
@@ -131,11 +136,14 @@ class L1Cache:
         victim = self.array.fill(line, dirty=dirty)
         if victim is not None and victim[1]:
             self._c_writebacks.value += 1.0
-            writeback = MemoryRequest(
+            # Writebacks carry no response; the completing level fires
+            # the release callback, recycling the object.
+            writeback = MemoryRequest.acquire(
                 victim[0],
                 AccessType.WRITEBACK,
                 core_id=self.core_id,
                 created_at=now,
+                callback=MemoryRequest.release,
             )
             self.l2.access(writeback)
         self.mshr.deallocate(line)
@@ -143,12 +151,14 @@ class L1Cache:
             waiting.complete(now)
         while self._free_waiters and not self.mshr.is_full:
             self._free_waiters.popleft()()
+        # Our own fetch is spent once its fill has been applied.
+        mem_request.release()
 
-    def _train_prefetcher(self, request: MemoryRequest, was_miss: bool) -> None:
+    def _train_prefetcher(self, addr: int, pc: int, was_miss: bool) -> None:
         """L1 prefetch (next-line + IP-stride in Table 1) into the L1."""
-        if self.prefetcher is None or request.access is AccessType.PREFETCH:
+        if self.prefetcher is None:
             return
-        for candidate in self.prefetcher.observe(request.addr, request.pc, was_miss):
+        for candidate in self.prefetcher.observe(addr, pc, was_miss):
             line = self.array.align(candidate)
             if self.array.probe(line) or self.mshr.is_full:
                 continue
@@ -159,15 +169,38 @@ class L1Cache:
                 continue
             self.stats.add("prefetches_issued")
             self._fill_dirty[line] = False
-            fetch = MemoryRequest(
+            fetch = MemoryRequest.acquire(
                 line,
                 AccessType.PREFETCH,
                 core_id=self.core_id,
-                pc=request.pc,
+                pc=pc,
                 created_at=self.engine.now,
                 callback=lambda mr, e=entry: self._fill(e, mr),
             )
             self.l2.access(fetch)
+
+    # ------------------------------------------------------------------
+    # Functional-warmup path
+    # ------------------------------------------------------------------
+    def functional_access(self, addr: int, pc: int, is_write: bool) -> None:
+        """Warm this L1 (and everything below) for one reference.
+
+        Same demand tag/LRU/dirty transitions as the detailed path, but
+        without MSHRs, events, or statistics.  Prefetchers are *not*
+        trained here: the detailed path issue-filters candidates through
+        MSHR occupancy, which a timing-free walk cannot model — filling
+        every candidate was measured to over-warm the caches and bias
+        sampled IPC optimistic.  The stride tables survive the skip
+        (they are never reset) and re-engage within the detail-warmup
+        portion of the next interval.
+        """
+        if self.array.touch(addr, dirty=is_write):
+            return
+        line = self.array.align(addr)
+        self.l2.functional_fetch(line, core_id=self.core_id, pc=pc)
+        victim = self.array.fill(line, dirty=is_write)
+        if victim is not None and victim[1]:
+            self.l2.functional_writeback(victim[0])
 
     def miss_rate(self) -> float:
         accesses = self.stats.get("accesses")

@@ -169,7 +169,9 @@ class BankedL2Cache:
             self._c_hits.value += 1.0
             self._note_prefetch_usefulness(line)
             if demand:
-                self._train_prefetcher(request, was_miss=False)
+                self._train_prefetcher(
+                    request.addr, request.pc, request.core_id, was_miss=False
+                )
             request.complete(now + self.routing_latency)
             return
 
@@ -178,7 +180,9 @@ class BankedL2Cache:
             self._core_demand_counter(
                 self._core_demand_misses, "misses", request.core_id
             ).value += 1.0
-            self._train_prefetcher(request, was_miss=True)
+            self._train_prefetcher(
+                request.addr, request.pc, request.core_id, was_miss=True
+            )
         elif request.access is AccessType.PREFETCH:
             self._c_prefetch_misses.value += 1.0
         self._mshr_path(request)
@@ -221,7 +225,7 @@ class BankedL2Cache:
         stall_start = request.annotations.pop("mshr_stall_start", None)
         if stall_start is not None:
             self._c_mshr_stall_cycles.value += self.engine.now - stall_start
-        mem_request = MemoryRequest(
+        mem_request = MemoryRequest.acquire(
             line,
             AccessType.READ,
             core_id=request.core_id,
@@ -281,6 +285,8 @@ class BankedL2Cache:
             else:
                 self.engine.schedule_at(respond_at, waiting.complete, respond_at)
         self.engine.schedule(delay, self._drain_mshr_waiters, bank_idx)
+        # The memory-side fetch has served its purpose.
+        mem_request.release()
 
     def _drain_mshr_waiters(self, bank_idx: int) -> None:
         waiters = self._mshr_waiters[bank_idx]
@@ -298,10 +304,11 @@ class BankedL2Cache:
     # ------------------------------------------------------------------
     def _post_memory_writeback(self, line: int) -> None:
         self.stats.add("memory_writebacks")
-        wb = MemoryRequest(
+        wb = MemoryRequest.acquire(
             line,
             AccessType.WRITEBACK,
             created_at=self.engine.now,
+            callback=MemoryRequest.release,
         )
         self._enqueue_memory(wb)
 
@@ -309,10 +316,12 @@ class BankedL2Cache:
         if self._prefetched_lines.pop(line, None) is not None:
             self.stats.add("prefetch_useful")
 
-    def _train_prefetcher(self, request: MemoryRequest, was_miss: bool) -> None:
+    def _train_prefetcher(
+        self, addr: int, pc: int, core_id: int, was_miss: bool
+    ) -> None:
         if self.prefetcher is None:
             return
-        candidates = self.prefetcher.observe(request.addr, request.pc, was_miss)
+        candidates = self.prefetcher.observe(addr, pc, was_miss)
         for candidate in candidates:
             line = self.array.align(candidate)
             if self.array.probe(line):
@@ -324,14 +333,56 @@ class BankedL2Cache:
             if entry is not None:
                 continue
             self.stats.add("prefetches_issued")
-            prefetch = MemoryRequest(
+            prefetch = MemoryRequest.acquire(
                 line,
                 AccessType.PREFETCH,
-                core_id=request.core_id,
-                pc=request.pc,
+                core_id=core_id,
+                pc=pc,
                 created_at=self.engine.now,
+                callback=MemoryRequest.release,
             )
             self.access(prefetch)
+
+    # ------------------------------------------------------------------
+    # Functional-warmup path
+    # ------------------------------------------------------------------
+    def functional_fetch(self, line: int, core_id: int = 0, pc: int = 0) -> None:
+        """Warm tags/LRU for one demanded line; no events, no stats.
+
+        State transitions mirror the detailed demand-miss path: backend
+        fetch, fill, inclusion back-invalidation of L1 copies on
+        eviction, and dirty-victim writeback — minus MSHRs, timing, and
+        counters.  Prefetchers are deliberately not trained (see
+        :meth:`L1Cache.functional_access`).
+        """
+        if self.array.touch(line):
+            return
+        line = self.array.align(line)
+        self.memory.functional_fetch(line, core_id=core_id, pc=pc)
+        self._functional_fill(line)
+
+    def functional_writeback(self, line: int) -> None:
+        """Absorb a functional writeback from an L1."""
+        line = self.array.align(line)
+        if self.array.lookup(line):
+            self.array.mark_dirty(line)
+        else:
+            # Non-inclusive corner: forward straight to memory.
+            self.memory.functional_writeback(line)
+
+    def _functional_fill(self, line: int) -> None:
+        victim = self.array.fill(line, dirty=False)
+        if victim is None:
+            return
+        victim_line, victim_dirty = victim
+        self._prefetched_lines.pop(victim_line, None)
+        for upper in self._inclusion_listeners:
+            # Straight to the array: back_invalidate() would count stats.
+            dirty = upper.array.invalidate(victim_line)
+            if dirty:
+                victim_dirty = True
+        if victim_dirty:
+            self.memory.functional_writeback(victim_line)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -108,13 +108,13 @@ class StackedL3:
             self._c_merges.value += 1.0
             return
         self._inflight[line] = [request]
-        fetch = MemoryRequest(
+        fetch = MemoryRequest.acquire(
             line,
             AccessType.READ,
             core_id=request.core_id,
             pc=request.pc,
             created_at=now,
-            callback=lambda mr, l=line: self._fill(l),
+            callback=lambda mr, l=line: self._fill_from_memory(l, mr),
         )
         self._send(fetch)
 
@@ -122,6 +122,10 @@ class StackedL3:
         if not self.memory.enqueue(fetch):
             self.stats.add("mrq_full_retries")
             self.memory.wait_for_space(fetch.addr, lambda: self._send(fetch))
+
+    def _fill_from_memory(self, line: int, fetch: MemoryRequest) -> None:
+        self._fill(line)
+        fetch.release()
 
     def _fill(self, line: int) -> None:
         now = self.engine.now
@@ -133,10 +137,32 @@ class StackedL3:
             request.complete(now)
 
     def _forward_writeback(self, line: int) -> None:
-        writeback = MemoryRequest(
-            line, AccessType.WRITEBACK, created_at=self.engine.now
+        writeback = MemoryRequest.acquire(
+            line,
+            AccessType.WRITEBACK,
+            created_at=self.engine.now,
+            callback=MemoryRequest.release,
         )
         self._send(writeback)
+
+    # -- functional-warmup path -----------------------------------------
+    def functional_fetch(self, line: int, core_id: int = 0, pc: int = 0) -> None:
+        """Warm the L3 array for one fetched line; no timing, no stats."""
+        line = self.array.align(line)
+        if self.array.lookup(line):
+            return
+        self.memory.functional_fetch(line, core_id=core_id, pc=pc)
+        victim = self.array.fill(line, dirty=False)
+        if victim is not None and victim[1]:
+            self.memory.functional_writeback(victim[0])
+
+    def functional_writeback(self, line: int) -> None:
+        """Absorb a functional writeback (dirty mark or forward)."""
+        line = self.array.align(line)
+        if self.array.lookup(line):
+            self.array.mark_dirty(line)
+        else:
+            self.memory.functional_writeback(line)
 
     def hit_rate(self) -> float:
         hits = self.stats.get("hits")

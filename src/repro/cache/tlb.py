@@ -66,6 +66,27 @@ class Tlb:
         tlb_set[vpn] = True
         return self.walk_penalty
 
+    def touch(self, vaddr: int) -> None:
+        """Functional-warmup path: update LRU/fill state, no stats.
+
+        Identical state transitions to :meth:`access`, but counts nothing
+        and reports no latency — used by the sampled-simulation warmup so
+        TLB contents track the instruction stream without perturbing the
+        measured hit/miss statistics.
+        """
+        vpn = vaddr >> self._page_shift
+        if self._set_mask is not None:
+            set_idx = vpn & self._set_mask
+        else:
+            set_idx = vpn % self.num_sets
+        tlb_set = self._sets[set_idx]
+        if vpn in tlb_set:
+            tlb_set.move_to_end(vpn)
+            return
+        if len(tlb_set) >= self.assoc:
+            tlb_set.popitem(last=False)
+        tlb_set[vpn] = True
+
     def contains(self, vaddr: int) -> bool:
         vpn = vaddr >> self._page_shift
         return vpn in self._sets[vpn % self.num_sets]

@@ -24,6 +24,15 @@ All experiment commands accept ``--scale`` (smoke/default/large),
 ``--check [names]`` to attach the runtime invariant checkers from
 :mod:`repro.validate` (zero overhead when omitted).  See
 ``docs/validation.md``.
+
+``run`` and every experiment command accept ``--sample [spec]`` to
+replace full-detail simulation with SMARTS-style sampled simulation
+(alternating functional warmup and detailed measurement intervals).
+``--sample`` alone uses the tuned default plan; a spec such as
+``detailed:1200,warmup:4650`` overrides individual knobs.  Results are
+estimates with confidence intervals (``sample_*`` keys in saved
+tables).  See the "Sampled simulation" section of
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -95,6 +104,25 @@ def _export_check_env(args) -> None:
         os.environ[ENV_CHECK] = args.check
 
 
+def _add_sample_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample", nargs="?", const="on", default=None, metavar="SPEC",
+        help="use sampled simulation (default plan when given bare; or a "
+        "spec like detailed:1200,warmup:4650,detail_warmup:400,"
+        "min_intervals:8)",
+    )
+
+
+def _export_sample_env(args) -> None:
+    """Experiment commands pass --sample to workers via REPRO_SAMPLE."""
+    spec = getattr(args, "sample", None)
+    if spec:
+        from .sampling.plan import ENV_SAMPLE, parse_sample_spec
+
+        parse_sample_spec(spec)  # fail fast on a malformed spec
+        os.environ[ENV_SAMPLE] = spec
+
+
 def _policy_from_args(args, default_name: str) -> Optional[RunPolicy]:
     """Build a RunPolicy from the resilience flags (None when unused).
 
@@ -158,6 +186,9 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from .sampling.plan import parse_sample_spec
+
+    plan = parse_sample_spec(args.sample)
     config = CONFIGS[args.config]()
     if args.benchmarks:
         benchmarks = [b.strip() for b in args.benchmarks.split(",")]
@@ -180,10 +211,17 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         workload_name=workload_name,
         checkers=args.check,
+        sampling=plan,
     )
     print(f"config {config.name}, workload {workload_name} ({scale.name} scale)")
     if args.check:
         print(f"runtime checkers passed: {args.check}")
+    if plan is not None:
+        print(
+            f"sampled: {int(result.extra['sample_intervals'])} intervals "
+            f"x {plan.detailed} detailed instr; "
+            f"IPC rel 95% CI max {result.extra['sample_rel_ci95_max']:.1%}"
+        )
     for core in result.cores:
         print(
             f"  core {core.benchmark:12s} IPC {core.ipc:6.3f}  "
@@ -203,6 +241,7 @@ def _cmd_figure(args) -> int:
     from .common.errors import CellFailedError
 
     _export_check_env(args)
+    _export_sample_env(args)
     scale = get_scale(args.scale)
     mixes = _mixes_arg(args.mixes)
     seed, workers = args.seed, args.workers
@@ -234,6 +273,7 @@ def _cmd_figure(args) -> int:
 
 def _cmd_table(args) -> int:
     _export_check_env(args)
+    _export_sample_env(args)
     scale = get_scale(args.scale)
     if args.which == "2a":
         result = run_table2a(scale=scale, seed=args.seed)
@@ -282,6 +322,7 @@ def _cmd_fairness(args) -> int:
 
 def _cmd_report(args) -> int:
     _export_check_env(args)
+    _export_sample_env(args)
     journal_dir = None
     if args.resume or args.journal is not None:
         # --journal names a *directory* for report runs (one journal
@@ -314,6 +355,7 @@ def _cmd_ablation(args) -> int:
     from .experiments import run_replacement_ablation
 
     _export_check_env(args)
+    _export_sample_env(args)
 
     runners = {
         "scheduler": run_scheduler_ablation,
@@ -361,6 +403,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "are re-simulated",
     )
     _add_check_flag(parser)
+    _add_sample_flag(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -386,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["smoke", "default", "large"])
     p_run.add_argument("--seed", type=int, default=42)
     _add_check_flag(p_run)
+    _add_sample_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")

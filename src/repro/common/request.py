@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import os
 from typing import Any, Callable, Optional
 
 
@@ -25,6 +26,30 @@ class AccessType(enum.Enum):
 
 
 _request_ids = itertools.count()
+
+#: Free list of released request objects (see :meth:`MemoryRequest.acquire`).
+_pool: list = []
+
+#: When True (``REPRO_CHECK`` set, or :func:`set_pool_check`), completing
+#: or merging a released request raises instead of silently corrupting a
+#: recycled object.
+_pool_check = bool(os.environ.get("REPRO_CHECK"))
+
+
+def set_pool_check(enabled: bool) -> None:
+    """Enable/disable reuse-after-release guards on pooled requests."""
+    global _pool_check
+    _pool_check = enabled
+
+
+def pool_size() -> int:
+    """Number of released requests currently available for reuse."""
+    return len(_pool)
+
+
+def clear_pool() -> None:
+    """Drop every pooled request (test isolation)."""
+    _pool.clear()
 
 
 class MemoryRequest:
@@ -50,6 +75,7 @@ class MemoryRequest:
         "row_buffer_hit",
         "mshr_probes",
         "annotations",
+        "_released",
     )
 
     def __init__(
@@ -76,6 +102,59 @@ class MemoryRequest:
         self.row_buffer_hit: Optional[bool] = None
         self.mshr_probes = 0
         self.annotations: dict = {}
+        self._released = False
+
+    @classmethod
+    def acquire(
+        cls,
+        addr: int,
+        access: AccessType,
+        core_id: int = 0,
+        pc: int = 0,
+        created_at: int = 0,
+        callback: Optional[Callable[["MemoryRequest"], Any]] = None,
+    ) -> "MemoryRequest":
+        """Construct a request, reusing a released object when available.
+
+        ``req_id`` is always drawn from the global counter — a recycled
+        object is indistinguishable from a fresh one, so pooling cannot
+        change simulated behaviour (bit-identity is covered by the
+        differential harness).
+        """
+        if not _pool:
+            return cls(addr, access, core_id, pc, created_at, callback)
+        if addr < 0:
+            raise ValueError(f"negative address: {addr:#x}")
+        self = _pool.pop()
+        self.req_id = next(_request_ids)
+        self.addr = addr
+        self.access = access
+        self.core_id = core_id
+        self.pc = pc
+        self.created_at = created_at
+        self.issued_to_dram_at = None
+        self.completed_at = None
+        self.callback = callback
+        self.is_write = access.is_write
+        self.row_buffer_hit = None
+        self.mshr_probes = 0
+        self.annotations = {}
+        self._released = False
+        return self
+
+    def release(self) -> None:
+        """Return this request to the free list.
+
+        Only the owner that created the request — and only after its
+        ``complete()`` callback has run — may release it; no other
+        component may hold a reference afterwards.  Double release is
+        always an error.
+        """
+        if self._released:
+            raise RuntimeError(f"request {self.req_id} released twice")
+        self._released = True
+        self.callback = None
+        _pool.append(self)
 
     @property
     def latency(self) -> Optional[int]:
@@ -86,6 +165,11 @@ class MemoryRequest:
 
     def complete(self, now: int) -> None:
         """Stamp completion time and fire the callback (once)."""
+        if _pool_check and self._released:
+            raise AssertionError(
+                f"request {self.req_id} used after release "
+                f"(addr={self.addr:#x}, {self.access.value})"
+            )
         if self.completed_at is not None:
             raise RuntimeError(f"request {self.req_id} completed twice")
         self.completed_at = now

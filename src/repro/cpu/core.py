@@ -100,6 +100,7 @@ class Core:
         self._commit_scheduled = False
         self._rob_blocked = False
         self._l1_blocked = False
+        self._paused = False
 
         # Measurement window (the paper's freeze-but-keep-running).
         self._measure_start_icount: Optional[int] = None
@@ -148,6 +149,81 @@ class Core:
     def measurement_done(self) -> bool:
         return self.frozen
 
+    # ------------------------------------------------------------------
+    # Sampled simulation (phase switching)
+    # ------------------------------------------------------------------
+    @property
+    def drained(self) -> bool:
+        """No dispatched memory op awaits commit."""
+        return not self._outstanding
+
+    def pause(self) -> None:
+        """Stop dispatching new work; in-flight ops keep committing.
+
+        The sampling controller pauses every core, runs the engine until
+        the hierarchy drains, fast-forwards functionally, then resumes.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Re-enable dispatch after a functional-warmup phase."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._schedule_dispatch(self.engine.now)
+
+    def skip_ahead(self, instructions: int) -> int:
+        """Functionally execute at least ``instructions`` instructions.
+
+        Consumes the trace and applies every reference to the TLB and
+        cache hierarchy through their functional (state-only) paths — no
+        events, no timing, no statistics.
+
+        In-flight ops are *orphaned*, not drained: their memory requests
+        stay in the MSHRs and controller queues and complete later at
+        their real latencies, so queue occupancy carries across the skip
+        and the next detailed phase starts against live contention
+        instead of an artificially empty memory system.  The orphans
+        simply never commit — the skip advances ``committed`` past them
+        wholesale and re-anchors commit pacing at the current cycle.
+
+        Returns the number of instructions skipped.
+        """
+        start = self.icount
+        target = start + instructions
+        item = self._pending_item
+        self._pending_item = None
+        trace = self.trace
+        tlb_touch = self.tlb.touch if self.tlb is not None else None
+        translate = self.allocator.translate
+        functional_access = self.l1.functional_access
+        icount = start
+        while icount < target:
+            if item is None:
+                item = next(trace)
+            icount += item.gap + 1
+            addr = item.addr
+            if tlb_touch is not None:
+                tlb_touch(addr)
+            functional_access(translate(addr), item.pc, item.is_write)
+            item = None
+        self.icount = icount
+        # Orphan whatever was in flight: completions still arrive (and
+        # count their real latencies) but nothing is left to commit.
+        self._outstanding.clear()
+        self._rob_blocked = False
+        # A registered on_mshr_free waiter may still fire later; its
+        # _resume_after_l1 just re-schedules dispatch, which is harmless.
+        self._l1_blocked = False
+        self.committed = self.icount
+        self._last_commit_icount = self.icount
+        now = self.engine.now
+        self._last_commit_time = now
+        self._next_dispatch_time = now
+        if not self._paused:
+            self._schedule_dispatch(now)
+        return self.icount - start
+
     @property
     def ipc(self) -> float:
         """Committed IPC over the measurement window (live or frozen)."""
@@ -175,7 +251,7 @@ class Core:
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
-        if self._l1_blocked:
+        if self._l1_blocked or self._paused:
             return
         engine = self.engine
         now = engine.now
@@ -210,7 +286,7 @@ class Core:
         paddr = self.allocator.translate(item.addr)
         inflight = _InFlight(next_icount, item.is_write, None)
         access = _WRITE if item.is_write else _READ
-        request = MemoryRequest(
+        request = MemoryRequest.acquire(
             paddr,
             access,
             core_id=self.core_id,
@@ -223,6 +299,9 @@ class Core:
             self._l1_blocked = True
             self._c_l1_mshr_stalls.value += 1.0
             self.l1.on_mshr_free(self._resume_after_l1)
+            # A rejected request was merged nowhere; recycle it (the
+            # retry acquires a fresh one, same as re-construction did).
+            request.release()
             return
 
         self._pending_item = None
@@ -248,6 +327,9 @@ class Core:
             inflight.completed_time = now
         self._c_load_latency_sum.value += request.latency or 0
         self._c_loads_completed.value += 1.0
+        # This callback is the request's last consumer: the hierarchy
+        # only holds it until data delivery.
+        request.release()
         if not self._commit_scheduled:
             self._schedule_commit(now)
 

@@ -125,6 +125,22 @@ class Bank:
         self._c_row_misses.value += 1.0
         return data_time, False
 
+    def functional_touch(self, row: int, is_write: bool) -> None:
+        """Functional-warmup path: update open-row state only.
+
+        Mirrors the row-buffer transitions of :meth:`access` — MRU
+        promotion on a hit, activation (with eviction) on a miss — but
+        touches no timing state and no statistics.  Closed-page banks
+        retain nothing, so this is a no-op there.
+        """
+        if self.page_policy == "closed":
+            return
+        if self.row_buffers.lookup(row):
+            if is_write:
+                self.row_buffers.touch_dirty(row)
+            return
+        self.row_buffers.insert(row, dirty=is_write)
+
     def _maybe_cross_refresh_epoch(self, time: int) -> None:
         epoch = self.refresh.epoch(time)
         if epoch != self._epoch:

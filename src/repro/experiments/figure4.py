@@ -61,14 +61,18 @@ class Figure4Result:
             rows.append(label)
             for config in CONFIG_ORDER:
                 columns[config].append(self.gm(config, group_filter))
+        note = (
+            "paper GM(H,VH): 3D 1.35x, 3D-wide 1.72x, 3D-fast 2.17x; "
+            "ordering 2D < 3D < 3D-wide < 3D-fast"
+        )
+        sampling = self.table.sampling_note()
+        if sampling:
+            note = f"{note}\n{sampling}"
         return format_table(
             "Figure 4: speedup over 2D (off-chip DRAM)",
             rows,
             columns,
-            note=(
-                "paper GM(H,VH): 3D 1.35x, 3D-wide 1.72x, 3D-fast 2.17x; "
-                "ordering 2D < 3D < 3D-wide < 3D-fast"
-            ),
+            note=note,
         )
 
 

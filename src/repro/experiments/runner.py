@@ -143,10 +143,14 @@ ENV_CHECK = "REPRO_CHECK"
 
 def _run_cell(args):
     """Simulate one cell (runs inside the worker process)."""
-    config, mix_name, benchmarks, warmup, measure, seed, attempt, checkers = args
+    (config, mix_name, benchmarks, warmup, measure, seed, attempt, checkers,
+     sampling) = args
     faults.inject(config.name, mix_name, attempt)
     if checkers is None:
         checkers = os.environ.get(ENV_CHECK) or None
+    from ..sampling.plan import parse_sample_spec, plan_from_env
+
+    plan = parse_sample_spec(sampling) if sampling else plan_from_env()
     result = run_workload(
         config,
         benchmarks,
@@ -155,6 +159,7 @@ def _run_cell(args):
         seed=seed,
         workload_name=mix_name,
         checkers=checkers,
+        sampling=plan,
     )
     return (config.name, mix_name, result)
 
@@ -242,6 +247,25 @@ class ResultTable:
             self.speedup(config_name, m, baseline) for m in names
         )
 
+    def sampling_note(self) -> Optional[str]:
+        """One-line sampled-run annotation, or ``None`` for full detail.
+
+        When the table's cells came from sampled simulation their values
+        are estimates; reports append this note so the confidence travels
+        with the numbers (the raw ``sample_*`` keys persist per cell via
+        the journal).
+        """
+        sampled = [r for r in self.cells.values() if r.extra.get("sampled")]
+        if not sampled:
+            return None
+        worst = max(r.extra.get("sample_rel_ci95_max", 0.0) for r in sampled)
+        intervals = sampled[0].extra.get("sample_intervals", 0)
+        return (
+            f"sampled simulation ({len(sampled)}/{len(self.cells)} cells, "
+            f"{intervals:.0f} intervals/cell): values are estimates, worst "
+            f"per-core IPC rel 95% CI {worst:.1%}"
+        )
+
 
 def parallelism_from_env() -> int:
     """Worker count from ``REPRO_PARALLEL`` (default: serial).
@@ -281,6 +305,7 @@ class _Job:
     ready_at: float = 0.0
     elapsed: float = 0.0
     checkers: Optional[str] = None
+    sampling: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -296,6 +321,7 @@ class _Job:
             self.seed,
             self.attempt,
             self.checkers,
+            self.sampling,
         )
 
 
@@ -529,6 +555,7 @@ def run_matrix(
     workers: Optional[int] = None,
     policy: Optional[RunPolicy] = None,
     checkers: Optional[str] = None,
+    sampling: Optional[str] = None,
 ) -> ResultTable:
     """Simulate every (config, mix) pair.
 
@@ -544,6 +571,15 @@ def run_matrix(
     other error (and is retried/journaled the same way).  Setting the
     ``REPRO_CHECK`` environment variable has the same effect for runs
     that cannot pass the argument (e.g. the CLI experiment commands).
+
+    ``sampling`` runs every cell in sampled mode (see
+    :mod:`repro.sampling`): a spec string such as
+    ``"detailed:1200,warmup:4650"`` or ``"on"`` for the default plan.
+    ``None`` falls back to the ``REPRO_SAMPLE`` environment variable,
+    and full-detail simulation when that is unset too.  Sampled cell
+    results carry ``sample_*`` keys in ``MachineResult.extra`` (interval
+    count and the relative 95% CI of the IPC estimate), which the
+    journal persists alongside the speedups.
     """
     names = [c.name for c in configs]
     if len(set(names)) != len(names):
@@ -553,6 +589,10 @@ def run_matrix(
     if policy.resume and policy.journal_path is None:
         raise ValueError("resume=True needs a journal_path to resume from")
     workers = parallelism_from_env() if workers is None else max(1, workers)
+    if sampling:
+        from ..sampling.plan import parse_sample_spec
+
+        parse_sample_spec(sampling)  # fail fast on a malformed spec
 
     jobs = [
         _Job(
@@ -563,6 +603,7 @@ def run_matrix(
             measure=scale.measure_instructions,
             seed=seed,
             checkers=checkers,
+            sampling=sampling,
         )
         for config in configs
         for mix in mixes

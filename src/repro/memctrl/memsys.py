@@ -110,6 +110,21 @@ class MainMemory:
         """One-shot callback when the MC owning ``addr`` frees a slot."""
         self.controller_for(addr).wait_for_space(callback)
 
+    # -- functional-warmup path -----------------------------------------
+    def functional_touch(self, addr: int, is_write: bool) -> None:
+        """Update the target bank's open-row state without timing/stats."""
+        coords = self.mapping.decompose(addr)
+        bank = self.controllers[coords.mc].device.bank(coords.rank, coords.bank)
+        bank.functional_touch(coords.row, is_write)
+
+    def functional_fetch(self, line: int, core_id: int = 0, pc: int = 0) -> None:
+        """Functional read reaching DRAM (L2/L3 miss during warmup)."""
+        self.functional_touch(line, is_write=False)
+
+    def functional_writeback(self, line: int) -> None:
+        """Functional writeback reaching DRAM during warmup."""
+        self.functional_touch(line, is_write=True)
+
     def row_hit_rate(self) -> float:
         """Aggregate DRAM row-buffer hit rate across all controllers."""
         hits = sum(mc.stats.get("row_hits") for mc in self.controllers)

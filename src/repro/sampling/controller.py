@@ -1,0 +1,271 @@
+"""The sampled-run phase scheduler.
+
+Drives a wired :class:`~repro.system.machine.Machine` through the
+SMARTS-style alternation a :class:`~repro.sampling.plan.SamplingPlan`
+describes:
+
+1. **Functional warmup** covering the run's warmup quota: every core
+   fast-forwards through its trace via the hierarchy's functional
+   (state-only) access paths — tags, LRU, dirty bits, TLB entries and
+   DRAM open rows move, but no events are scheduled and no statistics
+   accumulate.  Cores interleave in small chunks so shared-L2 and
+   row-buffer interference is still represented.
+2. ``k`` **measurement intervals**, each: functional skip (``warmup``),
+   detailed-but-unmeasured execution (``detail_warmup``, re-filling
+   pipelines/MSHRs/queues), then a measured detailed window
+   (``detailed``) whose per-core (instructions, cycles) sample feeds
+   the estimate.
+3. Phase switches do **not** drain: cores orphan their in-flight ops
+   (see :meth:`Core.skip_ahead`) so MSHR and controller-queue occupancy
+   carries across the skip and each detailed interval resumes against
+   live memory contention.  A single full drain at the end of the run
+   leaves the machine conserved for the runtime checkers.
+
+Per-core CPI samples across intervals are averaged with a Student-t 95%
+confidence interval; the returned :class:`MachineResult` carries the
+estimates plus ``sample_*`` keys in ``extra`` so saved tables record the
+estimated error alongside the speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..common.errors import SimulationHang
+from ..engine.simulator import Watchdog
+from .estimate import estimate_mean
+from .plan import SamplingPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..system.machine import Machine, MachineResult
+
+#: Instructions per functional-skip slice; cores round-robin at this
+#: granularity so their references interleave in the shared levels.
+FUNCTIONAL_CHUNK = 128
+
+
+def _functional_skip(machine: "Machine", per_core: int) -> None:
+    """Fast-forward every core ``per_core`` instructions."""
+    if per_core <= 0:
+        return
+    cores = machine.cores
+    remaining = [per_core] * len(cores)
+    live = True
+    while live:
+        live = False
+        for idx, core in enumerate(cores):
+            if remaining[idx] <= 0:
+                continue
+            step = FUNCTIONAL_CHUNK if remaining[idx] > FUNCTIONAL_CHUNK else remaining[idx]
+            remaining[idx] -= core.skip_ahead(step)
+            live = True
+
+
+def _drain(machine: "Machine", watchdog: Watchdog, max_cycles: int) -> None:
+    """Pause dispatch and run until the whole hierarchy is quiescent.
+
+    Used once, at the end of a sampled run, so checker ``finish()`` sees
+    a conserved system (cores committed everything, no in-flight
+    requests anywhere).  Mid-run phase switches deliberately do *not*
+    drain — ``skip_ahead`` orphans in-flight ops so queue occupancy
+    survives the functional skip; draining between intervals was
+    measured to bias the first post-resume interval optimistic on
+    fast-memory configs (empty queues underestimate load latency).
+    """
+    cores = machine.cores
+    for core in cores:
+        core.pause()
+
+    def drained() -> bool:
+        return (
+            all(core.drained for core in cores)
+            and machine.outstanding_requests() == 0
+        )
+
+    engine = machine.engine
+    if not drained():
+        engine.run(until=max_cycles, stop_when=drained, watchdog=watchdog)
+    if not drained():
+        raise SimulationHang(
+            "hierarchy failed to drain before a functional phase "
+            f"(outstanding: {machine.outstanding_requests()})",
+            cycle=engine.now,
+            events_fired=engine.events_fired,
+            queue_depth=engine.pending,
+        )
+
+
+def _run_detailed(
+    machine: "Machine", amount: int, watchdog: Watchdog, max_cycles: int,
+    phase: str,
+) -> None:
+    """Run detailed execution until every core commits ``amount`` more."""
+    if amount <= 0:
+        return
+    engine = machine.engine
+    cores = machine.cores
+    waiting = [len(cores)]
+    targets = [core.committed + amount for core in cores]
+
+    def crossed(_core) -> None:
+        waiting[0] -= 1
+        if not waiting[0]:
+            engine.request_stop()
+
+    for core, target in zip(cores, targets):
+        core.watch_commit(target, crossed)
+    if waiting[0]:
+        engine.run(until=max_cycles, watchdog=watchdog)
+    if any(core.committed < target for core, target in zip(cores, targets)):
+        raise SimulationHang(
+            f"sampled {phase} phase did not finish within {max_cycles} cycles "
+            f"(committed: {[core.committed for core in cores]})",
+            cycle=engine.now,
+            events_fired=engine.events_fired,
+            queue_depth=engine.pending,
+        )
+
+
+class _CoreSnapshot:
+    """Counter readings for one core at an interval boundary."""
+
+    __slots__ = ("cycle", "committed", "loads", "load_latency", "l2_misses")
+
+    def __init__(self, machine: "Machine", core) -> None:
+        l2 = machine._l2_core_counters(core.core_id)
+        self.cycle = machine.engine.now
+        self.committed = core.committed
+        self.loads = core.stats.get("loads_completed")
+        self.load_latency = core.stats.get("load_latency_sum")
+        self.l2_misses = l2["demand_misses"]
+
+
+class _IntervalSample:
+    """Per-core deltas over one measured interval."""
+
+    __slots__ = ("instructions", "cycles", "loads", "load_latency", "l2_misses")
+
+    def __init__(self, start: _CoreSnapshot, end: _CoreSnapshot) -> None:
+        self.instructions = end.committed - start.committed
+        self.cycles = end.cycle - start.cycle
+        self.loads = end.loads - start.loads
+        self.load_latency = end.load_latency - start.load_latency
+        self.l2_misses = end.l2_misses - start.l2_misses
+
+
+def run_sampled(
+    machine: "Machine",
+    plan: SamplingPlan,
+    warmup_instructions: int = 20_000,
+    measure_instructions: int = 80_000,
+    max_cycles: int = 500_000_000,
+    max_events: Optional[int] = None,
+) -> "MachineResult":
+    """Run ``machine`` under ``plan`` and return extrapolated results.
+
+    The phase alternation and the estimate construction are documented
+    in the module docstring; ``max_cycles``/``max_events`` bound each
+    engine run exactly as in :meth:`Machine.run`.
+    """
+    from ..system.machine import CoreResult  # local: avoid import cycle
+
+    engine = machine.engine
+    cores = machine.cores
+    watchdog = Watchdog(
+        max_events=max_events, pending_work=machine.outstanding_requests
+    )
+
+    # Phase 0: the entire warmup quota runs functionally.
+    _functional_skip(machine, warmup_instructions)
+
+    for core in cores:
+        core.start()
+    if machine.tuner is not None:
+        machine.tuner.start()
+
+    k = plan.intervals_for(measure_instructions)
+    samples: List[List[_IntervalSample]] = [[] for _ in cores]
+
+    for interval in range(k):
+        if interval > 0:
+            # No drain: skip_ahead orphans in-flight ops, so MSHR and
+            # controller occupancy carries straight across the skip.
+            _functional_skip(machine, plan.warmup)
+
+        _run_detailed(
+            machine, plan.detail_warmup, watchdog, max_cycles, "detail-warmup"
+        )
+
+        starts = [_CoreSnapshot(machine, core) for core in cores]
+        waiting = [len(cores)]
+        ends: List[Optional[_CoreSnapshot]] = [None] * len(cores)
+
+        def freeze(core, _ends=ends, _waiting=waiting) -> None:
+            _ends[core.core_id] = _CoreSnapshot(machine, core)
+            _waiting[0] -= 1
+            if not _waiting[0]:
+                engine.request_stop()
+
+        for core, start in zip(cores, starts):
+            core.watch_commit(start.committed + plan.detailed, freeze)
+        engine.run(until=max_cycles, watchdog=watchdog)
+        if waiting[0]:
+            raise SimulationHang(
+                f"sampled interval {interval} did not finish within "
+                f"{max_cycles} cycles "
+                f"(committed: {[core.committed for core in cores]})",
+                cycle=engine.now,
+                events_fired=engine.events_fired,
+                queue_depth=engine.pending,
+            )
+        for idx in range(len(cores)):
+            samples[idx].append(_IntervalSample(starts[idx], ends[idx]))
+
+    # Leave the machine quiescent: checker finish() then sees a conserved
+    # system (no in-flight requests).
+    _drain(machine, watchdog, max_cycles)
+    if machine.checker_set is not None:
+        machine.checker_set.finish()
+
+    # Stashed for diagnostics/validation tooling (per-core, per-interval).
+    machine.sample_log = [
+        [(s.instructions, s.cycles) for s in per_core] for per_core in samples
+    ]
+
+    core_results: List[CoreResult] = []
+    rel_cis: List[float] = []
+    for idx, core in enumerate(cores):
+        per_interval = samples[idx]
+        cpis = [
+            s.cycles / s.instructions for s in per_interval if s.instructions
+        ]
+        est = estimate_mean(cpis)
+        rel_cis.append(est.rel_ci95)
+        instructions = float(sum(s.instructions for s in per_interval))
+        cycles = float(sum(s.cycles for s in per_interval))
+        misses = sum(s.l2_misses for s in per_interval)
+        loads = sum(s.loads for s in per_interval)
+        latency = sum(s.load_latency for s in per_interval)
+        core_results.append(
+            CoreResult(
+                benchmark=machine._benchmarks[idx],
+                ipc=(1.0 / est.mean) if est.mean else 0.0,
+                instructions=instructions,
+                cycles=cycles,
+                l2_mpki=(1000.0 * misses / instructions) if instructions else 0.0,
+                avg_load_latency=(latency / loads) if loads else 0.0,
+            )
+        )
+
+    extra: Dict[str, float] = {
+        "sampled": 1.0,
+        "sample_intervals": float(k),
+        "sample_detailed_per_interval": float(plan.detailed),
+        "sample_warmup_per_interval": float(plan.warmup),
+        "sample_detail_warmup": float(plan.detail_warmup),
+        "sample_rel_ci95_max": max(rel_cis) if rel_cis else 0.0,
+        "sample_rel_ci95_mean": (
+            sum(rel_cis) / len(rel_cis) if rel_cis else 0.0
+        ),
+    }
+    return machine._build_result(core_results, extra)

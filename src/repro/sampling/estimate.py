@@ -1,0 +1,66 @@
+"""Interval statistics: extrapolating samples with confidence intervals.
+
+Dependency-free (no scipy): the two-sided 95% Student-t critical values
+are tabulated for the small degrees-of-freedom range sampling actually
+uses, falling back to the normal quantile for large samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Sequence
+
+# Two-sided 95% critical values of Student's t by degrees of freedom.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+_T_NORMAL = 1.960
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if df in _T_TABLE:
+        return _T_TABLE[df]
+    # Between tabulated points, use the next-lower entry (conservative:
+    # smaller df -> wider interval).
+    lower = max(key for key in _T_TABLE if key < df) if df < 120 else None
+    return _T_TABLE[lower] if lower is not None else _T_NORMAL
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A sample mean with its 95% confidence half-width."""
+
+    mean: float
+    ci95: float  # absolute half-width of the 95% CI on the mean
+    samples: int
+
+    @property
+    def rel_ci95(self) -> float:
+        """CI half-width relative to the mean (0 when the mean is 0)."""
+        return self.ci95 / abs(self.mean) if self.mean else 0.0
+
+
+def estimate_mean(samples: Sequence[float]) -> IntervalEstimate:
+    """Sample mean of interval measurements with a 95% CI.
+
+    With a single sample the CI is undefined; it is reported as 0 (the
+    plan enforces a minimum interval count precisely so this stays a
+    corner case for tests, not sweeps).
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return IntervalEstimate(mean=mean, ci95=0.0, samples=1)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    half = t_critical_95(n - 1) * sqrt(var / n)
+    return IntervalEstimate(mean=mean, ci95=half, samples=n)

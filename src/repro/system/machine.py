@@ -282,9 +282,12 @@ class Machine:
         # runs never touch the validate package).
         self.checker_set = None
         if checkers:
+            from ..common import request as request_mod
             from ..validate import attach_checkers
 
             self.checker_set = attach_checkers(self, checkers)
+            # Checked runs also arm the request-pool reuse guard.
+            request_mod.set_pool_check(True)
 
     # ------------------------------------------------------------------
     def outstanding_requests(self) -> int:
@@ -370,6 +373,32 @@ class Machine:
             self.checker_set.finish()
         return self._collect()
 
+    def run_sampled(
+        self,
+        plan,
+        warmup_instructions: int = 20_000,
+        measure_instructions: int = 80_000,
+        max_cycles: int = 500_000_000,
+        max_events: Optional[int] = None,
+    ) -> MachineResult:
+        """Run under a :class:`~repro.sampling.plan.SamplingPlan`.
+
+        Alternates functional-warmup and detailed phases instead of
+        simulating every instruction in detail; results are estimates
+        with confidence intervals recorded in ``MachineResult.extra``
+        (``sample_*`` keys).  See :mod:`repro.sampling`.
+        """
+        from ..sampling.controller import run_sampled
+
+        return run_sampled(
+            self,
+            plan,
+            warmup_instructions=warmup_instructions,
+            measure_instructions=measure_instructions,
+            max_cycles=max_cycles,
+            max_events=max_events,
+        )
+
     def _l2_core_counters(self, core_id: int) -> Dict[str, float]:
         return {
             "demand_accesses": self.l2.stats.get(f"core{core_id}_demand_accesses"),
@@ -412,21 +441,36 @@ class Machine:
         )
 
     def _collect(self) -> MachineResult:
+        return self._build_result(
+            [self._core_results[i] for i in range(len(self.cores))], {}
+        )
+
+    def _build_result(
+        self, cores: List[CoreResult], extra: Dict[str, float]
+    ) -> MachineResult:
+        """Assemble a :class:`MachineResult` around per-core results.
+
+        Shared by the full-detail collection path and the sampling
+        controller (which supplies extrapolated core results plus its
+        ``sample_*`` error annotations in ``extra``).
+        """
         total_probes = sum(f.total_probes for f in self.l2_mshr_files)
         total_accesses = sum(f.total_accesses for f in self.l2_mshr_files)
         energy = self.energy_report()
+        merged_extra = {
+            "dram_dynamic_nj_per_access": energy.nj_per_access,
+            "dram_avg_power_mw": energy.avg_power_mw,
+        }
+        merged_extra.update(extra)
         return MachineResult(
             config_name=self.config.name,
             workload=self.workload_name,
-            cores=[self._core_results[i] for i in range(len(self.cores))],
+            cores=cores,
             total_cycles=self.engine.now,
             l2_stats=self.l2.stats.as_dict(),
             dram_row_hit_rate=self.memory.row_hit_rate(),
             mshr_avg_probes=(total_probes / total_accesses) if total_accesses else 0.0,
-            extra={
-                "dram_dynamic_nj_per_access": energy.nj_per_access,
-                "dram_avg_power_mw": energy.avg_power_mw,
-            },
+            extra=merged_extra,
         )
 
 
@@ -438,8 +482,13 @@ def run_workload(
     seed: int = 42,
     workload_name: str = "",
     checkers=None,
+    sampling=None,
 ) -> MachineResult:
-    """One-call convenience: build a machine and run it."""
+    """One-call convenience: build a machine and run it.
+
+    ``sampling`` accepts a :class:`~repro.sampling.plan.SamplingPlan`
+    (or ``None`` for the default full-detail run).
+    """
     machine = Machine(
         config,
         benchmarks,
@@ -447,4 +496,8 @@ def run_workload(
         workload_name=workload_name,
         checkers=checkers,
     )
+    if sampling is not None:
+        return machine.run_sampled(
+            sampling, warmup_instructions, measure_instructions
+        )
     return machine.run(warmup_instructions, measure_instructions)

@@ -88,6 +88,16 @@ class ShadowBank:
             expected_data, expected_hit, dirty_evicted,
         )
 
+    def observe_functional(self, row: int, is_write: bool) -> None:
+        """Replay a functional-warmup row touch on the reference bank.
+
+        Sampled simulation moves open-row state through
+        :meth:`~repro.dram.bank.Bank.functional_touch` without timing;
+        the shadow must make the same transition or the next detailed
+        access diverges on the hit flag.
+        """
+        self._bank.functional_touch(row, is_write)
+
     # ------------------------------------------------------------------
     def _note_commands(self, data_time: int, hit: bool) -> None:
         timing = self.timing
@@ -218,4 +228,11 @@ class DramTimingChecker(Checker):
     ) -> None:
         self._shadows[(mc_id, rank_id, bank_id)].observe(
             start, row, is_write, data_time, hit
+        )
+
+    def on_bank_functional_touch(
+        self, mc_id: int, rank_id: int, bank_id: int, row: int, is_write: bool
+    ) -> None:
+        self._shadows[(mc_id, rank_id, bank_id)].observe_functional(
+            row, is_write
         )

@@ -66,6 +66,7 @@ def _bank_observers(bank, mc_id: int, rank_id: int, bank_id: int) -> List:
         return observers
     observers = []
     original = bank.access
+    original_touch = bank.functional_touch
 
     def access(start, row, is_write, _original=original, _observers=observers):
         data_time, hit = _original(start, row, is_write)
@@ -77,7 +78,20 @@ def _bank_observers(bank, mc_id: int, rank_id: int, bank_id: int) -> List:
             )
         return data_time, hit
 
+    def functional_touch(
+        row, is_write, _original=original_touch, _observers=observers
+    ):
+        # Functional warmup (sampled simulation) moves open-row state
+        # without timing; observers that track bank state must replay it
+        # or their reference diverges from the real bank.
+        _original(row, is_write)
+        for observer in _observers:
+            on_touch = getattr(observer, "on_bank_functional_touch", None)
+            if on_touch is not None:
+                on_touch(mc_id, rank_id, bank_id, row, is_write)
+
     bank.access = access
+    bank.functional_touch = functional_touch
     bank._validate_observers = observers
     return observers
 

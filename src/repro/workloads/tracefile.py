@@ -52,12 +52,18 @@ def _parse_line(line: str, lineno: int, path: Path) -> TraceItem:
     parts = line.split()
     if len(parts) != 4 or parts[2] not in ("R", "W"):
         raise ValueError(f"{path}:{lineno}: malformed trace record {line!r}")
-    return TraceItem(
-        gap=int(parts[0]),
-        addr=int(parts[1], 16),
-        is_write=parts[2] == "W",
-        pc=int(parts[3], 16),
-    )
+    try:
+        return TraceItem(
+            gap=int(parts[0]),
+            addr=int(parts[1], 16),
+            is_write=parts[2] == "W",
+            pc=int(parts[3], 16),
+        )
+    except ValueError:
+        # Re-raise with the file/line context the bare int() error lacks.
+        raise ValueError(
+            f"{path}:{lineno}: malformed trace record {line!r}"
+        ) from None
 
 
 def read_trace(path: PathLike, loop: bool = False) -> Iterator[TraceItem]:

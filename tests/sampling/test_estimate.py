@@ -1,0 +1,61 @@
+"""Unit tests for the dependency-free interval statistics."""
+
+import math
+
+import pytest
+
+from repro.sampling import IntervalEstimate, estimate_mean, t_critical_95
+
+
+def test_t_critical_tabulated_values():
+    assert t_critical_95(1) == pytest.approx(12.706)
+    assert t_critical_95(7) == pytest.approx(2.365)
+    assert t_critical_95(30) == pytest.approx(2.042)
+    assert t_critical_95(120) == pytest.approx(1.980)
+
+
+def test_t_critical_between_points_is_conservative():
+    # Between tabulated dfs the next-lower entry is used; t decreases
+    # with df, so that is the wider (conservative) interval.
+    assert t_critical_95(21) == t_critical_95(20)
+    assert t_critical_95(35) == t_critical_95(30)
+    assert t_critical_95(100) == t_critical_95(60)
+
+
+def test_t_critical_large_df_falls_back_to_normal():
+    assert t_critical_95(121) == pytest.approx(1.960)
+    assert t_critical_95(10_000) == pytest.approx(1.960)
+
+
+def test_t_critical_rejects_bad_df():
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_estimate_mean_known_values():
+    est = estimate_mean([1.0, 2.0, 3.0])
+    assert est.mean == pytest.approx(2.0)
+    assert est.samples == 3
+    # var = 1, half-width = t(2) * sqrt(1/3)
+    assert est.ci95 == pytest.approx(4.303 * math.sqrt(1.0 / 3.0))
+    assert est.rel_ci95 == pytest.approx(est.ci95 / 2.0)
+
+
+def test_estimate_mean_single_sample_has_zero_ci():
+    est = estimate_mean([5.0])
+    assert est == IntervalEstimate(mean=5.0, ci95=0.0, samples=1)
+
+
+def test_estimate_mean_identical_samples():
+    est = estimate_mean([2.5] * 8)
+    assert est.mean == pytest.approx(2.5)
+    assert est.ci95 == pytest.approx(0.0)
+
+
+def test_estimate_mean_empty_raises():
+    with pytest.raises(ValueError):
+        estimate_mean([])
+
+
+def test_rel_ci95_zero_mean():
+    assert IntervalEstimate(mean=0.0, ci95=1.0, samples=4).rel_ci95 == 0.0

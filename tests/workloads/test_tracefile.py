@@ -63,6 +63,70 @@ def test_malformed_record_raises(tmp_path):
         list(read_trace(path))
 
 
+@pytest.mark.parametrize("record", [
+    "0 1000 R",              # too few fields
+    "0 1000 R 400 extra",    # too many fields
+    "0 zz R 400",            # non-hex address
+    "x 1000 R 400",          # non-integer gap
+    "0 1000 W 0xzz",         # non-hex pc
+])
+def test_malformed_variants_name_file_and_line(tmp_path, record):
+    path = tmp_path / "t.txt"
+    path.write_text(f"# header\n0 1000 R 400\n{record}\n")
+    with pytest.raises(ValueError, match=r"t\.txt:3: malformed"):
+        list(read_trace(path))
+
+
+def test_good_records_before_malformed_are_yielded(tmp_path):
+    """Streaming: parsing is lazy, so earlier records arrive first."""
+    path = tmp_path / "t.txt"
+    path.write_text("3 1000 W 400\nbogus line here\n")
+    stream = read_trace(path)
+    assert next(stream) == TraceItem(3, 0x1000, True, 0x400)
+    with pytest.raises(ValueError, match="malformed"):
+        next(stream)
+
+
+def test_roundtrip_many_random_items(tmp_path):
+    import random
+
+    rng = random.Random(99)
+    items = [
+        TraceItem(
+            gap=rng.randrange(0, 500),
+            addr=rng.randrange(0, 1 << 48),
+            is_write=rng.random() < 0.3,
+            pc=rng.randrange(0, 1 << 32),
+        )
+        for _ in range(2000)
+    ]
+    path = tmp_path / "big.trace.gz"
+    assert write_trace(items, path) == 2000
+    assert list(read_trace(path)) == items
+    assert trace_length(path) == 2000
+
+
+def test_eof_without_loop_exhausts_cleanly(tmp_path):
+    path = tmp_path / "t.txt"
+    write_trace(ITEMS, path)
+    stream = read_trace(path)
+    for expected in ITEMS:
+        assert next(stream) == expected
+    with pytest.raises(StopIteration):
+        next(stream)
+    # A fresh iterator starts over from the first record.
+    assert next(read_trace(path)) == ITEMS[0]
+
+
+def test_truncated_gzip_raises_eof(tmp_path):
+    path = tmp_path / "t.trace.gz"
+    write_trace(ITEMS * 200, path)
+    clipped = tmp_path / "clipped.trace.gz"
+    clipped.write_bytes(path.read_bytes()[:-8])  # drop the gzip trailer
+    with pytest.raises(EOFError):
+        list(read_trace(clipped))
+
+
 def test_empty_file_raises(tmp_path):
     path = tmp_path / "t.txt"
     path.write_text("# nothing\n")
