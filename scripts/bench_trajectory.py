@@ -265,6 +265,52 @@ def bench_figure4_smoke(repeats):
     }
 
 
+def bench_figure4_rasoff(repeats):
+    """Guard metric: RAS seams must stay ~free on the fault-free path.
+
+    Runs the figure-4 smoke cell twice in-process: with ``ras=None``
+    (every RAS seam is a never-true attribute branch) and with a
+    zero-rate RAS config attached (hooks live, ECC clean).  ``--check``
+    fails when the RAS-off run is more than 2% slower than the best
+    prior ``figure4_rasoff`` baseline *or* the in-process hook ratio
+    exceeds ``RAS_HOOK_BUDGET`` — the dedicated gate that keeps the RAS
+    subsystem honest about its "byte-for-byte unchanged when off"
+    promise (see docs/ras.md).
+    """
+    from repro.ras.config import RasConfig
+
+    scale = get_scale("smoke")
+    mix = MIXES[SMOKE_MIX]
+
+    def run(config):
+        def go():
+            machine = Machine(
+                config, list(mix.benchmarks), seed=SMOKE_SEED,
+                workload_name=mix.name,
+            )
+            machine.run(
+                warmup_instructions=scale.warmup_instructions,
+                measure_instructions=scale.measure_instructions,
+            )
+        return go
+
+    # ecc="none" at zero rates: no capacity tax, no fault draws — the
+    # RAS-on run is cycle-identical to RAS-off, so the wall-clock ratio
+    # isolates pure hook/bookkeeping cost.
+    rasoff = config_2d()
+    rason = rasoff.derive(name="2D+ras0", ras=RasConfig(ecc="none"))
+    rasoff_seconds, _ = best_of(run(rasoff), repeats)
+    rason_seconds, _ = best_of(run(rason), repeats)
+    return {
+        "value": rasoff_seconds,
+        "unit": "seconds",
+        "higher_is_better": False,
+        "wall_seconds": rasoff_seconds + rason_seconds,
+        "rason_seconds": rason_seconds,
+        "ras_hook_ratio": rason_seconds / rasoff_seconds,
+    }
+
+
 def bench_figure4_sampled(repeats):
     """The figure-4 cell under the default sampling plan, default scale.
 
@@ -325,8 +371,14 @@ def run_suite(quick):
         "mshr_conventional": bench_mshr(lambda: ConventionalMshr(32), ops, repeats),
         "dram_bank": bench_dram_bank(ops, repeats),
         "figure4_smoke": bench_figure4_smoke(1 if quick else 2),
+        "figure4_rasoff": bench_figure4_rasoff(2 if quick else 3),
         "figure4_sampled": bench_figure4_sampled(1 if quick else 2),
     }
+
+
+#: Tolerated zero-rate-RAS-on vs RAS-off wall-clock ratio (the hook cost
+#: itself is branch-predictable attribute checks; 2% covers timer noise).
+RAS_HOOK_BUDGET = 1.02
 
 
 # ----------------------------------------------------------------------
@@ -484,6 +536,23 @@ def main(argv=None):
     if out is not None:
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out}")
+
+    rasoff = metrics.get("figure4_rasoff", {})
+    hook_ratio = rasoff.get("ras_hook_ratio")
+    if hook_ratio is not None:
+        over = hook_ratio > RAS_HOOK_BUDGET
+        print(
+            f"RAS hook cost: {hook_ratio:.3f}x "
+            f"(budget {RAS_HOOK_BUDGET:.2f}x)"
+            + ("  <-- OVER BUDGET" if over else "")
+        )
+        if args.check and over:
+            print(
+                f"FAIL: zero-rate RAS-on run is {hook_ratio:.3f}x the "
+                "RAS-off run; hook budget is "
+                f"{RAS_HOOK_BUDGET:.2f}x"
+            )
+            return 1
 
     if args.check and failed:
         names = ", ".join(f"{n} ({s:.2f}x)" for n, s in failed)

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""RAS subsystem validation harness (see docs/ras.md).
+
+``--smoke`` (CI) asserts the four guarantees the RAS subsystem makes:
+
+1. **RAS-off identity** — attaching a zero-rate, ``ecc="none"`` RAS
+   config must leave the DRAM command transcript and the workload
+   result bit-identical to a machine with no RAS at all: the hooks are
+   pure observers until a fault actually fires.
+2. **Determinism under injection** — two runs of the same seed with
+   real fault rates produce bit-identical transcripts and identical
+   ``ras_*`` counters (counter-based PRNG, no hidden global state).
+3. **Checkers stay green under degradation** — a heavy-retention run
+   that forces refresh-rate escalation completes with every runtime
+   checker attached (the DRAM-timing shadow re-anchors its reference
+   refresh schedule through the escalation observer seam).
+4. **Retirement path under checkers** — a hard-bank-failure run drives
+   uncorrectable errors through retry, poison, machine-check and bank
+   retirement with checkers attached, and the expected counters move.
+
+Examples::
+
+    PYTHONPATH=src python scripts/ras_validate.py --smoke
+    PYTHONPATH=src python scripts/ras_validate.py --smoke --scale default
+"""
+
+import argparse
+import sys
+
+from repro.ras.config import RasConfig
+from repro.system.config import config_2d, config_3d
+from repro.system.machine import run_workload
+from repro.system.scale import get_scale
+from repro.validate.diff import diff_runs, run_traced
+from repro.workloads.mixes import MIX_ORDER, MIXES
+
+
+def _ras_extras(result):
+    return {k: v for k, v in result.extra.items() if k.startswith("ras_")}
+
+
+def cmd_smoke(args) -> int:
+    scale = get_scale(args.scale)
+    mix = MIXES[args.mix]
+    benchmarks = list(mix.benchmarks)
+    run_kwargs = dict(
+        warmup=scale.warmup_instructions,
+        measure=scale.measure_instructions,
+        seed=args.seed,
+        workload_name=mix.name,
+    )
+    failures = []
+
+    # 1. RAS-off identity: zero-rate ecc-none RAS is a pure observer.
+    plain = run_traced(config_2d(), benchmarks, label="2D/no-ras", **run_kwargs)
+    hooked = run_traced(
+        config_2d().derive(name="2D+ras0", ras=RasConfig(ecc="none")),
+        benchmarks, label="2D/ras-zero", **run_kwargs,
+    )
+    if plain.transcript != hooked.transcript:
+        report = diff_runs(plain, hooked)
+        print(report.format())
+        failures.append("zero-rate RAS changed the DRAM command transcript")
+    elif plain.result.hmipc != hooked.result.hmipc:
+        failures.append(
+            f"zero-rate RAS changed hmipc: {plain.result.hmipc} vs "
+            f"{hooked.result.hmipc}"
+        )
+    else:
+        print(
+            f"RAS-off identity: {plain.commands} DRAM commands "
+            f"bit-identical, hmipc {plain.result.hmipc:.5f}"
+        )
+
+    # 2. Same-seed determinism with live fault injection.
+    faulty = config_3d().derive(
+        name="3D+faults",
+        ras=RasConfig(ecc="secded", transient_rate=2e-3, retention_rate=5e-4),
+    )
+    first = run_traced(faulty, benchmarks, label="faulty/a", **run_kwargs)
+    second = run_traced(faulty, benchmarks, label="faulty/b", **run_kwargs)
+    if first.transcript != second.transcript:
+        report = diff_runs(first, second)
+        print(report.format())
+        failures.append("same-seed injected runs diverged (transcript)")
+    elif _ras_extras(first.result) != _ras_extras(second.result):
+        failures.append(
+            f"same-seed injected runs diverged (ras counters): "
+            f"{_ras_extras(first.result)} vs {_ras_extras(second.result)}"
+        )
+    else:
+        extras = _ras_extras(first.result)
+        print(
+            "injection determinism: transcripts bit-identical, "
+            f"corrected={extras['ras_corrected']:.0f} "
+            f"uncorrected={extras['ras_uncorrected']:.0f}"
+        )
+        if extras["ras_corrected"] == 0:
+            failures.append("determinism run injected no faults (rate too low?)")
+
+    # 3. Refresh escalation with every checker attached.
+    escalating = config_3d().derive(
+        name="3D+retention",
+        ras=RasConfig(
+            ecc="secded", retention_rate=2e-2,
+            escalation_threshold=4, escalation_window=200_000,
+        ),
+    )
+    result = run_workload(
+        escalating, benchmarks, checkers="all",
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=args.seed, workload_name=mix.name,
+    )
+    escalations = result.extra["ras_refresh_escalations"]
+    print(f"escalation under checkers: {escalations:.0f} refresh escalations")
+    if escalations == 0:
+        failures.append("heavy retention run never escalated refresh")
+
+    # 4. Bank retirement + machine checks with every checker attached.
+    failing = config_3d().derive(
+        name="3D+hardfail",
+        ras=RasConfig(
+            ecc="secded", hard_fail_rate=8e-2, hard_fail_horizon=50,
+            bank_retire_threshold=2,
+        ),
+    )
+    result = run_workload(
+        failing, benchmarks, checkers="all",
+        warmup_instructions=scale.warmup_instructions,
+        measure_instructions=scale.measure_instructions,
+        seed=args.seed, workload_name=mix.name,
+    )
+    retired = result.extra["ras_banks_retired"]
+    print(
+        "retirement under checkers: "
+        f"uncorrected={result.extra['ras_uncorrected']:.0f} "
+        f"retired={retired:.0f} "
+        f"remapped={result.extra['ras_remapped_requests']:.0f} "
+        f"machine_checks={result.extra['ras_machine_checks']:.0f}"
+    )
+    if retired == 0:
+        failures.append("hard-failure run never retired a bank")
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not failures:
+        print("ras-validate smoke: OK")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", required=True,
+                        help="run the four-part RAS validation suite")
+    parser.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "large"])
+    parser.add_argument("--seed", type=int, default=42)
+    return cmd_smoke(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,9 @@ class L1Cache:
         self._free_waiters: Deque[Callable[[], None]] = deque()
         # line -> dirty-on-fill flag for in-flight fetches (RFO tracking).
         self._fill_dirty: Dict[int, bool] = {}
+        # Resident lines filled from poisoned data (repro.ras); empty on
+        # a RAS-less machine, so checks cost one dict-truthiness test.
+        self._poisoned_lines: Dict[int, bool] = {}
 
     def access(self, request: MemoryRequest) -> bool:
         """Attempt an access; False when the L1 MSHR rejects it (stall).
@@ -77,6 +80,8 @@ class L1Cache:
             self._c_hits.value += 1.0
             if request.is_write:
                 self.array.mark_dirty(line)
+            if self._poisoned_lines and line in self._poisoned_lines:
+                request.poisoned = True
             request.complete(now + self.latency)
             self._train_prefetcher(addr, pc, was_miss=False)
             return True
@@ -124,6 +129,8 @@ class L1Cache:
         dirty = self.array.invalidate(line_addr)
         if dirty is None:
             return False
+        if self._poisoned_lines:
+            self._poisoned_lines.pop(line_addr, None)
         self.stats.add("back_invalidations")
         return dirty
 
@@ -134,19 +141,33 @@ class L1Cache:
         # Any merged store also dirties the line.
         dirty = dirty or any(r.is_write for r in entry.requests)
         victim = self.array.fill(line, dirty=dirty)
-        if victim is not None and victim[1]:
-            self._c_writebacks.value += 1.0
-            # Writebacks carry no response; the completing level fires
-            # the release callback, recycling the object.
-            writeback = MemoryRequest.acquire(
-                victim[0],
-                AccessType.WRITEBACK,
-                core_id=self.core_id,
-                created_at=now,
-                callback=MemoryRequest.release,
-            )
-            self.l2.access(writeback)
+        if victim is not None:
+            victim_poisoned = False
+            if self._poisoned_lines:
+                victim_poisoned = (
+                    self._poisoned_lines.pop(victim[0], None) is not None
+                )
+            if victim[1]:
+                self._c_writebacks.value += 1.0
+                # Writebacks carry no response; the completing level fires
+                # the release callback, recycling the object.
+                writeback = MemoryRequest.acquire(
+                    victim[0],
+                    AccessType.WRITEBACK,
+                    core_id=self.core_id,
+                    created_at=now,
+                    callback=MemoryRequest.release,
+                )
+                if victim_poisoned:
+                    writeback.poisoned = True
+                self.l2.access(writeback)
         self.mshr.deallocate(line)
+        if mem_request.poisoned:
+            # Poison travels with the line and with every access merged
+            # into this miss; consumption (core commit) decides severity.
+            self._poisoned_lines[line] = True
+            for waiting in entry.requests:
+                waiting.poisoned = True
         for waiting in entry.requests:
             waiting.complete(now)
         while self._free_waiters and not self.mshr.is_full:

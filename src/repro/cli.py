@@ -10,6 +10,7 @@ Commands:
 * ``figure {4,6a,6b,7,9}``            — regenerate a figure.
 * ``table {2a,2b}``                   — regenerate a table.
 * ``fairness --config quad-mc``       — solo-vs-mixed fairness metrics.
+* ``ras-study``                       — fault rate x ECC sweep (RAS).
 * ``report --output results/``        — regenerate everything.
 * ``ablation {scheduler,interleave,prefetch,replacement,mshr}``
 
@@ -46,6 +47,7 @@ from .common.errors import CheckViolation
 from .experiments import (
     RunPolicy,
     run_figure4,
+    run_ras_study,
     run_full_suite,
     run_figure6a,
     run_figure6b,
@@ -376,6 +378,48 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _cmd_ras_study(args) -> int:
+    from .experiments import save_table
+    from .experiments.ras_study import DEFAULT_ECCS, DEFAULT_RATES
+    from .ras.config import ECC_SCHEMES
+
+    _export_check_env(args)
+    _export_sample_env(args)
+    if args.rates:
+        rates = tuple(float(r) for r in args.rates.split(","))
+    else:
+        rates = DEFAULT_RATES
+    if args.ecc:
+        eccs = tuple(e.strip() for e in args.ecc.split(","))
+        unknown = [e for e in eccs if e not in ECC_SCHEMES]
+        if unknown:
+            raise SystemExit(
+                f"unknown ECC scheme(s) {unknown}; choose from {ECC_SCHEMES}"
+            )
+    else:
+        eccs = DEFAULT_ECCS
+    result = run_ras_study(
+        scale=get_scale(args.scale),
+        mixes=_mixes_arg(args.mixes),
+        seed=args.seed,
+        workers=args.workers,
+        policy=_policy_from_args(args, "ras_study"),
+        rates=rates,
+        eccs=eccs,
+    )
+    print(result.format())
+    violations = result.check_monotone()
+    if violations:
+        print("\nMONOTONICITY VIOLATIONS:")
+        for line in violations:
+            print(f"  {line}")
+    if args.output:
+        save_table(result.table, args.output)
+        print(f"\nsaved result table to {args.output}")
+    _print_failures(result.table)
+    return 1 if violations else 0
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="smoke",
                         choices=["smoke", "default", "large"])
@@ -474,6 +518,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--only", default=None,
                        help="comma-separated experiment names")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_ras = sub.add_parser(
+        "ras-study",
+        help="fault rate x ECC sweep: IPC overhead and error rates",
+    )
+    p_ras.add_argument(
+        "--rates", default=None,
+        help="comma-separated per-read fault rates, ascending "
+        "(default: 0,1e-4,1e-3)",
+    )
+    p_ras.add_argument(
+        "--ecc", default=None,
+        help="comma-separated ECC schemes to sweep (default: none,secded)",
+    )
+    p_ras.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also save the raw result table as JSON",
+    )
+    _add_common(p_ras)
+    p_ras.set_defaults(func=_cmd_ras_study)
 
     p_abl = sub.add_parser("ablation", help="run a design-choice ablation")
     p_abl.add_argument(

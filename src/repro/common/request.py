@@ -47,6 +47,24 @@ def pool_size() -> int:
     return len(_pool)
 
 
+def check_live(request: "MemoryRequest", context: str) -> None:
+    """``REPRO_CHECK`` guard: assert a request is still in flight.
+
+    The RAS retry path re-touches a request after its first DRAM access;
+    if the request has already completed (its callback chain may have
+    released it to the pool) a retry would corrupt a recycled object.
+    No-op unless pool checking is armed.
+    """
+    if not _pool_check:
+        return
+    if request._released or request.completed_at is not None:
+        state = "released" if request._released else "completed"
+        raise AssertionError(
+            f"{context}: request {request.req_id} is already {state} "
+            f"(addr={request.addr:#x}, {request.access.value})"
+        )
+
+
 def clear_pool() -> None:
     """Drop every pooled request (test isolation)."""
     _pool.clear()
@@ -75,6 +93,7 @@ class MemoryRequest:
         "row_buffer_hit",
         "mshr_probes",
         "annotations",
+        "poisoned",
         "_released",
     )
 
@@ -102,6 +121,10 @@ class MemoryRequest:
         self.row_buffer_hit: Optional[bool] = None
         self.mshr_probes = 0
         self.annotations: dict = {}
+        # Uncorrectable-data marker (see repro.ras): set by the memory
+        # controller when ECC detects more errors than it can correct,
+        # propagated through fills so the consuming core can machine-check.
+        self.poisoned = False
         self._released = False
 
     @classmethod
@@ -139,6 +162,7 @@ class MemoryRequest:
         self.row_buffer_hit = None
         self.mshr_probes = 0
         self.annotations = {}
+        self.poisoned = False
         self._released = False
         return self
 

@@ -114,6 +114,9 @@ class Core:
         # One-shot commit watch (see watch_commit).
         self._commit_watch: Optional[int] = None
         self._on_commit_watch = None
+        # RAS consumption seam (repro.ras): None on a fault-free machine,
+        # so the data-return path tests one never-true attribute branch.
+        self.ras_monitor = None
 
     # ------------------------------------------------------------------
     # Control
@@ -327,6 +330,11 @@ class Core:
             inflight.completed_time = now
         self._c_load_latency_sum.value += request.latency or 0
         self._c_loads_completed.value += 1.0
+        if request.poisoned and self.ras_monitor is not None:
+            # Consuming poisoned data is the machine-check event; under
+            # the "fatal" policy this raises UncorrectableMemoryError
+            # before the request is recycled.
+            self.ras_monitor.on_poison_consumed(self.core_id, request)
         # This callback is the request's last consumer: the hierarchy
         # only holds it until data delivery.
         request.release()

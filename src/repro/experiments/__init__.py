@@ -15,6 +15,7 @@ from .fairness import FairnessResult, fairness_study
 from .figure4 import Figure4Result, run_figure4
 from .full_run import run_full_suite
 from .persistence import CellJournal, journal_signature, load_table, save_table
+from .ras_study import RasStudyResult, run_ras_study
 from .stack_study import StackStudyResult, run_stack_study
 from .sweep import SweepResult, sweep_field
 from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
@@ -74,6 +75,8 @@ __all__ = [
     "run_replacement_ablation",
     "run_scheduler_ablation",
     "run_table2a",
+    "RasStudyResult",
+    "run_ras_study",
     "StackStudyResult",
     "run_stack_study",
     "run_table2b",

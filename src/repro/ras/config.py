@@ -1,0 +1,94 @@
+"""RAS configuration: fault rates, ECC scheme, degradation policies.
+
+A frozen dataclass so it can ride inside a
+:class:`~repro.system.config.SystemConfig` (itself frozen and pickled
+into ``run_matrix`` worker processes).  All rates are per-event draw
+thresholds against the counter-based PRNG (:mod:`repro.ras.prng`), so
+the same ``(seed, config)`` pair injects the same faults in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: ECC schemes accepted by :attr:`RasConfig.ecc` (see repro.ras.ecc).
+ECC_SCHEMES = ("none", "parity", "secded", "chipkill-lite")
+
+#: Machine-check policies: count uncorrected consumptions in statistics,
+#: or raise UncorrectableMemoryError the moment a core consumes poison.
+MCE_POLICIES = ("count", "fatal")
+
+
+@dataclass(frozen=True)
+class RasConfig:
+    """Every knob of the in-simulation RAS subsystem."""
+
+    enabled: bool = True
+
+    # -- ECC pipeline ---------------------------------------------------
+    ecc: str = "secded"
+    #: Override the corrected-read latency (cycles).  ``None`` uses the
+    #: scheme's correction depth times ``DramTiming.t_ecc_correction``.
+    correction_latency: Optional[int] = None
+
+    # -- injection models (per-draw probabilities) ----------------------
+    #: Transient (soft) bit flip per DRAM line read.
+    transient_rate: float = 0.0
+    #: Retention (leakage) bit error per line read, at the 85 C rated
+    #: temperature; scaled up by the stack thermal estimate and down by
+    #: the refresh multiplier.
+    retention_rate: float = 0.0
+    #: Probability a memory channel has a stuck-at TSV/bus line; a stuck
+    #: line corrupts roughly half of the words crossing it.
+    stuckat_rate: float = 0.0
+    #: Probability a bank suffers an early-life hard failure.
+    hard_fail_rate: float = 0.0
+    #: A hard-failed bank dies after U*horizon detailed accesses.
+    hard_fail_horizon: int = 2000
+    #: Scale retention errors by the stack temperature estimate
+    #: (2x per 10 C over the 85 C rated limit) for stacked configs.
+    thermal_scaling: bool = True
+
+    # -- graceful degradation ------------------------------------------
+    #: Extra same-bank re-reads after a detected-but-uncorrectable read.
+    retry_limit: int = 2
+    #: Cycles of backoff before retry attempt ``n`` (linear: n * backoff).
+    retry_backoff: int = 8
+    #: Retention errors on one rank within ``escalation_window`` cycles
+    #: that trigger a refresh-rate escalation step (2x, then 4x).
+    escalation_threshold: int = 4
+    escalation_window: int = 200_000
+    max_refresh_multiplier: int = 4
+    #: Uncorrectable errors on one bank before it is retired (remapped).
+    bank_retire_threshold: int = 3
+    #: "count" records uncorrected consumptions in stats; "fatal" raises
+    #: UncorrectableMemoryError when a core consumes poisoned data.
+    machine_check_policy: str = "count"
+
+    def __post_init__(self) -> None:
+        if self.ecc not in ECC_SCHEMES:
+            raise ValueError(f"ecc {self.ecc!r} not in {ECC_SCHEMES}")
+        if self.machine_check_policy not in MCE_POLICIES:
+            raise ValueError(
+                f"machine_check_policy {self.machine_check_policy!r} "
+                f"not in {MCE_POLICIES}"
+            )
+        for name in ("transient_rate", "retention_rate", "stuckat_rate",
+                     "hard_fail_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("retry_limit", "retry_backoff"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if self.correction_latency is not None and self.correction_latency < 0:
+            raise ValueError("correction_latency cannot be negative")
+        if self.escalation_threshold < 1 or self.escalation_window < 1:
+            raise ValueError("escalation threshold/window must be >= 1")
+        if self.max_refresh_multiplier < 1:
+            raise ValueError("max_refresh_multiplier must be >= 1")
+        if self.bank_retire_threshold < 1:
+            raise ValueError("bank_retire_threshold must be >= 1")
+        if self.hard_fail_horizon < 1:
+            raise ValueError("hard_fail_horizon must be >= 1")

@@ -1,0 +1,93 @@
+"""ECC schemes on the DRAM read path.
+
+Modelled at classification granularity: given how many bit errors an
+access carries, each scheme maps the access to one of four outcomes:
+
+* ``ok``        — no errors (or none after correction was unnecessary).
+* ``corrected`` — errors fully corrected; delivery pays the correction
+  latency and the error is logged (correctable-error telemetry).
+* ``detected``  — errors detected but not correctable; the memory
+  controller may retry, and persisting errors poison the data.
+* ``silent``    — errors beyond the scheme's coverage (or no scheme at
+  all): the consumer gets wrong data and nothing notices.  This is the
+  silent-corruption channel the ``ras-study`` quantifies for ECC=none.
+
+Storage overhead models check-bit cost against usable capacity: SECDED
+is the classic 8 check bits per 64 data bits; chipkill-lite spends more
+for symbol correction.  The overhead shrinks the
+:class:`~repro.common.address.PageAllocator` capacity at machine build
+time, so a RAS-enabled machine genuinely has fewer usable pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+OUTCOME_OK = "ok"
+OUTCOME_CORRECTED = "corrected"
+OUTCOME_DETECTED = "detected"
+OUTCOME_SILENT = "silent"
+
+#: At this many errored bits the word is gross corruption (a dead bank,
+#: a failed lane group), not a near-codeword: any checking code flags it
+#: because a random word is overwhelmingly unlikely to be a codeword.
+GROSS_CORRUPTION_BITS = 8
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """One error-correction scheme's coverage envelope."""
+
+    name: str
+    #: Errored bits fully corrected per access.
+    correct_bits: int
+    #: Errored bits reliably *detected* per access (>= correct_bits).
+    detect_bits: int
+    #: Correction pipeline depth: multiplies DramTiming.t_ecc_correction.
+    correction_depth: int
+    #: Fraction of raw capacity spent on check bits.
+    storage_overhead: float
+
+    def classify(self, error_bits: int) -> str:
+        """Outcome of an access carrying ``error_bits`` bit errors."""
+        if error_bits <= 0:
+            return OUTCOME_OK
+        if error_bits <= self.correct_bits:
+            return OUTCOME_CORRECTED
+        if self.name == "parity":
+            # Parity flags odd weights only; an even number of flips
+            # cancels out and sails through.
+            return OUTCOME_DETECTED if error_bits % 2 else OUTCOME_SILENT
+        if error_bits <= self.detect_bits:
+            return OUTCOME_DETECTED
+        if self.detect_bits and error_bits >= GROSS_CORRUPTION_BITS:
+            # Gross corruption is detected (though never corrected) by
+            # any real checking code; this is what lets hard bank
+            # failures drive the retirement path instead of sailing
+            # through as silent data corruption.
+            return OUTCOME_DETECTED
+        # Just beyond coverage: aliasing/miscorrection, indistinguishable
+        # from good data at the controller.
+        return OUTCOME_SILENT
+
+
+SCHEMES: Dict[str, EccScheme] = {
+    "none": EccScheme("none", 0, 0, 0, 0.0),
+    # One parity bit per 64-bit word: 8 bits per 64-byte line.
+    "parity": EccScheme("parity", 0, 1, 0, 1.0 / 65.0),
+    # Hamming SECDED (72,64): correct 1, detect 2, 12.5% check bits.
+    "secded": EccScheme("secded", 1, 2, 1, 8.0 / 72.0),
+    # Lightweight symbol correction across TSV lanes: corrects up to two
+    # bit errors (one failed lane plus a random flip), detects three.
+    "chipkill-lite": EccScheme("chipkill-lite", 2, 3, 2, 12.0 / 76.0),
+}
+
+
+def get_scheme(name: str) -> EccScheme:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ECC scheme {name!r}; known: {', '.join(sorted(SCHEMES))}"
+        ) from None

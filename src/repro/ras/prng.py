@@ -1,0 +1,57 @@
+"""Counter-based (keyed) pseudo-randomness for fault injection.
+
+Fault decisions must be reproducible under :func:`repro.experiments.
+runner.run_matrix` process isolation and *independent of simulation
+incidentals*: a functional-warmup touch, a checker being attached, or a
+retry must never shift which accesses fault.  A stateful generator
+(``random.Random``) cannot give that — every draw advances global state,
+so any extra consumer perturbs all later draws.
+
+Instead every decision is a *pure hash* of ``(seed, stream, keys...)``:
+a splitmix64-style finalizer over the key words.  Properties the RAS
+layer relies on:
+
+* **Stateless** — drawing for access A never affects access B, so the
+  functional-warmup path (which draws nothing) cannot roll anything.
+* **Process-stable** — no dependence on ``PYTHONHASHSEED``; the same
+  keys hash identically in every worker process.
+* **Monotone in rate** — faults fire when ``uniform(...) < rate``; the
+  same keys produce the same uniform, so the fault set at a lower rate
+  is a subset of the set at a higher rate (the monotonicity the
+  ``ras-study`` acceptance table depends on).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+#: 2**-53, scaling a 53-bit hash prefix into [0, 1).
+_INV53 = 1.0 / (1 << 53)
+
+
+def _mix(z: int) -> int:
+    """splitmix64 finalizer: full-avalanche 64-bit permutation."""
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    return z ^ (z >> 31)
+
+
+def hash64(*words: int) -> int:
+    """Deterministic 64-bit hash of a key tuple (order-sensitive)."""
+    h = 0x243F6A8885A308D3  # pi fractional bits; any odd constant works
+    for word in words:
+        h = _mix((h + _GOLDEN ^ word) & _MASK64)
+    return h
+
+
+def uniform(*words: int) -> float:
+    """Uniform in [0, 1), keyed entirely by the arguments."""
+    return (hash64(*words) >> 11) * _INV53
+
+
+def stable_label_hash(label: str) -> int:
+    """A process-stable 64-bit hash of a string (``hash()`` is salted)."""
+    h = 0xCBF29CE484222325  # FNV-1a 64-bit offset basis
+    for byte in label.encode("utf-8"):
+        h = (h ^ byte) * 0x100000001B3 & _MASK64
+    return _mix(h)

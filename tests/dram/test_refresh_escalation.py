@@ -1,0 +1,150 @@
+"""Refresh-rate escalation: regime changes, history, shadow replay."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.refresh import RefreshSchedule
+from repro.dram.timing import ddr2_commodity
+from repro.validate.dram_timing import ShadowBank
+
+
+def _schedule(phase=0):
+    return RefreshSchedule(ddr2_commodity(), phase=phase)
+
+
+def test_escalation_takes_effect_at_next_window_boundary():
+    s = _schedule()
+    base = s.t_refi
+    s.set_multiplier(2, now=5)
+    assert s.multiplier == 2
+    assert s.t_refi == base // 2
+    # Until the boundary the old cadence is in force: no extra window
+    # opens mid-regime at base // 2.
+    assert s.earliest_available(base // 2) == base // 2
+    # After the boundary the 2x cadence runs: windows at base and
+    # base + base // 2.
+    assert s.earliest_available(base + 1) == base + s.t_rfc
+    second = base + base // 2
+    assert s.earliest_available(second + 1) == second + s.t_rfc
+    assert s.epoch(base) == 1
+    assert s.epoch(second) == 2
+
+
+def test_deescalation_is_allowed():
+    s = _schedule()
+    base = s.t_refi
+    s.set_multiplier(4, now=0)
+    s.set_multiplier(1, now=5 * base)
+    assert s.multiplier == 1
+    assert s.t_refi == base
+
+
+def test_same_multiplier_is_idempotent():
+    s = _schedule()
+    s.set_multiplier(2, now=100)
+    history_len = len(s._history)
+    s.set_multiplier(2, now=50_000_000)
+    assert len(s._history) == history_len
+    assert s.multiplier == 2
+
+
+def test_invalid_multipliers_rejected():
+    s = _schedule()
+    with pytest.raises(ValueError, match="must be >= 1"):
+        s.set_multiplier(0, now=0)
+    # A multiplier so large the interval would sink below the blackout.
+    too_fast = s._base_refi // s.t_rfc + 1
+    with pytest.raises(ValueError, match="must exceed"):
+        s.set_multiplier(too_fast, now=0)
+
+
+def test_double_escalation_before_boundary_retargets_in_place():
+    # Regression: a second retention burst can escalate 2x -> 4x before
+    # the 2x regime's anchor boundary has even been reached.  The
+    # pending regime has zero elapsed windows, so it is retargeted in
+    # place instead of raising.
+    s = _schedule()
+    base = s.t_refi
+    s.set_multiplier(2, now=5)
+    history_len = len(s._history)
+    s.set_multiplier(4, now=10)  # 10 < anchor (= base): still pending
+    assert s.multiplier == 4
+    assert s.t_refi == base // 4
+    assert len(s._history) == history_len  # no extra regime recorded
+    # Old cadence until the recorded boundary, 4x after it.
+    assert s.earliest_available(base // 2) == base // 2
+    quarter = base + base // 4
+    assert s.earliest_available(quarter + 1) == quarter + s.t_rfc
+
+
+def test_phase_reanchor_rejected_after_rate_change():
+    s = _schedule()
+    s.set_multiplier(2, now=0)
+    with pytest.raises(ValueError, match="re-phase"):
+        s.phase = 123
+
+
+def test_historical_queries_survive_escalation():
+    s = _schedule()
+    base = s.t_refi
+    probes = [0, s.t_rfc - 1, s.t_rfc, base // 2, base - 1]
+    before = [
+        (s.earliest_available(t), s.epoch(t), s.blackout_cycles_until(t))
+        for t in probes
+    ]
+    s.set_multiplier(4, now=base // 2)
+    after = [
+        (s.earliest_available(t), s.epoch(t), s.blackout_cycles_until(t))
+        for t in probes
+    ]
+    # Questions about the past answer with the cadence in force then.
+    assert after == before
+
+
+@pytest.mark.parametrize("multiplier", [2, 4])
+def test_no_starvation_under_escalated_refresh(multiplier):
+    s = _schedule()
+    base = s.t_refi
+    s.set_multiplier(multiplier, now=base // 3)
+    step = max(1, s.t_refi // 7)
+    for t in range(0, 20 * base, step):
+        available = s.earliest_available(t)
+        assert t <= available <= t + 2 * s.t_rfc
+        # The answer is itself available (no livelock chasing windows).
+        assert s.earliest_available(available) == available
+
+
+def test_shadow_bank_tracks_midrun_escalation():
+    """A Bank and its shadow replica stay cycle-identical through a
+    mid-run refresh-rate change broadcast via observe_refresh_escalation
+    (the same seam RasController uses for the dram-timing checker)."""
+    timing = ddr2_commodity()
+    schedule = RefreshSchedule(timing, phase=0)
+    bank = Bank(timing, schedule)
+    shadow = ShadowBank(timing, refresh_phase=0)
+    step = timing.refresh_interval // 5
+    escalate_at = 8
+    now = 0
+    for i in range(40):
+        if i == escalate_at:
+            schedule.set_multiplier(2, now)
+            shadow.observe_refresh_escalation(2, now)
+        data_time, hit = bank.access(now, row=i % 3, is_write=bool(i % 4 == 0))
+        # observe() raises TimingViolation on any divergence.
+        shadow.observe(now, i % 3, bool(i % 4 == 0), data_time, hit)
+        now = max(data_time, now + step)
+
+
+def test_shadow_bank_diverges_without_the_broadcast():
+    timing = ddr2_commodity()
+    schedule = RefreshSchedule(timing, phase=0)
+    bank = Bank(timing, schedule)
+    shadow = ShadowBank(timing, refresh_phase=0)
+    schedule.set_multiplier(4, 0)  # real bank escalates; shadow not told
+    step = timing.refresh_interval // 3
+    now = 0
+    with pytest.raises(Exception):
+        for i in range(60):
+            data_time, hit = bank.access(now, row=0, is_write=False)
+            shadow.observe(now, 0, False, data_time, hit)
+            now = max(data_time, now + step)

@@ -1,0 +1,75 @@
+"""ECC scheme classification envelopes."""
+
+import pytest
+
+from repro.ras.ecc import (
+    GROSS_CORRUPTION_BITS,
+    OUTCOME_CORRECTED,
+    OUTCOME_DETECTED,
+    OUTCOME_OK,
+    OUTCOME_SILENT,
+    SCHEMES,
+    get_scheme,
+)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+def test_zero_errors_always_ok(name):
+    assert get_scheme(name).classify(0) == OUTCOME_OK
+
+
+def test_none_scheme_is_blind():
+    none = get_scheme("none")
+    for bits in (1, 2, 3, GROSS_CORRUPTION_BITS, 64):
+        assert none.classify(bits) == OUTCOME_SILENT
+    assert none.storage_overhead == 0.0
+
+
+def test_parity_flags_odd_weights_only():
+    parity = get_scheme("parity")
+    assert parity.classify(1) == OUTCOME_DETECTED
+    assert parity.classify(2) == OUTCOME_SILENT
+    assert parity.classify(3) == OUTCOME_DETECTED
+    # Gross corruption with even weight still cancels out: parity has
+    # no minimum-distance argument against it.
+    assert parity.classify(GROSS_CORRUPTION_BITS) == OUTCOME_SILENT
+
+
+def test_secded_envelope():
+    secded = get_scheme("secded")
+    assert secded.classify(1) == OUTCOME_CORRECTED
+    assert secded.classify(2) == OUTCOME_DETECTED
+    assert secded.classify(3) == OUTCOME_SILENT  # aliasing region
+    # A dead bank (8+ bits) is not a near-codeword: detected, which is
+    # what feeds the bank-retirement path.
+    assert secded.classify(GROSS_CORRUPTION_BITS) == OUTCOME_DETECTED
+    assert secded.classify(64) == OUTCOME_DETECTED
+
+
+def test_chipkill_lite_envelope():
+    ck = get_scheme("chipkill-lite")
+    assert ck.classify(1) == OUTCOME_CORRECTED
+    assert ck.classify(2) == OUTCOME_CORRECTED
+    assert ck.classify(3) == OUTCOME_DETECTED
+    assert ck.classify(4) == OUTCOME_SILENT
+    assert ck.classify(GROSS_CORRUPTION_BITS) == OUTCOME_DETECTED
+
+
+def test_storage_overheads_ordered_by_strength():
+    assert (
+        SCHEMES["none"].storage_overhead
+        < SCHEMES["parity"].storage_overhead
+        < SCHEMES["secded"].storage_overhead
+        < SCHEMES["chipkill-lite"].storage_overhead
+        < 0.25
+    )
+
+
+def test_detect_envelope_contains_correct_envelope():
+    for scheme in SCHEMES.values():
+        assert scheme.detect_bits >= scheme.correct_bits
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError, match="unknown ECC scheme"):
+        get_scheme("raid6")

@@ -1,0 +1,125 @@
+"""RAS study: matrix construction and result math on synthetic tables."""
+
+import pytest
+
+from repro.experiments.ras_study import (
+    BASE_ORDER,
+    DEFAULT_ECCS,
+    DEFAULT_RATES,
+    RasStudyResult,
+    build_ras_matrix,
+    variant_name,
+)
+from repro.experiments.runner import ResultTable
+from repro.system.machine import CoreResult, MachineResult
+
+RATES = (0.0, 1e-4, 1e-3)
+
+
+def test_build_ras_matrix_default_shape():
+    configs = build_ras_matrix()
+    assert len(configs) == len(BASE_ORDER) * len(DEFAULT_ECCS) * len(DEFAULT_RATES)
+    names = [c.name for c in configs]
+    assert len(set(names)) == len(names)
+    assert variant_name("2D", "none", 0.0) in names
+    assert variant_name("3D-fast", "secded", 1e-3) in names
+    for config in configs:
+        assert config.ras is not None
+        base, rest = config.name.split("/")
+        ecc, rate = rest.split("@")
+        assert config.ras.ecc == ecc
+        assert config.ras.transient_rate == float(rate)
+        assert config.ras.retention_rate == float(rate) / 4
+
+
+def test_build_ras_matrix_rejects_bad_rate_grids():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        build_ras_matrix(rates=(1e-3, 1e-4))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        build_ras_matrix(rates=(0.0, 1e-4, 1e-4))
+    with pytest.raises(ValueError, match="at least one"):
+        build_ras_matrix(rates=())
+    with pytest.raises(ValueError, match="at least one"):
+        build_ras_matrix(eccs=())
+
+
+def _cell(config_name, ipc, penalty, uncorrected, reads=1000.0, cycles=100_000):
+    return MachineResult(
+        config_name=config_name,
+        workload="H1",
+        cores=[CoreResult("mcf", ipc, ipc * cycles, cycles, 5.0)],
+        total_cycles=cycles,
+        l2_stats={},
+        dram_row_hit_rate=0.8,
+        mshr_avg_probes=1.0,
+        extra={
+            "ras_penalty_cycles": penalty,
+            "ras_reads": reads,
+            "ras_corrected": penalty / 10.0,
+            "ras_uncorrected": uncorrected,
+            "ras_silent": 0.0,
+            "ras_banks_retired": 0.0,
+        },
+    )
+
+
+def _study(series):
+    """Synthetic one-mix study; ``series`` maps rate index -> (penalty, unc)."""
+    cells = {}
+    for base in BASE_ORDER:
+        for i, rate in enumerate(RATES):
+            name = variant_name(base, "secded", rate)
+            penalty, uncorrected = series[i]
+            cells[(name, "H1")] = _cell(name, 0.5 - 0.001 * i, penalty, uncorrected)
+    table = ResultTable(
+        configs=sorted(n for n, _ in cells), mixes=["H1"], cells=cells
+    )
+    return RasStudyResult(
+        table=table, mixes=["H1"], rates=RATES, eccs=("secded",)
+    )
+
+
+def test_overhead_and_error_rate_math():
+    study = _study({0: (0.0, 0.0), 1: (200.0, 2.0), 2: (5000.0, 40.0)})
+    assert study.ipc_overhead("2D", "secded", 0.0) == 0.0
+    assert study.ipc_overhead("2D", "secded", 1e-4) == pytest.approx(200.0 / 100_000)
+    assert study.error_rate("2D", "secded", 1e-3, "uncorrected") == pytest.approx(
+        40.0 / 1000.0
+    )
+    # ipc falls slightly with the rate index in the synthetic cells.
+    assert study.measured_dipc("3D", "secded", 0.0) == pytest.approx(0.0)
+    assert study.measured_dipc("3D", "secded", 1e-3) < 0.0
+    assert study.check_monotone() == []
+    formatted = study.format()
+    for label in ("IPC ovh%", "dIPC%", "uncorr/kRd", "2D/secded@0.0001"):
+        assert label in formatted
+
+
+def test_check_monotone_flags_regressions():
+    # Attributed penalty drops at the highest rate: impossible under the
+    # keyed-PRNG subset property, so the check must name it.
+    study = _study({0: (0.0, 0.0), 1: (500.0, 1.0), 2: (100.0, 1.0)})
+    violations = study.check_monotone()
+    assert violations
+    assert all("attributed IPC overhead" in v for v in violations)
+
+    study = _study({0: (0.0, 5.0), 1: (10.0, 2.0), 2: (20.0, 8.0)})
+    assert any("uncorrected rate" in v for v in study.check_monotone())
+
+
+def test_zero_denominators_are_safe():
+    cells = {}
+    for base in BASE_ORDER:
+        for rate in RATES:
+            name = variant_name(base, "secded", rate)
+            cells[(name, "H1")] = _cell(name, 0.5, 0.0, 0.0, reads=0.0, cycles=0)
+    study = RasStudyResult(
+        table=ResultTable(
+            configs=sorted(n for n, _ in cells), mixes=["H1"], cells=cells
+        ),
+        mixes=["H1"],
+        rates=RATES,
+        eccs=("secded",),
+    )
+    assert study.ipc_overhead("2D", "secded", 1e-3) == 0.0
+    assert study.error_rate("2D", "secded", 1e-3, "corrected") == 0.0
