@@ -89,6 +89,26 @@ class InjectedFault(SimulationError):
     """Raised by the fault-injection hooks (testing the resilience layer)."""
 
 
+class InjectedServiceCrash(InjectedFault):
+    """An injected whole-service crash (``crash-service`` chaos fault).
+
+    Raised by the sweep service *after* the triggering step has been
+    journaled, so the chaos harness can verify that a service killed at
+    any point resumes to a bit-identical result.  Tests catch it and
+    reopen the service in-process; the validate script lets it take the
+    subprocess down.
+    """
+
+
+class ServiceOverloadError(RuntimeError):
+    """Sweep submission rejected by admission control (queue full).
+
+    The bounded job queue sheds load at the front door instead of
+    accepting work it cannot finish; the HTTP front end maps this to
+    ``503 Service Unavailable`` with a Retry-After hint.
+    """
+
+
 class HardwareFaultError(SimulationError):
     """A simulated *hardware* fault the machine could not absorb.
 
@@ -190,6 +210,8 @@ __all__ = [
     "CheckViolation",
     "HardwareFaultError",
     "InjectedFault",
+    "InjectedServiceCrash",
+    "ServiceOverloadError",
     "SimulationDeadlock",
     "SimulationError",
     "SimulationHang",

@@ -158,6 +158,131 @@ def inject(config: str, mix: str, attempt: int) -> None:
         return
 
 
+# ----------------------------------------------------------------------
+# Service-layer fault injection (the sweep-service chaos harness)
+#
+# Cell faults above fire *inside* a simulation attempt; service faults
+# target the machinery around it: the worker processes, the result
+# cache, and the service itself.  Spec syntax is identical
+# (``kind:config:mix[:times][:seconds]``), carried by the
+# ``REPRO_SERVICE_FAULTS`` environment variable (inherited by forked
+# workers) or installed in-process via :func:`install_service`.
+
+#: Environment variable holding ``;``-separated service fault specs.
+ENV_SERVICE_VAR = "REPRO_SERVICE_FAULTS"
+
+SERVICE_KINDS = (
+    #: SIGKILL the worker process ``seconds`` after it starts a matching
+    #: cell — the supervisor must observe the death, restart the worker,
+    #: and retry or record the cell.
+    "kill-worker",
+    #: Stall the worker's heartbeat thread for ``seconds`` during a
+    #: matching cell — the supervisor must declare the worker hung and
+    #: recycle it even though the simulation itself is alive.
+    "hb-delay",
+    #: Flip a byte inside a cache entry just after it is written — the
+    #: read path must detect the bad checksum, quarantine the entry,
+    #: and recompute.
+    "corrupt-cache",
+    #: Cut a cache entry in half after it is written (a torn write that
+    #: somehow survived) — same detection obligations.
+    "truncate-cache",
+    #: Raise :class:`~repro.common.errors.InjectedServiceCrash` after a
+    #: matching cell's completion is journaled — a service killed here
+    #: must resume to a bit-identical result.
+    "crash-service",
+)
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One injected service-layer fault, matched like :class:`FaultSpec`."""
+
+    kind: str
+    config: str = "*"
+    mix: str = "*"
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_KINDS:
+            raise ValueError(
+                f"unknown service fault kind {self.kind!r}; "
+                f"known: {', '.join(SERVICE_KINDS)}"
+            )
+
+    def matches(self, config: str, mix: str, attempt: int) -> bool:
+        if self.config != "*" and self.config != config:
+            return False
+        if self.mix != "*" and self.mix != mix:
+            return False
+        return self.times < 0 or attempt <= self.times
+
+    def encode(self) -> str:
+        return (
+            f"{self.kind}:{self.config}:{self.mix}:{self.times}:{self.seconds:g}"
+        )
+
+
+def parse_service_fault(text: str) -> ServiceFaultSpec:
+    """Parse one ``kind:config:mix[:times][:seconds]`` service spec."""
+    parts = text.strip().split(":")
+    if len(parts) < 3:
+        raise ValueError(
+            f"service fault spec {text!r} needs at least kind:config:mix"
+        )
+    times = int(parts[3]) if len(parts) > 3 and parts[3] else 1
+    seconds = float(parts[4]) if len(parts) > 4 and parts[4] else 0.0
+    return ServiceFaultSpec(
+        kind=parts[0], config=parts[1], mix=parts[2],
+        times=times, seconds=seconds,
+    )
+
+
+def parse_service_faults(text: str) -> Tuple[ServiceFaultSpec, ...]:
+    """Parse a ``;``-separated list of service fault specs."""
+    return tuple(
+        parse_service_fault(part) for part in text.split(";") if part.strip()
+    )
+
+
+def encode_service_faults(specs: Tuple[ServiceFaultSpec, ...]) -> str:
+    """Inverse of :func:`parse_service_faults` (for ``REPRO_SERVICE_FAULTS``)."""
+    return ";".join(spec.encode() for spec in specs)
+
+
+_service_installed: Optional[Tuple[ServiceFaultSpec, ...]] = None
+
+
+def install_service(*specs: ServiceFaultSpec) -> None:
+    """Activate service faults in this process (overrides the env var)."""
+    global _service_installed
+    _service_installed = tuple(specs)
+
+
+def clear_service() -> None:
+    """Deactivate in-process service faults (the env var applies again)."""
+    global _service_installed
+    _service_installed = None
+
+
+def active_service_faults() -> Tuple[ServiceFaultSpec, ...]:
+    """Service faults in effect: installed ones, else from the environment."""
+    if _service_installed is not None:
+        return _service_installed
+    return parse_service_faults(os.environ.get(ENV_SERVICE_VAR, ""))
+
+
+def service_fault_for(
+    kind: str, config: str, mix: str, attempt: int = 1
+) -> Optional[ServiceFaultSpec]:
+    """The first active service fault of ``kind`` matching this cell."""
+    for spec in active_service_faults():
+        if spec.kind == kind and spec.matches(config, mix, attempt):
+            return spec
+    return None
+
+
 def timing_fault_for(config: str, mix: str, attempt: int = 1) -> Optional[FaultSpec]:
     """The active ``timing`` fault matching this cell, if any.
 
@@ -175,14 +300,24 @@ def timing_fault_for(config: str, mix: str, attempt: int = 1) -> Optional[FaultS
 __all__ = [
     "CRASH_EXITCODE",
     "DEFAULT_TIMING_FACTOR",
+    "ENV_SERVICE_VAR",
     "ENV_VAR",
     "FaultSpec",
+    "SERVICE_KINDS",
+    "ServiceFaultSpec",
     "active_faults",
+    "active_service_faults",
     "clear",
+    "clear_service",
     "encode_faults",
+    "encode_service_faults",
     "inject",
     "install",
+    "install_service",
     "parse_fault",
     "parse_faults",
+    "parse_service_fault",
+    "parse_service_faults",
+    "service_fault_for",
     "timing_fault_for",
 ]

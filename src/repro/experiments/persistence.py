@@ -162,6 +162,64 @@ def load_table(path: PathLike) -> ResultTable:
 
 
 # ----------------------------------------------------------------------
+# Reusable fsync'd JSONL journal machinery
+#
+# Shared by :class:`CellJournal` below and the sweep-service durable
+# job queue (:mod:`repro.service.queue`): append-only JSON-per-line
+# files where every append is flushed and fsync'd, and a crash
+# mid-append tears at most the final line.
+
+
+def append_jsonl(handle: io.TextIOBase, record: dict) -> None:
+    """Append one record as a JSON line; durable once this returns."""
+    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def scan_jsonl(path: PathLike) -> Tuple[list, int]:
+    """Replay a JSONL journal, tolerating a torn final line.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    byte length of the valid prefix: every complete
+    ``<json>\\n``-terminated line.  A final line that is truncated,
+    corrupt, or missing its newline (a crash mid-append) is excluded
+    from both — callers that reopen the journal for appending must
+    first truncate the file to ``valid_bytes`` so the next append does
+    not glue onto the torn tail.  A corrupt line *followed by further
+    lines* is not a torn append but real corruption, and raises
+    ``ValueError``.
+    """
+    records: list = []
+    valid_bytes = 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # No terminator: the final append was torn mid-write (even
+            # if the fragment happens to parse, its durability marker —
+            # the newline — never made it to disk).
+            break
+        line = data[offset:newline]
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if data.find(b"\n", newline + 1) >= 0 or data[newline + 1:]:
+                raise ValueError(
+                    f"journal {path} is corrupt at byte {offset}: bad "
+                    f"record followed by further data (not a torn final "
+                    f"append)"
+                ) from None
+            break
+        records.append(record)
+        valid_bytes = newline + 1
+        offset = newline + 1
+    return records, valid_bytes
+
+
+# ----------------------------------------------------------------------
 # Incremental cell journal (checkpoint/resume)
 
 
@@ -222,65 +280,63 @@ class CellJournal:
         completed: Dict[Tuple[str, str], MachineResult] = {}
         failed: Dict[Tuple[str, str], CellFailure] = {}
         if resume and path.exists() and path.stat().st_size > 0:
-            header, completed, failed = cls._read(path)
+            records, valid_bytes = scan_jsonl(path)
+            header, completed, failed = cls._parse(records, path)
             if header.get("signature") != signature:
                 raise ValueError(
                     f"journal {path} was written by a different run "
                     f"(its signature {header.get('signature')!r} does not "
                     f"match this matrix); delete it or drop --resume"
                 )
+            if path.stat().st_size > valid_bytes:
+                # Crash mid-append left a torn final record: cut it off
+                # before reopening for append, otherwise the next record
+                # would be written onto the same line and corrupt it.
+                with open(path, "r+b") as tail:
+                    tail.truncate(valid_bytes)
+                    tail.flush()
+                    os.fsync(tail.fileno())
             handle = open(path, "a")
         else:
             handle = open(path, "w")
-            handle.write(
-                json.dumps(
-                    {
-                        "kind": "header",
-                        "journal_version": _JOURNAL_VERSION,
-                        "signature": signature,
-                    },
-                    sort_keys=True,
-                )
-                + "\n"
+            append_jsonl(
+                handle,
+                {
+                    "kind": "header",
+                    "journal_version": _JOURNAL_VERSION,
+                    "signature": signature,
+                },
             )
-            handle.flush()
-            os.fsync(handle.fileno())
         return cls(handle, path, completed, failed)
 
     @staticmethod
-    def _read(path: Path):
+    def _parse(records, path):
+        """Interpret replayed journal records (torn tail already gone)."""
         header: dict = {}
         completed: Dict[Tuple[str, str], MachineResult] = {}
         failed: Dict[Tuple[str, str], CellFailure] = {}
-        with open(path) as handle:
-            for index, line in enumerate(handle):
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn final append from a killed run; everything
-                    # before it is intact, so just stop here.
-                    break
-                kind = record.get("kind")
-                if index == 0:
-                    if kind != "header":
-                        raise ValueError(
-                            f"{path} is not a cell journal (first line is "
-                            f"{kind!r}, expected a header)"
-                        )
-                    if record.get("journal_version") != _JOURNAL_VERSION:
-                        raise ValueError(
-                            f"journal {path} has version "
-                            f"{record.get('journal_version')}; this library "
-                            f"reads version {_JOURNAL_VERSION}"
-                        )
-                    header = record
-                elif kind == "result":
-                    key = (record["config"], record["mix"])
-                    completed[key] = _result_from_dict(record["result"])
-                    failed.pop(key, None)
-                elif kind == "failure":
-                    failure = _failure_from_dict(record["failure"])
-                    failed[(failure.config, failure.mix)] = failure
+        for index, record in enumerate(records):
+            kind = record.get("kind")
+            if index == 0:
+                if kind != "header":
+                    raise ValueError(
+                        f"{path} is not a cell journal (first line is "
+                        f"{kind!r}, expected a header)"
+                    )
+                if record.get("journal_version") != _JOURNAL_VERSION:
+                    raise ValueError(
+                        f"journal {path} has version "
+                        f"{record.get('journal_version')}; this library "
+                        f"reads version {_JOURNAL_VERSION}"
+                    )
+                header = record
+            elif kind == "result":
+                key = (record["config"], record["mix"])
+                completed[key] = _result_from_dict(record["result"])
+                failed.pop(key, None)
+            elif kind == "failure":
+                failure = _failure_from_dict(record["failure"])
+                failed[(failure.config, failure.mix)] = failure
         return header, completed, failed
 
     @classmethod
@@ -288,17 +344,18 @@ class CellJournal:
         """Read a journal without opening it for writing.
 
         Returns ``(completed, failed)`` dictionaries keyed by
-        ``(config, mix)``.
+        ``(config, mix)``.  A torn final line is tolerated (and left in
+        place — only :meth:`open` with ``resume=True`` truncates it).
         """
-        _, completed, failed = cls._read(Path(path))
+        path = Path(path)
+        records, _ = scan_jsonl(path)
+        _, completed, failed = cls._parse(records, path)
         return completed, failed
 
     # -- appending ------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        append_jsonl(self._handle, record)
 
     def record_result(
         self, config: str, mix: str, result: MachineResult, attempts: int = 1

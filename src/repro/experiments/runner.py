@@ -585,6 +585,12 @@ def run_matrix(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate config names in matrix: {names}")
     mix_names = [m.name for m in mixes]
+    if len(set(mix_names)) != len(mix_names):
+        # Cells are keyed by (config, mix) name everywhere downstream —
+        # the result table, the journal, and the service result cache —
+        # so a duplicated mix name would silently overwrite sibling
+        # cells instead of erroring.
+        raise ValueError(f"duplicate mix names in matrix: {mix_names}")
     policy = RunPolicy() if policy is None else policy
     if policy.resume and policy.journal_path is None:
         raise ValueError("resume=True needs a journal_path to resume from")

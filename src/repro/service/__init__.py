@@ -1,0 +1,36 @@
+"""Resilient sweep service.
+
+A long-running front end over :mod:`repro.experiments`: sweeps are
+submitted as jobs to a durable (fsync-journaled) queue, cells are
+memoized in a content-addressed, corruption-detecting result cache,
+simulations run on heartbeat-supervised worker processes behind
+per-scenario circuit breakers, and a stdlib HTTP/JSON interface
+(``repro serve``) exposes submit/status/result.  The chaos hooks in
+:mod:`repro.experiments.faults` plus :mod:`repro.service.chaos` verify
+the whole stack end to end: killed workers, corrupted cache entries,
+stalled heartbeats, and a crash-and-restarted service must all converge
+to bit-identical sweep results.
+"""
+
+from .cache import ResultCache
+from .keys import cell_key, cell_payload, canonical_json
+from .queue import CellOutcome, JobQueue, SweepJob, SweepSpec
+from .service import ServiceResult, SweepService
+from .supervisor import CellTask, CircuitBreaker, ServicePolicy, WorkerSupervisor
+
+__all__ = [
+    "CellOutcome",
+    "CellTask",
+    "CircuitBreaker",
+    "JobQueue",
+    "ResultCache",
+    "ServicePolicy",
+    "ServiceResult",
+    "SweepJob",
+    "SweepSpec",
+    "SweepService",
+    "WorkerSupervisor",
+    "canonical_json",
+    "cell_key",
+    "cell_payload",
+]

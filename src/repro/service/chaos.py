@@ -1,0 +1,99 @@
+"""Chaos helpers: tamper with a live service the way real faults do.
+
+The declarative fault specs in :mod:`repro.experiments.faults`
+(``REPRO_SERVICE_FAULTS``) cover deterministic in-band injection; this
+module adds the out-of-band hammers the validate script and tests use
+directly — flipping bytes in cache files that already exist, SIGKILLing
+worker processes from outside, and comparing two service results
+bit-for-bit (the property every chaos scenario must preserve).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..experiments.persistence import _result_to_dict
+from .cache import ResultCache
+from .keys import canonical_json
+from .service import ServiceResult
+from .supervisor import WorkerSupervisor
+
+PathLike = Union[str, Path]
+
+
+def cache_entry_paths(cache: ResultCache) -> List[Path]:
+    """Every stored entry, sorted for deterministic targeting."""
+    return sorted(cache.root.glob("??/*.json"))
+
+
+def corrupt_cache_entry(
+    cache: ResultCache, key: Optional[str] = None
+) -> Path:
+    """Flip one byte in a stored entry (first entry when no key given)."""
+    path = cache.path_for(key) if key else _first_entry(cache)
+    data = bytearray(path.read_bytes())
+    position = min(len(data) - 2, len(data) // 2)
+    data[position] ^= 0x01
+    path.write_bytes(bytes(data))
+    return path
+
+
+def truncate_cache_entry(
+    cache: ResultCache, key: Optional[str] = None
+) -> Path:
+    """Cut a stored entry in half (a torn write that reached the name)."""
+    path = cache.path_for(key) if key else _first_entry(cache)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    return path
+
+
+def _first_entry(cache: ResultCache) -> Path:
+    paths = cache_entry_paths(cache)
+    if not paths:
+        raise ValueError(f"cache at {cache.root} has no entries to tamper")
+    return paths[0]
+
+
+def kill_workers(supervisor: WorkerSupervisor) -> List[int]:
+    """SIGKILL every live worker from outside (as the OOM killer would)."""
+    pids = supervisor.worker_pids()
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - raced exit
+            pass
+    return pids
+
+
+def result_fingerprint(result: ServiceResult) -> str:
+    """Canonical serialization of a sweep's numeric results.
+
+    Two :class:`ServiceResult` objects for the same sweep are
+    *bit-identical* iff their fingerprints are equal: every cell's full
+    ``MachineResult`` (all floats, via exact JSON round-trip) in a
+    canonical order, ignoring provenance (a cache hit must fingerprint
+    identically to the simulation that produced it).
+    """
+    return canonical_json(
+        [
+            {
+                "config": config,
+                "mix": mix,
+                "result": _result_to_dict(cell),
+            }
+            for (config, mix), cell in sorted(result.table.cells.items())
+        ]
+    )
+
+
+__all__ = [
+    "cache_entry_paths",
+    "corrupt_cache_entry",
+    "kill_workers",
+    "result_fingerprint",
+    "truncate_cache_entry",
+]

@@ -1,0 +1,180 @@
+"""Content-addressed cell identity for the sweep service.
+
+A *cell* is one (configuration, workload, scale, seed) simulation.  The
+service memoizes cell results under a canonical SHA-256 of everything
+that affects the simulation's output — and nothing else — so that:
+
+* the same cell submitted twice (or by overlapping sweeps) is served
+  from cache instead of re-simulated;
+* any change that *would* change the output (a config knob, the seed,
+  the RAS spec, the sampling plan, checkers on/off) changes the key and
+  forces a fresh simulation;
+* cosmetic differences (dict field order, tuple-vs-list, a permuted
+  benchmark list — core placement is canonical, see
+  :class:`repro.system.machine.Machine`) hash identically in every
+  process on every platform.
+
+The scale's *name* is deliberately excluded: two scales with the same
+instruction budgets run the same simulation.  The config and mix
+*names* are deliberately included: they are embedded in the stored
+``MachineResult`` (and key the result table), so serving a cached
+result under a different name would mislabel it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Iterable, Optional, Sequence
+
+from ..ras.config import RasConfig
+from ..system.config import SystemConfig
+from ..system.scale import ExperimentScale
+
+#: Bump when the key payload layout changes — old cache entries become
+#: unreachable (and are recomputed) instead of being misinterpreted.
+KEY_SCHEMA_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    """A ``SystemConfig`` (with nested ``RasConfig``) as a plain dict."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    """Inverse of :func:`config_to_dict` (exact round trip)."""
+    data = dict(data)
+    ras = data.get("ras")
+    if ras is not None:
+        data["ras"] = RasConfig(**ras)
+    return SystemConfig(**data)
+
+
+def scale_to_dict(scale: ExperimentScale) -> dict:
+    """An ``ExperimentScale`` as a plain dict (name kept for display)."""
+    return {
+        "name": scale.name,
+        "warmup_instructions": scale.warmup_instructions,
+        "measure_instructions": scale.measure_instructions,
+    }
+
+
+def scale_from_dict(data: dict) -> ExperimentScale:
+    """Inverse of :func:`scale_to_dict`."""
+    return ExperimentScale(
+        name=data["name"],
+        warmup_instructions=data["warmup_instructions"],
+        measure_instructions=data["measure_instructions"],
+    )
+
+
+def normalize_checkers(checkers) -> Optional[list]:
+    """Canonical checker list: ``None`` when off, sorted names when on.
+
+    ``"all"``, a comma-separated string, or an iterable of names all
+    normalize to the same expanded list (so ``"all"`` and
+    ``"dram-timing,mshr,queue"`` share cache entries).
+    """
+    if not checkers:
+        return None
+    from ..validate.hooks import resolve_checker_names
+
+    return sorted(resolve_checker_names(checkers))
+
+
+def normalize_sampling(sampling) -> Optional[dict]:
+    """Canonical sampling-plan dict: ``None`` for full detail.
+
+    Accepts a spec string (``"on"``, ``"detailed:1200,..."``) or a
+    :class:`~repro.sampling.plan.SamplingPlan`; equivalent specs (e.g.
+    ``"on"`` vs the default plan spelled out) normalize identically.
+    """
+    if not sampling:
+        return None
+    from ..sampling.plan import SamplingPlan, parse_sample_spec
+
+    plan = (
+        sampling
+        if isinstance(sampling, SamplingPlan)
+        else parse_sample_spec(sampling)
+    )
+    if plan is None:
+        return None
+    return dataclasses.asdict(plan)
+
+
+def cell_payload(
+    config: SystemConfig,
+    mix_name: str,
+    benchmarks: Sequence[str],
+    scale: ExperimentScale,
+    seed: int,
+    checkers=None,
+    sampling=None,
+) -> dict:
+    """The canonical (pre-hash) identity payload of one cell.
+
+    ``benchmarks`` is sorted: canonical core placement makes a workload
+    mix a *multiset* of benchmark instances, so permutations of the
+    same benchmarks simulate identically and must share one entry.
+    """
+    return {
+        "schema": KEY_SCHEMA_VERSION,
+        "config": config_to_dict(config),
+        "mix": mix_name,
+        "benchmarks": sorted(benchmarks),
+        "warmup_instructions": scale.warmup_instructions,
+        "measure_instructions": scale.measure_instructions,
+        "seed": seed,
+        "checkers": normalize_checkers(checkers),
+        "sampling": normalize_sampling(sampling),
+    }
+
+
+def cell_key(
+    config: SystemConfig,
+    mix_name: str,
+    benchmarks: Sequence[str],
+    scale: ExperimentScale,
+    seed: int,
+    checkers=None,
+    sampling=None,
+) -> str:
+    """Content hash (64 hex chars) identifying one cell's result."""
+    payload = cell_payload(
+        config, mix_name, benchmarks, scale, seed,
+        checkers=checkers, sampling=sampling,
+    )
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def sweep_fingerprint(payloads: Iterable[dict]) -> str:
+    """A stable fingerprint over a sweep's cell payloads (job naming)."""
+    digest = hashlib.sha256()
+    for payload in payloads:
+        digest.update(canonical_json(payload).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:12]
+
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "canonical_json",
+    "cell_key",
+    "cell_payload",
+    "config_from_dict",
+    "config_to_dict",
+    "normalize_checkers",
+    "normalize_sampling",
+    "scale_from_dict",
+    "scale_to_dict",
+    "sweep_fingerprint",
+]

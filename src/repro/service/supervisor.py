@@ -1,0 +1,560 @@
+"""Worker supervision for the sweep service.
+
+The experiment runner's process isolation (one process per cell
+attempt) is the right tool for a single ``run_matrix`` call; a
+long-running service instead keeps a small pool of *persistent* worker
+processes and supervises them:
+
+* every worker runs a heartbeat thread beside the simulation; the
+  supervisor declares a worker hung when heartbeats stop for longer
+  than ``ServicePolicy.heartbeat_timeout`` — catching livelocks that
+  never trip a wall-clock cell timeout — and SIGKILLs + replaces it;
+* worker death (crash, OOM-kill, chaos SIGKILL) is observed directly
+  via pipe EOF / process sentinel and the worker is respawned; the cell
+  it was running is retried with backoff up to ``retries`` times, then
+  recorded as a :class:`~repro.experiments.runner.CellFailure`;
+* a per-scenario circuit breaker trips after ``breaker_threshold``
+  consecutive failures of the same (config, mix) cell, shedding further
+  attempts of that scenario fast (no worker occupied, no timeout paid)
+  until ``breaker_cooldown`` elapses and a half-open probe is allowed.
+
+Chaos hooks (see :mod:`repro.experiments.faults`): ``kill-worker``
+SIGKILLs the worker mid-cell; ``hb-delay`` stalls only the heartbeat
+thread, so the supervisor must distinguish a hung worker from a slow
+one by silence alone.  The legacy cell faults (``raise``/``crash``/
+``hang``/...) fire inside the attempt as they do under ``run_matrix``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..experiments import faults
+from ..experiments.runner import CellFailure, _run_cell
+from ..system.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Service-level resilience knobs (above the per-cell ``RunPolicy``)."""
+
+    #: Persistent worker processes.
+    workers: int = 2
+    #: Seconds between worker heartbeats.
+    heartbeat_interval: float = 0.1
+    #: Heartbeat silence after which a busy worker is declared hung.
+    heartbeat_timeout: float = 15.0
+    #: Wall-clock budget per cell attempt (``None`` = unbounded).
+    cell_timeout: Optional[float] = None
+    #: Extra attempts per cell after the first.
+    retries: int = 1
+    #: Exponential backoff between attempts of the same cell.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    #: Admission bound: total pending cells across queued jobs.
+    max_pending_cells: int = 4096
+    #: Consecutive failures of one (config, mix) that trip its breaker.
+    breaker_threshold: int = 3
+    #: Seconds an open breaker sheds load before allowing a probe.
+    breaker_cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_interval})"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt``."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+class CircuitBreaker:
+    """Per-scenario failure breaker: closed → open → half-open → closed."""
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._consecutive: Dict[Tuple[str, str], int] = {}
+        self._opened_at: Dict[Tuple[str, str], float] = {}
+        self.trips = 0
+
+    def state(self, key: Tuple[str, str]) -> str:
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return "closed"
+        if time.monotonic() - opened >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self, key: Tuple[str, str]) -> bool:
+        """May this scenario be attempted now?  (Half-open lets one probe.)"""
+        return self.state(key) != "open"
+
+    def record_success(self, key: Tuple[str, str]) -> None:
+        self._consecutive.pop(key, None)
+        self._opened_at.pop(key, None)
+
+    def record_failure(self, key: Tuple[str, str]) -> None:
+        count = self._consecutive.get(key, 0) + 1
+        self._consecutive[key] = count
+        if count >= self.threshold:
+            if key not in self._opened_at:
+                self.trips += 1
+            # (Re)open: a failed half-open probe restarts the cooldown.
+            self._opened_at[key] = time.monotonic()
+
+    def snapshot(self) -> dict:
+        return {
+            "trips": self.trips,
+            "open": sorted(
+                f"{c}/{m}"
+                for (c, m) in self._opened_at
+                if self.state((c, m)) != "closed"
+            ),
+        }
+
+
+@dataclass
+class CellTask:
+    """One cell the supervisor must produce a result (or failure) for."""
+
+    config: SystemConfig
+    mix_name: str
+    benchmarks: Tuple[str, ...]
+    key: str
+    warmup_instructions: int
+    measure_instructions: int
+    seed: int
+    checkers: Optional[str] = None
+    sampling: Optional[str] = None
+    attempt: int = 1
+    elapsed: float = 0.0
+    ready_at: float = 0.0
+
+    def scenario(self) -> Tuple[str, str]:
+        return (self.config.name, self.mix_name)
+
+    def cell_args(self):
+        return (
+            self.config,
+            self.mix_name,
+            tuple(self.benchmarks),
+            self.warmup_instructions,
+            self.measure_instructions,
+            self.seed,
+            self.attempt,
+            self.checkers,
+            self.sampling,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker process side
+
+
+def _heartbeat_loop(conn, send_lock, interval, state) -> None:
+    """Beat until told to stop; a ``hb-delay`` chaos fault stalls us."""
+    while not state["stop"]:
+        stall = state.pop("stall", 0.0)
+        if stall:
+            # Chaos: go silent. The simulation keeps running; only the
+            # supervisor's view of us freezes.
+            time.sleep(stall)
+        try:
+            with send_lock:
+                conn.send(("hb",))
+        except (BrokenPipeError, OSError):
+            return
+        time.sleep(interval)
+
+
+def _service_worker_main(conn, supervisor_conn, heartbeat_interval: float) -> None:
+    """Persistent worker: heartbeat thread + one cell at a time."""
+    if supervisor_conn is not None:
+        # Forked workers inherit the supervisor's end of the pipe; close
+        # our copy so an abruptly dead service (os._exit) EOFs us —
+        # otherwise our own inherited write end keeps recv() blocked
+        # forever and the orphaned worker never exits.
+        supervisor_conn.close()
+    send_lock = threading.Lock()
+    state: dict = {"stop": False}
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(conn, send_lock, heartbeat_interval, state),
+        daemon=True,
+    )
+    beater.start()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "stop":
+                return
+            assert message[0] == "cell"
+            args = message[1]
+            config, mix_name = args[0], args[1]
+            attempt = args[6]
+            delay = faults.service_fault_for(
+                "hb-delay", config.name, mix_name, attempt
+            )
+            if delay is not None:
+                state["stall"] = delay.seconds
+            killer = faults.service_fault_for(
+                "kill-worker", config.name, mix_name, attempt
+            )
+            if killer is not None:
+                # Chaos: die like a segfault, `seconds` into the cell.
+                timer = threading.Timer(
+                    killer.seconds,
+                    lambda: os.kill(os.getpid(), signal.SIGKILL),
+                )
+                timer.daemon = True
+                timer.start()
+            try:
+                _, _, result = _run_cell(args)
+            except Exception as exc:
+                reply = (
+                    "error",
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                )
+            else:
+                reply = ("result", result)
+            try:
+                with send_lock:
+                    conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        state["stop"] = True
+
+
+# ----------------------------------------------------------------------
+# Supervisor side
+
+
+@dataclass
+class _Worker:
+    process: "multiprocessing.process.BaseProcess"
+    conn: "multiprocessing.connection.Connection"
+    busy: Optional[CellTask] = None
+    started: float = 0.0
+    last_heartbeat: float = field(default_factory=time.monotonic)
+
+
+class WorkerSupervisor:
+    """Runs cell tasks on supervised persistent workers."""
+
+    def __init__(self, policy: Optional[ServicePolicy] = None) -> None:
+        self.policy = policy or ServicePolicy()
+        self.breaker = CircuitBreaker(
+            self.policy.breaker_threshold, self.policy.breaker_cooldown
+        )
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self.stats: Dict[str, int] = {
+            "workers_started": 0,
+            "workers_crashed": 0,
+            "workers_hung_killed": 0,
+            "cells_retried": 0,
+            "cells_timed_out": 0,
+        }
+
+    # -- pool management -------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_service_worker_main,
+            args=(child_conn, parent_conn, self.policy.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        self._workers.append(worker)
+        self.stats["workers_started"] += 1
+        return worker
+
+    def _discard_worker(self, worker: _Worker, kill: bool = False) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if kill and worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.kill()
+            worker.process.join()
+
+    def worker_pids(self) -> List[int]:
+        """Live worker PIDs (exposed for external chaos/tests)."""
+        return [
+            w.process.pid
+            for w in self._workers
+            if w.process.is_alive() and w.process.pid is not None
+        ]
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful send, then kill)."""
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._discard_worker(worker)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        tasks: List[CellTask],
+        on_result: Callable[[CellTask, object], None],
+        on_failure: Callable[[CellTask, CellFailure], None],
+        on_shed: Optional[Callable[[CellTask, CellFailure], None]] = None,
+    ) -> None:
+        """Drive ``tasks`` to completion, invoking callbacks as cells land.
+
+        Callbacks run in this thread, between supervision steps, so they
+        may journal/cache without locking against the supervisor.  Tasks
+        whose scenario breaker is open are shed immediately via
+        ``on_shed`` (``on_failure`` when not given).
+        """
+        policy = self.policy
+        shed = on_shed or on_failure
+        pending: List[CellTask] = []
+        for task in tasks:
+            if not self.breaker.allow(task.scenario()):
+                shed(task, _breaker_failure(task))
+                continue
+            pending.append(task)
+
+        while pending or any(w.busy is not None for w in self._workers):
+            now = time.monotonic()
+
+            # Assign ready tasks to idle workers (spawning up to the cap).
+            ready = sorted(
+                (t for t in pending if t.ready_at <= now),
+                key=lambda t: t.ready_at,
+            )
+            for task in ready:
+                worker = next(
+                    (w for w in self._workers if w.busy is None), None
+                )
+                if worker is None:
+                    if len(self._workers) >= policy.workers:
+                        break
+                    worker = self._spawn_worker()
+                pending.remove(task)
+                if not self.breaker.allow(task.scenario()):
+                    # Breaker tripped by a sibling attempt since queuing.
+                    shed(task, _breaker_failure(task))
+                    continue
+                try:
+                    worker.conn.send(("cell", task.cell_args()))
+                except (BrokenPipeError, OSError):
+                    # Died between cells: replace it, task goes back.
+                    self.stats["workers_crashed"] += 1
+                    self._discard_worker(worker, kill=True)
+                    pending.append(task)
+                    continue
+                worker.busy = task
+                worker.started = now
+                worker.last_heartbeat = now
+
+            busy = [w for w in self._workers if w.busy is not None]
+            if not busy:
+                if not pending:
+                    break
+                delay = min(t.ready_at for t in pending) - time.monotonic()
+                if delay > 0:
+                    time.sleep(min(delay, 0.5))
+                continue
+
+            # Sleep until the earliest of: message, heartbeat deadline,
+            # cell timeout, or a backoff window expiring.
+            deadlines = [
+                w.last_heartbeat + policy.heartbeat_timeout for w in busy
+            ]
+            if policy.cell_timeout is not None:
+                deadlines.extend(
+                    w.started + policy.cell_timeout for w in busy
+                )
+            if pending:
+                deadlines.append(min(t.ready_at for t in pending))
+            timeout = max(0.0, min(deadlines) - time.monotonic())
+            wait_on = [w.conn for w in busy] + [w.process.sentinel for w in busy]
+            readable = _connection_wait(wait_on, timeout=timeout)
+
+            now = time.monotonic()
+            for worker in list(busy):
+                if worker.conn in readable:
+                    self._drain(worker, now, pending, on_result, on_failure)
+                elif worker.process.sentinel in readable:
+                    # Process died with nothing left in the pipe.
+                    self._worker_died(worker, now, pending, on_failure)
+
+            now = time.monotonic()
+            for worker in [w for w in self._workers if w.busy is not None]:
+                if now - worker.last_heartbeat >= policy.heartbeat_timeout:
+                    self._worker_hung(worker, now, pending, on_failure)
+                elif (
+                    policy.cell_timeout is not None
+                    and now - worker.started >= policy.cell_timeout
+                ):
+                    self._cell_timed_out(worker, now, pending, on_failure)
+
+    # -- event handlers --------------------------------------------------
+
+    def _drain(self, worker, now, pending, on_result, on_failure) -> None:
+        """Consume every buffered message from one worker."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                self._worker_died(worker, now, pending, on_failure)
+                return
+            kind = message[0]
+            if kind == "hb":
+                worker.last_heartbeat = now
+            elif kind == "result":
+                task = worker.busy
+                worker.busy = None
+                task.elapsed += now - worker.started
+                self.breaker.record_success(task.scenario())
+                on_result(task, message[1])
+            elif kind == "error":
+                task = worker.busy
+                worker.busy = None
+                task.elapsed += now - worker.started
+                self._retry_or_fail(
+                    task, message[1], message[2], message[3],
+                    pending, on_failure,
+                )
+
+    def _worker_died(self, worker, now, pending, on_failure) -> None:
+        task = worker.busy
+        exitcode = worker.process.exitcode
+        self.stats["workers_crashed"] += 1
+        self._discard_worker(worker, kill=True)
+        if task is None:
+            return
+        task.elapsed += now - worker.started
+        self._retry_or_fail(
+            task,
+            "WorkerCrash",
+            f"worker exited with code {exitcode} before reporting a result",
+            "",
+            pending,
+            on_failure,
+        )
+
+    def _worker_hung(self, worker, now, pending, on_failure) -> None:
+        task = worker.busy
+        silence = now - worker.last_heartbeat
+        self.stats["workers_hung_killed"] += 1
+        self._discard_worker(worker, kill=True)
+        if task is None:  # pragma: no cover - busy is checked by caller
+            return
+        task.elapsed += now - worker.started
+        self._retry_or_fail(
+            task,
+            "WorkerHang",
+            f"no heartbeat for {silence:.1f}s "
+            f"(timeout {self.policy.heartbeat_timeout:g}s); worker killed",
+            "",
+            pending,
+            on_failure,
+        )
+
+    def _cell_timed_out(self, worker, now, pending, on_failure) -> None:
+        task = worker.busy
+        self.stats["cells_timed_out"] += 1
+        self._discard_worker(worker, kill=True)
+        task.elapsed += now - worker.started
+        self._retry_or_fail(
+            task,
+            "CellTimeout",
+            f"attempt {task.attempt} exceeded the "
+            f"{self.policy.cell_timeout:g}s wall-clock budget",
+            "",
+            pending,
+            on_failure,
+        )
+
+    def _retry_or_fail(
+        self, task, error_type, message, tb, pending, on_failure
+    ) -> None:
+        self.breaker.record_failure(task.scenario())
+        if task.attempt <= self.policy.retries:
+            delay = self.policy.backoff_delay(task.attempt)
+            task.attempt += 1
+            task.ready_at = time.monotonic() + delay
+            self.stats["cells_retried"] += 1
+            pending.append(task)
+            return
+        on_failure(
+            task,
+            CellFailure(
+                config=task.config.name,
+                mix=task.mix_name,
+                error_type=error_type,
+                message=message,
+                traceback=tb,
+                attempts=task.attempt,
+                elapsed=task.elapsed,
+            ),
+        )
+
+
+def _breaker_failure(task: CellTask) -> CellFailure:
+    return CellFailure(
+        config=task.config.name,
+        mix=task.mix_name,
+        error_type="CircuitOpen",
+        message=(
+            f"scenario ({task.config.name}, {task.mix_name}) circuit "
+            "breaker is open; cell shed without an attempt"
+        ),
+        traceback="",
+        attempts=0,
+        elapsed=task.elapsed,
+    )
+
+
+__all__ = [
+    "CellTask",
+    "CircuitBreaker",
+    "ServicePolicy",
+    "WorkerSupervisor",
+]

@@ -87,10 +87,17 @@ class MachineResult:
 
     @property
     def hmipc(self) -> float:
-        """Harmonic mean IPC (the paper's per-workload metric)."""
+        """Harmonic mean IPC (the paper's per-workload metric).
+
+        The reciprocals are summed in sorted order so the value is
+        bit-identical however the cores are listed (float addition is
+        not associative; canonical placement makes permuted mixes
+        simulate identically and this keeps the reduction identical
+        too).
+        """
         if any(core.ipc <= 0 for core in self.cores):
             return 0.0
-        return len(self.cores) / sum(1.0 / core.ipc for core in self.cores)
+        return len(self.cores) / sum(sorted(1.0 / core.ipc for core in self.cores))
 
 
 class Machine:
@@ -125,6 +132,21 @@ class Machine:
             )
         self.config = config
         self.workload_name = workload_name or "+".join(benchmarks)
+        # Canonical core placement: a workload is a *multiset* of
+        # benchmark instances — the cores are homogeneous, so which
+        # physical slot runs which instance is an implementation detail,
+        # not part of the experiment.  Slots are filled in sorted
+        # benchmark order (ties keep the caller's relative order, so the
+        # k-th occurrence of a repeated benchmark is a stable identity);
+        # per-slot trace seeds and VA bases therefore depend only on the
+        # multiset.  Two permutations of the same mix simulate
+        # identically and share one service-cache entry; results are
+        # still reported in the caller's order (see _build_result).
+        placement = sorted(range(len(benchmarks)), key=lambda i: (benchmarks[i], i))
+        self._slot_of_request = [0] * len(benchmarks)
+        for slot, request_index in enumerate(placement):
+            self._slot_of_request[request_index] = slot
+        placed_benchmarks = [benchmarks[i] for i in placement]
         self.engine = engine if engine is not None else Engine()
         self.registry = StatRegistry()
         dram_capacity = config.dram_capacity
@@ -224,7 +246,7 @@ class Machine:
 
         self.cores: List[Core] = []
         self.l1s: List[L1Cache] = []
-        for core_id, benchmark_name in enumerate(benchmarks):
+        for core_id, benchmark_name in enumerate(placed_benchmarks):
             spec = get_benchmark(benchmark_name)
             l1_prefetcher = None
             if config.l1_prefetch:
@@ -276,7 +298,7 @@ class Machine:
                 self.l2.register_upper_level(l1)
             self.l1s.append(l1)
             self.cores.append(core)
-        self._benchmarks = list(benchmarks)
+        self._benchmarks = placed_benchmarks
 
         # RAS subsystem: fault injection + ECC + degradation, seeded per
         # (experiment seed, config name) so every sweep cell draws an
@@ -490,8 +512,11 @@ class Machine:
 
         Shared by the full-detail collection path and the sampling
         controller (which supplies extrapolated core results plus its
-        ``sample_*`` error annotations in ``extra``).
+        ``sample_*`` error annotations in ``extra``).  ``cores`` arrives
+        in physical slot order (canonical placement) and is reported in
+        the order the caller listed the benchmarks.
         """
+        cores = [cores[slot] for slot in self._slot_of_request]
         total_probes = sum(f.total_probes for f in self.l2_mshr_files)
         total_accesses = sum(f.total_accesses for f in self.l2_mshr_files)
         energy = self.energy_report()

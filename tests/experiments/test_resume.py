@@ -191,6 +191,51 @@ def test_journal_tolerates_torn_final_line(tmp_path, matrix, counted_runs):
     assert counted_runs == [] and len(table.cells) == 4
 
 
+def test_resume_truncates_torn_tail_at_every_offset(tmp_path):
+    """Byte-truncate a journal anywhere inside its final record: resume
+    must (a) keep every record before the tear, (b) physically truncate
+    the torn tail, and (c) leave the journal appendable — the next
+    record must not glue onto torn bytes and corrupt the file."""
+    from repro.experiments.persistence import scan_jsonl
+    from repro.system.machine import CoreResult, MachineResult
+
+    def result(mix):
+        return MachineResult(
+            config_name="base",
+            workload=mix,
+            cores=[CoreResult("mcf", 0.5, 1000.0, 2000.0, 12.0)],
+            total_cycles=2000,
+            l2_stats={"demand_accesses": 10.0},
+            dram_row_hit_rate=0.5,
+            mshr_avg_probes=1.0,
+        )
+
+    signature = journal_signature(["base"], ["M1", "M2"], TINY, 42)
+    master = tmp_path / "master.jsonl"
+    with CellJournal.open(master, signature) as journal:
+        journal.record_result("base", "M1", result("M1"))
+        journal.record_result("base", "M2", result("M2"))
+    intact = master.read_bytes()
+    last_start = intact.rstrip(b"\n").rfind(b"\n") + 1
+
+    for cut in range(last_start, len(intact)):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(intact[:cut])
+        # The trailing newline is the durability marker: every cut
+        # inside the last record (even one keeping all of its JSON but
+        # not the "\n") loses exactly that record and nothing else.
+        completed, _ = CellJournal.load(torn)
+        assert len(completed) == 1, f"cut at byte {cut}"
+
+        with CellJournal.open(torn, signature, resume=True) as journal:
+            journal.record_result("base", "M2", result("M2"))
+        records, valid_bytes = scan_jsonl(torn)
+        assert valid_bytes == torn.stat().st_size, f"cut at byte {cut}"
+        assert len(records) == 3, f"cut at byte {cut}"  # header + M1 + M2
+        completed, _ = CellJournal.load(torn)
+        assert len(completed) == 2, f"cut at byte {cut}"
+
+
 def test_journal_without_resume_restarts(tmp_path, matrix, counted_runs):
     configs, mixes = matrix
     journal = tmp_path / "matrix.journal.jsonl"

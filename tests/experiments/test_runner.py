@@ -11,7 +11,7 @@ from repro.experiments.runner import (
 )
 from repro.system.config import config_3d_fast
 from repro.system.scale import ExperimentScale
-from repro.workloads.mixes import MIXES
+from repro.workloads.mixes import MIXES, WorkloadMix
 
 
 def test_geometric_mean():
@@ -76,6 +76,18 @@ def test_duplicate_config_names_rejected():
     config = _small(config_3d_fast(), "dup")
     with pytest.raises(ValueError):
         run_matrix([config, config], [MIXES["M1"]], TINY, workers=1)
+
+
+def test_duplicate_mix_names_rejected():
+    """Cells are keyed by (config, mix) name in the table, journal, and
+    result cache — duplicated mix names must fail fast, not silently
+    overwrite sibling cells."""
+    config = _small(config_3d_fast(), "base")
+    clone = WorkloadMix(
+        "M1", "M", ("applu", "h264", "astar", "vortex"), 1.0
+    )
+    with pytest.raises(ValueError, match="duplicate mix names"):
+        run_matrix([config], [MIXES["M1"], clone], TINY, workers=1)
 
 
 def test_parallel_workers_match_serial():

@@ -1,0 +1,138 @@
+"""Durable job queue: replay, torn-tail recovery, admission control."""
+
+import pytest
+
+from repro.common.errors import ServiceOverloadError
+from repro.experiments.persistence import scan_jsonl
+from repro.experiments.runner import CellFailure
+from repro.service.queue import CellOutcome, JobQueue, SweepSpec
+from repro.workloads.mixes import MIXES
+
+from .conftest import TINY, small_config
+
+
+def outcome(config="base", mix="M1", source="sim", failure=None):
+    return CellOutcome(
+        config=config, mix=mix, key="k" * 64, source=source, failure=failure
+    )
+
+
+def test_sweep_spec_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate config names"):
+        SweepSpec(
+            configs=(small_config("base"), small_config("base")),
+            mixes=(MIXES["M1"],), scale=TINY,
+        )
+    with pytest.raises(ValueError, match="duplicate mix names"):
+        SweepSpec(
+            configs=(small_config("base"),),
+            mixes=(MIXES["M1"], MIXES["M1"]), scale=TINY,
+        )
+
+
+def test_sweep_spec_round_trips(tiny_spec):
+    rebuilt = SweepSpec.from_dict(tiny_spec.to_dict())
+    assert rebuilt == tiny_spec
+    assert rebuilt.fingerprint() == tiny_spec.fingerprint()
+
+
+def test_submit_and_replay(tmp_path, tiny_spec):
+    path = tmp_path / "queue.jsonl"
+    with JobQueue.open(path) as queue:
+        job_id = queue.submit(tiny_spec)
+        assert job_id.startswith("job-0001-")
+        queue.set_state(job_id, "running")
+        queue.record_cell(job_id, outcome())
+
+    with JobQueue.open(path) as reopened:
+        job = reopened.jobs[job_id]
+        assert job.spec == tiny_spec
+        assert ("base", "M1") in job.outcomes
+        assert job.outcomes[("base", "M1")].source == "sim"
+        # Interrupted mid-run: back to queued, flagged recovered.
+        assert job.state == "queued" and job.recovered
+        assert len(job.remaining_cells()) == 3
+
+
+def test_job_ids_are_deterministic_and_unique(tmp_path, tiny_spec):
+    with JobQueue.open(tmp_path / "q.jsonl") as queue:
+        first = queue.submit(tiny_spec)
+        second = queue.submit(tiny_spec)
+    assert first != second  # same content, distinct submissions
+    assert first.split("-", 2)[2] == second.split("-", 2)[2]  # same fingerprint
+
+
+def test_failure_outcomes_replay(tmp_path, tiny_spec):
+    path = tmp_path / "queue.jsonl"
+    failure = CellFailure(
+        config="base", mix="M1", error_type="InjectedFault",
+        message="boom", traceback="tb", attempts=2, elapsed=0.5,
+    )
+    with JobQueue.open(path) as queue:
+        job_id = queue.submit(tiny_spec)
+        queue.record_cell(job_id, outcome(source="failure", failure=failure))
+    with JobQueue.open(path) as reopened:
+        restored = reopened.jobs[job_id].outcomes[("base", "M1")]
+        assert not restored.ok
+        assert restored.failure.error_type == "InjectedFault"
+        assert restored.failure.attempts == 2
+
+
+def test_torn_final_record_is_truncated_and_appendable(tmp_path, tiny_spec):
+    path = tmp_path / "queue.jsonl"
+    with JobQueue.open(path) as queue:
+        job_id = queue.submit(tiny_spec)
+        queue.record_cell(job_id, outcome())
+        queue.record_cell(job_id, outcome(mix="M3"))
+    intact = path.read_bytes()
+    last_start = intact.rstrip(b"\n").rfind(b"\n") + 1
+    # Tear the last record in half (kill -9 mid-append).
+    path.write_bytes(intact[: last_start + (len(intact) - last_start) // 2])
+
+    with JobQueue.open(path) as reopened:
+        job = reopened.jobs[job_id]
+        assert ("base", "M1") in job.outcomes  # survived
+        assert ("base", "M3") not in job.outcomes  # torn away
+        reopened.record_cell(job_id, outcome(mix="M3"))
+    records, valid_bytes = scan_jsonl(path)
+    assert valid_bytes == path.stat().st_size  # no glued/corrupt tail
+    assert [r["kind"] for r in records].count("cell") == 2
+
+
+def test_completed_jobs_pending_count_is_zero(tmp_path, tiny_spec):
+    with JobQueue.open(tmp_path / "q.jsonl") as queue:
+        job_id = queue.submit(tiny_spec)
+        assert queue.pending_cell_count() == 4
+        queue.set_state(job_id, "completed")
+        assert queue.pending_cell_count() == 0
+
+
+def test_admission_control_sheds_by_cell_count(tmp_path, tiny_spec):
+    with JobQueue.open(tmp_path / "q.jsonl", max_pending_cells=6) as queue:
+        queue.submit(tiny_spec)  # 4 pending cells
+        with pytest.raises(ServiceOverloadError, match="queue full"):
+            queue.submit(tiny_spec)  # 4 + 4 > 6
+
+        # Progress frees admission capacity.
+        job = queue.next_queued()
+        for config, mix in list(job.spec.cells())[:2]:
+            queue.record_cell(
+                job.job_id, outcome(config=config.name, mix=mix.name)
+            )
+        queue.submit(tiny_spec)  # 2 + 4 <= 6: admitted
+
+
+def test_rejects_foreign_journal(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text('{"kind": "submit"}\n')
+    with pytest.raises(ValueError, match="not a job-queue journal"):
+        JobQueue.open(path)
+
+
+def test_next_queued_is_fifo(tmp_path, tiny_spec, one_cell_spec):
+    with JobQueue.open(tmp_path / "q.jsonl") as queue:
+        first = queue.submit(tiny_spec)
+        queue.submit(one_cell_spec)
+        assert queue.next_queued().job_id == first
+        queue.set_state(first, "completed")
+        assert queue.next_queued().spec == one_cell_spec

@@ -1,0 +1,169 @@
+"""End-to-end SweepService: cache hits, crash recovery, degradation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import InjectedServiceCrash, ServiceOverloadError
+from repro.experiments import faults
+from repro.experiments.faults import FaultSpec, ServiceFaultSpec
+from repro.service.cache import ResultCache
+from repro.service.chaos import (
+    cache_entry_paths,
+    corrupt_cache_entry,
+    result_fingerprint,
+)
+from repro.service.service import SweepService
+
+from .conftest import small_config
+
+
+def run_sweep(root, policy, spec, job_id=None):
+    """Open a service, run one sweep (or resume), return (result, stats)."""
+    with SweepService(root, policy) as service:
+        if job_id is None:
+            job_id = service.submit(spec)
+        service.process()
+        return service.result(job_id), service.stats()
+
+
+def test_sweep_completes_with_full_provenance(tmp_path, fast_policy, tiny_spec):
+    result, stats = run_sweep(tmp_path, fast_policy, tiny_spec)
+    assert result.complete and result.state == "completed"
+    assert len(result.table.cells) == 4 and not result.table.failures
+    assert set(result.provenance.values()) == {"simulated"}
+    assert result.notes == []
+    assert stats["service"]["cells_simulated"] == 4
+    assert stats["service"]["cells_from_cache"] == 0
+
+
+def test_resubmit_is_all_cache_and_bit_identical(tmp_path, fast_policy, tiny_spec):
+    first, _ = run_sweep(tmp_path, fast_policy, tiny_spec)
+    second, stats = run_sweep(tmp_path, fast_policy, tiny_spec)
+    assert stats["service"]["cells_simulated"] == 0
+    assert stats["service"]["cells_from_cache"] == 4
+    assert set(second.provenance.values()) == {"cache"}
+    assert result_fingerprint(second) == result_fingerprint(first)
+
+
+def test_cache_is_shared_across_overlapping_sweeps(
+    tmp_path, fast_policy, tiny_spec, one_cell_spec
+):
+    run_sweep(tmp_path, fast_policy, one_cell_spec)
+    _, stats = run_sweep(tmp_path, fast_policy, tiny_spec)
+    # (base, M1) overlaps; only the other 3 cells simulate.
+    assert stats["service"]["cells_from_cache"] == 1
+    assert stats["service"]["cells_simulated"] == 3
+
+
+def test_crash_mid_sweep_resumes_bit_identical(tmp_path, fast_policy, tiny_spec):
+    reference, _ = run_sweep(tmp_path / "ref", fast_policy, tiny_spec)
+
+    # One worker → cells journal in submission order → the crash lands
+    # deterministically after the second of four cells.
+    policy = dataclasses.replace(fast_policy, workers=1)
+    faults.install_service(ServiceFaultSpec("crash-service", "base", "M3", times=1))
+    service = SweepService(tmp_path / "svc", policy)
+    job_id = service.submit(tiny_spec)
+    with pytest.raises(InjectedServiceCrash):
+        service.process()
+    done_before = len(service.queue.jobs[job_id].outcomes)
+    service.close()
+    assert 0 < done_before < 4  # genuinely interrupted mid-sweep
+    faults.clear_service()
+
+    resumed, stats = run_sweep(tmp_path / "svc", policy, tiny_spec, job_id)
+    assert resumed.complete
+    assert "resumed from its journal" in " ".join(resumed.notes)
+    # Only the cells the crash cut off run again; journaled ones are kept.
+    total = (
+        stats["service"]["cells_simulated"]
+        + stats["service"]["cells_from_cache"]
+    )
+    assert total == 4 - done_before
+    assert result_fingerprint(resumed) == result_fingerprint(reference)
+
+
+def test_corrupted_cache_entry_recomputed_never_served(
+    tmp_path, fast_policy, tiny_spec
+):
+    first, _ = run_sweep(tmp_path, fast_policy, tiny_spec)
+    corrupt_cache_entry(ResultCache(tmp_path / "cache"))
+
+    second, stats = run_sweep(tmp_path, fast_policy, tiny_spec)
+    assert second.complete
+    assert stats["cache"]["corrupt_quarantined"] == 1
+    assert stats["service"]["cells_simulated"] == 1  # only the bad one
+    assert stats["service"]["cells_from_cache"] == 3
+    assert result_fingerprint(second) == result_fingerprint(first)
+
+
+def test_failed_cells_degrade_to_partial_table(tmp_path, fast_policy, tiny_spec):
+    policy = dataclasses.replace(fast_policy, retries=0)
+    faults.install(FaultSpec("raise", "base", "M1", times=-1))
+    result, stats = run_sweep(tmp_path, policy, tiny_spec)
+    assert not result.complete and result.state == "completed"
+    assert len(result.table.cells) == 3  # the healthy cells survive
+    assert result.provenance[("base", "M1")] == "failed"
+    failure = result.table.failures[("base", "M1")]
+    assert failure.error_type == "InjectedFault"
+    assert any("unavailable" in note for note in result.notes)
+    assert stats["service"]["cells_failed"] == 1
+
+
+def test_pending_cells_reported_before_processing(
+    tmp_path, fast_policy, tiny_spec
+):
+    with SweepService(tmp_path, fast_policy) as service:
+        job_id = service.submit(tiny_spec)
+        result = service.result(job_id)
+        assert not result.complete and result.state == "queued"
+        assert set(result.provenance.values()) == {"pending"}
+        assert any("not yet run" in note for note in result.notes)
+        status = service.status(job_id)
+        assert status["cells_total"] == 4 and status["cells_done"] == 0
+
+
+def test_admission_control_rejects_when_full(tmp_path, fast_policy, tiny_spec):
+    policy = dataclasses.replace(fast_policy, max_pending_cells=4)
+    with SweepService(tmp_path, policy) as service:
+        service.submit(tiny_spec)
+        with pytest.raises(ServiceOverloadError):
+            service.submit(tiny_spec)
+
+
+def test_lost_cache_entry_degrades_not_garbage(tmp_path, fast_policy, tiny_spec):
+    """Journal says done, entry deleted after the fact: report, don't lie."""
+    with SweepService(tmp_path, fast_policy) as service:
+        job_id = service.submit(tiny_spec)
+        service.process()
+    for path in cache_entry_paths(ResultCache(tmp_path / "cache")):
+        path.unlink()
+    with SweepService(tmp_path, fast_policy) as service:
+        result = service.result(job_id)
+    assert not result.complete
+    assert set(result.provenance.values()) == {"lost"}
+    assert all(
+        f.error_type == "CacheEntryLost" for f in result.table.failures.values()
+    )
+    assert any("lost to cache corruption" in note for note in result.notes)
+
+
+def test_unknown_job_raises(tmp_path, fast_policy):
+    with SweepService(tmp_path, fast_policy) as service:
+        with pytest.raises(KeyError):
+            service.status("job-9999-cafecafecafe")
+        with pytest.raises(KeyError):
+            service.result("job-9999-cafecafecafe")
+        with pytest.raises(KeyError):
+            service.process("job-9999-cafecafecafe")
+
+
+def test_config_knob_change_misses_cache(tmp_path, fast_policy, one_cell_spec):
+    run_sweep(tmp_path, fast_policy, one_cell_spec)
+    tweaked = dataclasses.replace(
+        one_cell_spec, configs=(small_config("base", rob_size=128),)
+    )
+    _, stats = run_sweep(tmp_path, fast_policy, tweaked)
+    assert stats["service"]["cells_simulated"] == 1
+    assert stats["service"]["cells_from_cache"] == 0

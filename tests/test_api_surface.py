@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.stack3d",
     "repro.system",
     "repro.experiments",
+    "repro.service",
 ]
 
 
