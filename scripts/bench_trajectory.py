@@ -265,6 +265,123 @@ def bench_figure4_smoke(repeats):
     }
 
 
+def _hitloop_spec():
+    """A bench-only workload: a tight loop over an L1-resident footprint.
+
+    After the first sweep warms the 16 KiB region into the 32 KiB L1,
+    every reference hits, so the batched machine spends its time in the
+    fused L1-hit-run path — this is the workload that isolates the
+    array-batched core loop (docs/performance.md).  Registered into
+    ``BENCHMARKS`` on demand so ``Machine`` can resolve it by name; it is
+    not part of the paper's Table 2 mapping.
+    """
+    from repro.workloads import synthetic as syn
+    from repro.workloads.benchmarks import BENCHMARKS, BenchmarkSpec
+
+    name = "_hitloop"
+    if name not in BENCHMARKS:
+        BENCHMARKS[name] = BenchmarkSpec(
+            name,
+            "Micro",
+            0.0,
+            lambda base, seed: syn.sequential_scan(
+                base, footprint=16 * 1024, stride=64, gap=0, seed=seed
+            ),
+            base_cpi=0.5,
+            batch_factory=lambda base, seed: syn.sequential_scan_batches(
+                base, footprint=16 * 1024, stride=64, gap=0, seed=seed
+            ),
+        )
+    return name
+
+
+def bench_core_loop(repeats):
+    """Tentpole metric: the array-batched core loop on an L1-hit workload.
+
+    One core, L1-resident footprint, 100k measured instructions: the
+    scalar machine replays it one dispatch event per reference, the
+    batched machine consumes whole hit runs per event through the fused
+    path.  ``value`` is the wall-clock speedup batched-over-scalar —
+    a ratio, so it tracks the fast path's advantage independently of
+    host drift.  Bit-identical statistics between the two modes are
+    asserted here and, more thoroughly, by ``diff_validate --batched``.
+    """
+    name = _hitloop_spec()
+    config = config_2d().derive(name="2D-1c", num_cores=1)
+
+    def run(batched):
+        def go():
+            machine = Machine(
+                config, [name], seed=SMOKE_SEED,
+                workload_name="hitloop", batched=batched,
+            )
+            result = machine.run(
+                warmup_instructions=2_000, measure_instructions=100_000,
+            )
+            return result.hmipc, machine.engine.events_fired
+        return go
+
+    scalar_seconds, (scalar_ipc, scalar_events) = best_of(run(False), repeats)
+    batched_seconds, (batched_ipc, batched_events) = best_of(run(True), repeats)
+    assert scalar_ipc == batched_ipc, (
+        f"batched hmipc diverged: {scalar_ipc} != {batched_ipc}"
+    )
+    return {
+        "value": scalar_seconds / batched_seconds,
+        "unit": "speedup_vs_scalar",
+        "higher_is_better": True,
+        "wall_seconds": scalar_seconds + batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "scalar_events": scalar_events,
+        "batched_events": batched_events,
+    }
+
+
+def bench_trace_gen(items, repeats):
+    """Columnar trace production vs the per-item generator (items/sec).
+
+    Consumes the same S.copy-shaped stream both ways: the native
+    ``TraceBatch`` producer fills columns in bulk; the per-item path
+    yields one ``TraceItem`` per reference.  ``value`` is the columnar
+    producer's throughput; ``speedup_vs_scalar`` the ratio.
+    """
+    from repro.workloads import synthetic as syn
+
+    def run_batched():
+        produced = 0
+        gen = syn.stream_kernel_batches(
+            0, array_bytes=8 * (1 << 20), reads_per_element=1,
+            writes_per_element=1, gap=0,
+        )
+        while produced < items:
+            produced += next(gen).length
+        return produced
+
+    def run_scalar():
+        gen = syn.stream_kernel(
+            0, array_bytes=8 * (1 << 20), reads_per_element=1,
+            writes_per_element=1, gap=0,
+        )
+        produced = 0
+        for _ in gen:
+            produced += 1
+            if produced >= items:
+                break
+        return produced
+
+    batched_seconds, produced = best_of(run_batched, repeats)
+    scalar_seconds, _ = best_of(run_scalar, repeats)
+    return {
+        "value": produced / batched_seconds,
+        "unit": "items/sec",
+        "higher_is_better": True,
+        "wall_seconds": batched_seconds + scalar_seconds,
+        "scalar_items_per_sec": items / scalar_seconds,
+        "speedup_vs_scalar": scalar_seconds / batched_seconds * (produced / items),
+    }
+
+
 def bench_figure4_rasoff(repeats):
     """Guard metric: RAS seams must stay ~free on the fault-free path.
 
@@ -370,6 +487,8 @@ def run_suite(quick):
         "mshr_vbf": bench_mshr(lambda: VbfMshr(32), ops, repeats),
         "mshr_conventional": bench_mshr(lambda: ConventionalMshr(32), ops, repeats),
         "dram_bank": bench_dram_bank(ops, repeats),
+        "core_loop": bench_core_loop(1 if quick else 3),
+        "trace_gen": bench_trace_gen(200_000 if quick else 1_000_000, repeats),
         "figure4_smoke": bench_figure4_smoke(1 if quick else 2),
         "figure4_rasoff": bench_figure4_rasoff(2 if quick else 3),
         "figure4_sampled": bench_figure4_sampled(1 if quick else 2),

@@ -12,6 +12,10 @@ Modes:
      arrays overclocked to 0.5x) **is caught** by the timing checker,
      which names the violated constraint.
 
+  With ``--batched`` the smoke additionally diffs the scalar core loop
+  against the array-batched fused fast path — plain, checker-enabled
+  and sampled — and fails on any transcript or stat divergence.
+
 * ``--engines``: diff the two engines on a chosen config/mix/scale and
   print the report (first divergence with cycle, command and bank
   state when they differ).
@@ -112,6 +116,34 @@ def cmd_smoke(args) -> int:
     else:
         print("checkers attached: transcript unchanged, all invariants held")
 
+    # Batched-vs-scalar: the fused fast path is an execution-strategy
+    # change only, so scalar and batched cores must match bit-for-bit —
+    # plain, with checkers attached (scalar-fallback seam), and under a
+    # sampling plan (skip-ahead seam).
+    if args.batched:
+        from repro.sampling.plan import SamplingPlan
+        from repro.validate import diff_batched
+
+        variants = [
+            ("batched differential", {}),
+            ("batched differential (checkers)", {"checkers": "all"}),
+            (
+                "batched differential (sampled)",
+                {"sampling": SamplingPlan()},
+            ),
+        ]
+        for name, kwargs in variants:
+            breport, _, _ = diff_batched(
+                config, list(mix.benchmarks),
+                warmup=scale.warmup_instructions,
+                measure=scale.measure_instructions,
+                seed=args.seed, workload_name=mix.name,
+                **kwargs,
+            )
+            print(f"[{name}] {breport.format()}")
+            if not breport.identical:
+                failures.append(f"{name}: transcripts/stats diverged")
+
     # 3. A seeded timing bug must be caught and named.
     faults.install(faults.parse_fault("timing:*:*:-1:0.5"))
     try:
@@ -150,6 +182,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--check", action="store_true",
                         help="also attach runtime checkers (--engines)")
+    parser.add_argument("--batched", action="store_true",
+                        help="with --smoke: also diff scalar vs batched "
+                             "cores (plain, checker-enabled, sampled)")
     parser.add_argument("--preset-a", default="2d",
                         choices=["2d", "3d-commodity", "true-3d"])
     parser.add_argument("--preset-b", default="true-3d",

@@ -92,6 +92,9 @@ class BankedL2Cache:
         self._bank_mask = (
             num_banks - 1 if num_banks & (num_banks - 1) == 0 else None
         )
+        # MSHR-bank routing resolved once: the single-file case (every
+        # streamlined configuration) skips the per-access length checks.
+        self._single_mshr_file = len(self.mshr_files) == 1
         self.prefetcher = prefetcher
         self.request_bus = request_bus
         self.mshr_latency_enabled = mshr_latency_enabled
@@ -137,7 +140,12 @@ class BankedL2Cache:
         at the L2 edge; WRITEBACKs are posted and complete at tag time.
         """
         engine = self.engine
-        bank = self.bank_index(request.addr)
+        addr = request.addr
+        mask = self._bank_mask
+        if mask is not None:
+            bank = (addr >> self._bank_shift) & mask
+        else:
+            bank = (addr >> self._bank_shift) % self.num_banks
         arrival = engine.now + self.routing_latency
         free_at = self._bank_free_at[bank]
         start = arrival if arrival > free_at else free_at
@@ -149,16 +157,18 @@ class BankedL2Cache:
     # ------------------------------------------------------------------
     def _tag_check(self, request: MemoryRequest) -> None:
         now = self.engine.now
-        line = self.array.align(request.addr)
+        array = self.array
+        line = request.addr & array._align_mask
         self._c_accesses.value += 1.0
-        demand = request.access.is_demand
+        access = request.access
+        demand = access.is_demand
         if demand:
             self._core_demand_counter(
                 self._core_demand_accesses, "accesses", request.core_id
             ).value += 1.0
-        hit = self.array.lookup(line)
+        hit = array.lookup(line)
 
-        if request.access is AccessType.WRITEBACK:
+        if access is AccessType.WRITEBACK:
             if hit:
                 self.array.mark_dirty(line)
                 self._c_writeback_hits.value += 1.0
@@ -191,9 +201,9 @@ class BankedL2Cache:
             self._train_prefetcher(
                 request.addr, request.pc, request.core_id, was_miss=True
             )
-        elif request.access is AccessType.PREFETCH:
+        elif access is AccessType.PREFETCH:
             self._c_prefetch_misses.value += 1.0
-        self._mshr_path(request)
+        self._mshr_path(request, line)
 
     def _core_demand_counter(self, cache, kind, core_id):
         """Cached per-core demand counter (key ``core<N>_demand_<kind>``)."""
@@ -203,10 +213,16 @@ class BankedL2Cache:
             cache[core_id] = slot
         return slot
 
-    def _mshr_path(self, request: MemoryRequest) -> None:
+    def _mshr_path(
+        self, request: MemoryRequest, line: Optional[int] = None
+    ) -> None:
         """Search/allocate the MSHR bank; stall the request when full."""
-        line = self.array.align(request.addr)
-        bank_idx = self.mshr_bank_index(request.addr)
+        if line is None:
+            line = request.addr & self.array._align_mask
+        if self._single_mshr_file:
+            bank_idx = 0
+        else:
+            bank_idx = self.mshr_bank_index(request.addr)
         file = self.mshr_files[bank_idx]
 
         entry, probes = file.search(line)
@@ -230,19 +246,21 @@ class BankedL2Cache:
 
         new_entry.merge(request)
         new_entry.is_prefetch = request.access is AccessType.PREFETCH
-        stall_start = request.annotations.pop("mshr_stall_start", None)
-        if stall_start is not None:
-            self._c_mshr_stall_cycles.value += self.engine.now - stall_start
+        engine = self.engine
+        if request.annotations:
+            stall_start = request.annotations.pop("mshr_stall_start", None)
+            if stall_start is not None:
+                self._c_mshr_stall_cycles.value += engine.now - stall_start
         mem_request = MemoryRequest.acquire(
             line,
             AccessType.READ,
-            core_id=request.core_id,
-            pc=request.pc,
-            created_at=self.engine.now,
-            callback=lambda mr, e=new_entry, b=bank_idx: self._fill(e, b, mr),
+            request.core_id,
+            request.pc,
+            engine.now,
+            lambda mr, e=new_entry, b=bank_idx: self._fill(e, b, mr),
         )
         delay = probes if self.mshr_latency_enabled else 1
-        self.engine.schedule(delay, self._send_to_memory, mem_request)
+        engine.schedule(delay, self._send_to_memory, mem_request)
 
     def _send_to_memory(self, mem_request: MemoryRequest) -> None:
         if self.request_bus is not None:
@@ -298,13 +316,21 @@ class BankedL2Cache:
         probes = file.deallocate(line)
         delay = probes if self.mshr_latency_enabled else 1
 
+        engine = self.engine
+        schedule_at = engine.schedule_at
+        prefetch = AccessType.PREFETCH
         respond_at = now + delay + self.routing_latency
         for waiting in entry.requests:
-            if waiting.access is AccessType.PREFETCH:
+            if waiting.access is prefetch:
                 waiting.complete(respond_at - self.routing_latency)
             else:
-                self.engine.schedule_at(respond_at, waiting.complete, respond_at)
-        self.engine.schedule(delay, self._drain_mshr_waiters, bank_idx)
+                schedule_at(respond_at, waiting.complete, respond_at)
+        # Only a non-empty waiter queue needs a drain pass.  A waiter
+        # that arrives later necessarily found the file full again, and
+        # the deallocate that next frees a slot schedules its own drain
+        # then — so no waiter can be stranded by skipping this event.
+        if self._mshr_waiters[bank_idx]:
+            engine.schedule(delay, self._drain_mshr_waiters, bank_idx)
         # The memory-side fetch has served its purpose.
         mem_request.release()
 

@@ -161,7 +161,11 @@ class MemoryRequest:
         self.is_write = access.is_write
         self.row_buffer_hit = None
         self.mshr_probes = 0
-        self.annotations = {}
+        # Recycled objects keep their (almost always empty) annotations
+        # dict instead of allocating a fresh one per acquire.
+        ann = self.annotations
+        if ann:
+            ann.clear()
         self.poisoned = False
         self._released = False
         return self

@@ -1,15 +1,38 @@
-"""Trace item type consumed by the core model.
+"""Trace item and columnar trace-batch types consumed by the core model.
 
 Workload generators yield an endless stream of :class:`TraceItem`; the
 core model executes them against the cache hierarchy.  ``gap`` is the
 number of non-memory instructions preceding this memory operation, so
 cumulative instruction counts (and therefore IPC and MPKI denominators)
 are reconstructed exactly.
+
+Two representations exist:
+
+* **Row form** — :class:`TraceItem`, one NamedTuple per memory op.  The
+  original interface; every consumer of ``Iterator[TraceItem]`` keeps
+  working unchanged.
+* **Columnar form** — :class:`TraceBatch`, a structure-of-arrays chunk
+  (``array('q')``/``array('b')`` columns for gap/addr/pc/is_write) plus
+  lazily computed derived columns (virtual line address, L1 set index)
+  keyed by cache geometry.  The batched core fast path indexes these
+  columns directly instead of materialising one NamedTuple per op.
+
+:func:`batch_iter` chunks any row-form trace into batches;
+:class:`BatchedTrace` wraps a batch stream and serves *both* interfaces
+from one shared cursor, so row-form and batch-form consumers observe a
+single consistent position.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, NamedTuple
+from array import array
+from itertools import islice
+from typing import Iterable, Iterator, NamedTuple, Optional, Tuple
+
+#: Default number of trace items per columnar batch.  Large enough to
+#: amortise per-batch Python overhead, small enough that derived-column
+#: computation stays cache-friendly.
+TRACE_BATCH_SIZE = 1024
 
 
 class TraceItem(NamedTuple):
@@ -25,9 +48,207 @@ class TraceItem(NamedTuple):
 Trace = Iterator[TraceItem]
 
 
-def instructions_per_item(trace_sample: "list[TraceItem]") -> float:
-    """Average instructions represented per trace item (gap + the op)."""
-    if not trace_sample:
+class DerivedColumns(NamedTuple):
+    """Geometry-dependent columns precomputed for one :class:`TraceBatch`.
+
+    All values are derived from the *virtual* address column; they stay
+    valid after translation because the simulator's page size is never
+    smaller than ``num_sets * line_size`` (checked by the core before
+    enabling the fused path).
+    """
+
+    vlines: list  # addr >> line_shift (virtual line number)
+    vpns: list  # addr >> page_shift (virtual page number)
+    line_offsets: list  # line-aligned offset within the page
+    sets: list  # L1 set index
+
+
+class TraceBatch:
+    """A structure-of-arrays chunk of consecutive trace items.
+
+    Columns are stdlib ``array`` objects: ``'q'`` (signed 64-bit) for
+    ``gaps``/``addrs``/``pcs`` and ``'b'`` for ``writes`` (0/1).  Reading
+    ``batch.addrs[i]`` costs one C-level index instead of attribute
+    access on a per-item object, and whole-column operations (sums,
+    comprehensions) run at C iteration speed.
+    """
+
+    __slots__ = ("gaps", "addrs", "writes", "pcs", "length",
+                 "_geom_key", "_derived")
+
+    def __init__(
+        self,
+        gaps: Iterable[int],
+        addrs: Iterable[int],
+        writes: Iterable[int],
+        pcs: Iterable[int],
+    ) -> None:
+        self.gaps = gaps if isinstance(gaps, array) else array("q", gaps)
+        self.addrs = addrs if isinstance(addrs, array) else array("q", addrs)
+        self.writes = (
+            writes if isinstance(writes, array) else array("b", writes)
+        )
+        self.pcs = pcs if isinstance(pcs, array) else array("q", pcs)
+        self.length = len(self.gaps)
+        if not (
+            len(self.addrs) == len(self.writes) == len(self.pcs)
+            == self.length
+        ):
+            raise ValueError("trace batch columns must have equal length")
+        self._geom_key: Optional[Tuple[int, int, int, int]] = None
+        self._derived: Optional[DerivedColumns] = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[TraceItem]:
+        gaps, addrs, writes, pcs = self.gaps, self.addrs, self.writes, self.pcs
+        for i in range(self.length):
+            yield TraceItem(gaps[i], addrs[i], bool(writes[i]), pcs[i])
+
+    def item(self, i: int) -> TraceItem:
+        """Row-form view of entry ``i``."""
+        return TraceItem(
+            self.gaps[i], self.addrs[i], bool(self.writes[i]), self.pcs[i]
+        )
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions this batch represents (gaps + the ops)."""
+        return sum(self.gaps) + self.length
+
+    def derived(
+        self, page_shift: int, line_shift: int, set_mask: int
+    ) -> DerivedColumns:
+        """Geometry-derived columns, cached per geometry.
+
+        ``line_offsets`` is the line-aligned offset of each address
+        within its page; combined with a frame number it reconstructs
+        the physical line address without re-decomposing the address.
+        """
+        key = (page_shift, line_shift, set_mask, self.length)
+        if self._geom_key == key and self._derived is not None:
+            return self._derived
+        addrs = self.addrs
+        page_off_mask = (1 << page_shift) - 1 & ~((1 << line_shift) - 1)
+        vlines = [a >> line_shift for a in addrs]
+        vpns = [a >> page_shift for a in addrs]
+        line_offsets = [a & page_off_mask for a in addrs]
+        sets = [v & set_mask for v in vlines]
+        self._geom_key = key
+        self._derived = DerivedColumns(vlines, vpns, line_offsets, sets)
+        return self._derived
+
+
+def batch_iter(
+    trace: Iterable[TraceItem], size: int = TRACE_BATCH_SIZE
+) -> Iterator[TraceBatch]:
+    """Chunk any row-form trace into :class:`TraceBatch` objects.
+
+    The adapter keeping per-item generators usable by the batched core:
+    finite traces end with a final partial batch; endless traces chunk
+    forever.
+    """
+    if size < 1:
+        raise ValueError("batch size must be >= 1")
+    it = iter(trace)
+    while True:
+        chunk = list(islice(it, size))
+        if not chunk:
+            return
+        yield TraceBatch(
+            array("q", [item[0] for item in chunk]),
+            array("q", [item[1] for item in chunk]),
+            array("b", [1 if item[2] else 0 for item in chunk]),
+            array("q", [item[3] for item in chunk]),
+        )
+
+
+class BatchCursor:
+    """Mutable read position over a stream of :class:`TraceBatch`.
+
+    The batched core reads ``cursor.batch`` columns directly at
+    ``cursor.index`` and bumps the index itself inside the fused loop;
+    scalar consumers call :meth:`next_item`.  Both observe the same
+    position.
+    """
+
+    __slots__ = ("batch", "index", "_source")
+
+    def __init__(self, batches: Iterator[TraceBatch]) -> None:
+        self._source = batches
+        self.batch: Optional[TraceBatch] = None
+        self.index = 0
+
+    def advance_batch(self) -> TraceBatch:
+        """Load the next batch (raises StopIteration when exhausted)."""
+        self.batch = next(self._source)
+        self.index = 0
+        return self.batch
+
+    def next_item(self) -> TraceItem:
+        """Consume one item in row form (raises StopIteration at end)."""
+        batch = self.batch
+        i = self.index
+        if batch is None or i >= batch.length:
+            batch = self.advance_batch()
+            i = 0
+        self.index = i + 1
+        return TraceItem(
+            batch.gaps[i], batch.addrs[i], bool(batch.writes[i]),
+            batch.pcs[i],
+        )
+
+
+class BatchedTrace:
+    """A trace held in columnar form, usable through both interfaces.
+
+    Iterating it yields :class:`TraceItem` (drop-in for ``Trace``);
+    :meth:`cursor` exposes the shared :class:`BatchCursor` for the fused
+    core path.  Because both views share one cursor, a consumer that
+    mixes them never sees an item twice or skips one.
+    """
+
+    __slots__ = ("_cursor",)
+
+    def __init__(self, batches: Iterator[TraceBatch]) -> None:
+        self._cursor = BatchCursor(iter(batches))
+
+    def cursor(self) -> BatchCursor:
+        return self._cursor
+
+    def __iter__(self) -> "BatchedTrace":
+        return self
+
+    def __next__(self) -> TraceItem:
+        return self._cursor.next_item()
+
+
+def as_batched(
+    trace: Iterable[TraceItem], size: int = TRACE_BATCH_SIZE
+) -> BatchedTrace:
+    """Wrap any trace in columnar form (no-op for BatchedTrace)."""
+    if isinstance(trace, BatchedTrace):
+        return trace
+    return BatchedTrace(batch_iter(trace, size))
+
+
+def instructions_per_item(trace_sample: Iterable) -> float:
+    """Average instructions represented per trace item (gap + the op).
+
+    Accepts any iterable of :class:`TraceItem` and/or :class:`TraceBatch`
+    (batches count each contained item) and computes the mean in one
+    pass.
+    """
+    total = 0
+    count = 0
+    for entry in trace_sample:
+        if isinstance(entry, TraceBatch):
+            total += entry.instructions
+            count += entry.length
+        else:
+            total += entry.gap + 1
+            count += 1
+    if count == 0:
         return 0.0
-    total = sum(item.gap + 1 for item in trace_sample)
-    return total / len(trace_sample)
+    return total / count

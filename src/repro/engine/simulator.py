@@ -30,6 +30,7 @@ simulator does this; use :class:`HeapEngine` if an experiment needs it.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional
@@ -96,6 +97,24 @@ class Engine:
     #: then stops growing the heap unboundedly under cancel-heavy loads.
     COMPACT_MIN_CANCELLED = 64
 
+    # Every hot path reads engine state (`now` above all); slot storage
+    # turns those per-event dict probes into index loads.
+    __slots__ = (
+        "_horizon",
+        "_mask",
+        "_wheel",
+        "_wheel_count",
+        "_heap",
+        "_heap_cancelled",
+        "now",
+        "_seq",
+        "_events_fired",
+        "_stop",
+        "_active_batch",
+        "_active_pos",
+        "run_deadline",
+    )
+
     def __init__(self, horizon: int = DEFAULT_HORIZON) -> None:
         if horizon < 2 or horizon & (horizon - 1):
             raise SimulationError(
@@ -117,6 +136,12 @@ class Engine:
         self._seq = 0
         self._events_fired = 0
         self._stop = False
+        # Introspection for the core's fused fast path: the detached
+        # same-cycle batch currently being fired (and how far into it the
+        # walk has progressed), plus the active run's `until` deadline.
+        self._active_batch: Optional[List[Event]] = None
+        self._active_pos = 0
+        self.run_deadline: Optional[int] = None
 
     @property
     def events_fired(self) -> int:
@@ -127,6 +152,75 @@ class Engine:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return self._wheel_count + len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Introspection (fused fast path support)
+    # ------------------------------------------------------------------
+    def cycle_quiescent(self) -> bool:
+        """True when no further event can fire in the current cycle.
+
+        Callable only from inside an event callback.  Checks the unfired
+        tail of the detached same-cycle batch, the current wheel slot
+        (same-cycle events scheduled *by* callbacks this cycle), and the
+        heap top.  Conservative: a cancelled heap top reports the cycle
+        as busy rather than paying a pop to find out.
+        """
+        now = self.now
+        batch = self._active_batch
+        if batch is not None:
+            for event in batch[self._active_pos:]:
+                if not event.cancelled:
+                    return False
+        bucket = self._wheel[now & self._mask]
+        if bucket is not None:
+            for event in bucket:
+                if not event.cancelled and event.time == now:
+                    return False
+        heap = self._heap
+        if heap and heap[0].time <= now:
+            return False
+        return True
+
+    def peek_next_time(
+        self, limit: int, ignore: Optional[Event] = None
+    ) -> Optional[int]:
+        """Earliest event time in ``(now, now + limit]``, else ``None``.
+
+        Scans wheel slots forward from the next cycle, skipping cancelled
+        events (exact — they never fire) and the single ``ignore`` event
+        (the caller's own absorbed event).  Stale bucket leftovers are
+        recognised by their time not matching the slot's cycle.  A heap
+        event inside the window bounds the result conservatively even if
+        cancelled.
+        """
+        now = self.now
+        if limit >= self._horizon:
+            limit = self._horizon - 1
+        best = None
+        if self._wheel_count:
+            wheel = self._wheel
+            mask = self._mask
+            for delta in range(1, limit + 1):
+                time = now + delta
+                bucket = wheel[time & mask]
+                if bucket is None:
+                    continue
+                for event in bucket:
+                    if (
+                        not event.cancelled
+                        and event is not ignore
+                        and event.time == time
+                    ):
+                        best = time
+                        break
+                if best is not None:
+                    break
+        heap = self._heap
+        if heap:
+            heap_time = heap[0].time
+            if heap_time <= now + limit and (best is None or heap_time < best):
+                best = heap_time
+        return best
 
     @property
     def horizon(self) -> int:
@@ -371,16 +465,34 @@ class Engine:
             max_cycles = watchdog.max_cycles
             pending_work = watchdog.pending_work
         self._stop = False
+        self.run_deadline = until
         # Budgets are measured against the engine-wide events_fired
         # counter so run() and step() account identically; cancelled
         # events never increment it in either path.
         start_fired = self._events_fired
-        if stop_when is None:
-            drained = self._run_batched(until, max_cycles, budget, start_fired)
-        else:
-            drained = self._run_polled(
-                until, stop_when, max_cycles, budget, start_fired
-            )
+        # Pause the cyclic collector for the drain.  The hot loop's
+        # allocations (events, callback closures, pooled requests) are
+        # all freed by reference counting the moment they retire, so
+        # gen-0 passes find nothing to reclaim yet still walk the young
+        # survivors at every threshold crossing — pure overhead that
+        # does not affect simulated behaviour.  Restored (never force-
+        # enabled) on exit so callers that run with GC off stay off.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if stop_when is None:
+                drained = self._run_batched(
+                    until, max_cycles, budget, start_fired
+                )
+            else:
+                drained = self._run_polled(
+                    until, stop_when, max_cycles, budget, start_fired
+                )
+        finally:
+            self.run_deadline = None
+            if gc_was_enabled:
+                gc.enable()
         if not drained:
             return
         if pending_work is not None:
@@ -450,10 +562,14 @@ class Engine:
                         # once per batch; the finally also covers the
                         # exception path so diagnostics stay exact.
                         fired = self._events_fired
+                        self._active_batch = bucket
+                        pos = 0
                         try:
                             for event in bucket:
+                                pos += 1
                                 if not event.cancelled:
                                     fired += 1
+                                    self._active_pos = pos
                                     event.fn(*event.args)
                                     if self._stop:
                                         self._requeue_rest(bucket, event, cursor)
@@ -463,6 +579,7 @@ class Engine:
                             raise
                         finally:
                             self._events_fired = fired
+                            self._active_batch = None
                     elif not self._fire_budgeted_batch(
                         bucket, cursor, time, budget, start_fired
                     ):
@@ -522,36 +639,41 @@ class Engine:
         event's cycle, exactly as the heap engine does.
         """
         idx = 0
-        while idx < len(bucket):
-            event = bucket[idx]
-            idx += 1
-            if event.cancelled:
-                continue
-            if self._events_fired - start_fired >= budget:
-                rest = bucket[idx - 1:]
-                self._wheel_count += len(rest)
-                existing = self._wheel[cursor]
-                if existing is not None:
-                    rest.extend(existing)
-                self._wheel[cursor] = rest
-                raise SimulationHang(
-                    f"exceeded max_events={budget} at cycle {self.now} "
-                    f"with {self.pending} events still queued",
-                    cycle=self.now,
-                    events_fired=self._events_fired - start_fired,
-                    queue_depth=self.pending,
-                )
-            self.now = time
-            self._events_fired += 1
-            try:
-                event.fn(*event.args)
-            except BaseException:
-                self._requeue_rest(bucket, event, cursor)
-                raise
-            if self._stop:
-                self._requeue_rest(bucket, event, cursor)
-                return False
-        return True
+        self._active_batch = bucket
+        try:
+            while idx < len(bucket):
+                event = bucket[idx]
+                idx += 1
+                if event.cancelled:
+                    continue
+                if self._events_fired - start_fired >= budget:
+                    rest = bucket[idx - 1:]
+                    self._wheel_count += len(rest)
+                    existing = self._wheel[cursor]
+                    if existing is not None:
+                        rest.extend(existing)
+                    self._wheel[cursor] = rest
+                    raise SimulationHang(
+                        f"exceeded max_events={budget} at cycle {self.now} "
+                        f"with {self.pending} events still queued",
+                        cycle=self.now,
+                        events_fired=self._events_fired - start_fired,
+                        queue_depth=self.pending,
+                    )
+                self.now = time
+                self._events_fired += 1
+                self._active_pos = idx
+                try:
+                    event.fn(*event.args)
+                except BaseException:
+                    self._requeue_rest(bucket, event, cursor)
+                    raise
+                if self._stop:
+                    self._requeue_rest(bucket, event, cursor)
+                    return False
+            return True
+        finally:
+            self._active_batch = None
 
     def _run_polled(
         self,
@@ -619,6 +741,7 @@ class HeapEngine:
         self._seq = 0
         self._events_fired = 0
         self._stop = False
+        self.run_deadline: Optional[int] = None
 
     @property
     def events_fired(self) -> int:
@@ -629,6 +752,31 @@ class HeapEngine:
     def pending(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._queue)
+
+    def cycle_quiescent(self) -> bool:
+        """True when no queued event can fire in the current cycle.
+
+        Conservative on cancelled tops (reports busy); events are popped
+        one at a time here, so the queue top is the full picture.
+        """
+        queue = self._queue
+        return not queue or queue[0].time > self.now
+
+    def peek_next_time(
+        self, limit: int, ignore: Optional[Event] = None
+    ) -> Optional[int]:
+        """Earliest queued time in ``(now, now + limit]``, else ``None``.
+
+        Heap order only exposes the top without a scan, so ``ignore`` is
+        not honoured here: the caller's own absorbed event bounds the
+        window conservatively (less fusion, never divergence).
+        """
+        queue = self._queue
+        if queue:
+            time = queue[0].time
+            if self.now < time <= self.now + limit:
+                return time
+        return None
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
@@ -687,38 +835,43 @@ class HeapEngine:
             max_cycles = watchdog.max_cycles
             pending_work = watchdog.pending_work
         self._stop = False
+        self.run_deadline = until
         start_fired = self._events_fired
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self.now = until
+                    return
+                if max_cycles is not None and event.time > max_cycles:
+                    raise SimulationHang(
+                        f"exceeded max_cycles={max_cycles}: next event at "
+                        f"cycle {event.time} with {len(self._queue)} events "
+                        f"queued and {self._events_fired - start_fired} "
+                        "fired this run",
+                        cycle=self.now,
+                        events_fired=self._events_fired - start_fired,
+                        queue_depth=len(self._queue),
+                    )
+                if budget is not None and self._events_fired - start_fired >= budget:
+                    raise SimulationHang(
+                        f"exceeded max_events={budget} at cycle {self.now} "
+                        f"with {len(self._queue)} events still queued",
+                        cycle=self.now,
+                        events_fired=self._events_fired - start_fired,
+                        queue_depth=len(self._queue),
+                    )
                 heappop(self._queue)
-                continue
-            if until is not None and event.time > until:
-                self.now = until
-                return
-            if max_cycles is not None and event.time > max_cycles:
-                raise SimulationHang(
-                    f"exceeded max_cycles={max_cycles}: next event at cycle "
-                    f"{event.time} with {len(self._queue)} events queued and "
-                    f"{self._events_fired - start_fired} fired this run",
-                    cycle=self.now,
-                    events_fired=self._events_fired - start_fired,
-                    queue_depth=len(self._queue),
-                )
-            if budget is not None and self._events_fired - start_fired >= budget:
-                raise SimulationHang(
-                    f"exceeded max_events={budget} at cycle {self.now} "
-                    f"with {len(self._queue)} events still queued",
-                    cycle=self.now,
-                    events_fired=self._events_fired - start_fired,
-                    queue_depth=len(self._queue),
-                )
-            heappop(self._queue)
-            self.now = event.time
-            self._events_fired += 1
-            event.fn(*event.args)
-            if self._stop or (stop_when is not None and stop_when()):
-                return
+                self.now = event.time
+                self._events_fired += 1
+                event.fn(*event.args)
+                if self._stop or (stop_when is not None and stop_when()):
+                    return
+        finally:
+            self.run_deadline = None
         if pending_work is not None:
             outstanding = pending_work()
             if outstanding:

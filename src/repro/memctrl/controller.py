@@ -56,6 +56,11 @@ class MemoryController:
         self.scheduler = scheduler
         self.mapping = mapping
         self.mrq = MemoryRequestQueue(queue_capacity)
+        # Stateless schedulers pick the sole ready entry trivially; the
+        # stateful ones (write-drain, batch) must see every call.
+        self._scheduler_single_trivial = getattr(
+            scheduler, "single_trivial", False
+        )
         self.quantum = quantum
         # Cycles the MC front end is tied up per scheduled transaction
         # (arbitration, command sequencing, completion bookkeeping).
@@ -92,7 +97,8 @@ class MemoryController:
         coords = self.mapping.decompose(request.addr)
         if self.ras is not None:
             coords = self.ras.map_coords(self.mc_id, coords)
-        entry = self.mrq.push(request, coords, self.engine.now)
+        bank = self.device.bank(coords.rank, coords.bank)
+        entry = self.mrq.push(request, coords, self.engine.now, bank)
         if entry is None:
             self._c_mrq_rejections.value += 1.0
             return False
@@ -122,13 +128,13 @@ class MemoryController:
         if now < self._next_issue_time:
             self._schedule_pump(self._next_issue_time)
             return
-        if self.mrq.is_empty:
+        entries = self.mrq.entries
+        if not entries:
             return
         ready = []
         next_ready = None
-        for entry in self.mrq.entries:
-            bank = self.device.bank(entry.coords.rank, entry.coords.bank)
-            start = bank.earliest_start(now)
+        for entry in entries:
+            start = entry.bank.earliest_start(now)
             if start <= now:
                 ready.append(entry)
             elif next_ready is None or start < next_ready:
@@ -137,7 +143,10 @@ class MemoryController:
             if next_ready is not None:
                 self._schedule_pump(next_ready)
             return
-        entry = self.scheduler.select(ready, self.device, now)
+        if len(ready) == 1 and self._scheduler_single_trivial:
+            entry = ready[0]
+        else:
+            entry = self.scheduler.select(ready, self.device, now)
         self.mrq.remove(entry)
         self._issue(entry, now)
         self._next_issue_time = now + self._issue_gap

@@ -14,14 +14,26 @@ from .mapping import DramCoordinates
 
 
 class MrqEntry:
-    """One queued memory request plus its decoded DRAM coordinates."""
+    """One queued memory request plus its decoded DRAM coordinates.
 
-    __slots__ = ("request", "coords", "arrival")
+    ``bank`` caches the :class:`~repro.dram.bank.Bank` object the
+    coordinates resolve to — bank identity is fixed for the entry's
+    lifetime, and the controller's ready-scan probes it every pump.
+    """
 
-    def __init__(self, request: MemoryRequest, coords: DramCoordinates, arrival: int):
+    __slots__ = ("request", "coords", "arrival", "bank")
+
+    def __init__(
+        self,
+        request: MemoryRequest,
+        coords: DramCoordinates,
+        arrival: int,
+        bank=None,
+    ):
         self.request = request
         self.coords = coords
         self.arrival = arrival
+        self.bank = bank
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MrqEntry req={self.request.req_id} r{self.coords.rank}b{self.coords.bank} t={self.arrival}>"
@@ -53,12 +65,16 @@ class MemoryRequestQueue:
         return self._entries
 
     def push(
-        self, request: MemoryRequest, coords: DramCoordinates, now: int
+        self,
+        request: MemoryRequest,
+        coords: DramCoordinates,
+        now: int,
+        bank=None,
     ) -> Optional[MrqEntry]:
         """Append a request; returns None (rejected) when full."""
         if self.is_full:
             return None
-        entry = MrqEntry(request, coords, now)
+        entry = MrqEntry(request, coords, now, bank)
         self._entries.append(entry)
         return entry
 

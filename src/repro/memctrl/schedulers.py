@@ -26,6 +26,8 @@ class FcfsScheduler:
     """First-come-first-serve: always the oldest ready request."""
 
     name = "fcfs"
+    #: Stateless: picking the sole ready entry needs no scheduler call.
+    single_trivial = True
 
     def select(self, ready: List[MrqEntry], device: DramDevice, now: int) -> MrqEntry:
         return min(ready, key=lambda e: e.arrival)
@@ -40,6 +42,8 @@ class FrFcfsScheduler:
     """
 
     name = "fr-fcfs"
+    #: Stateless: picking the sole ready entry needs no scheduler call.
+    single_trivial = True
 
     def select(self, ready: List[MrqEntry], device: DramDevice, now: int) -> MrqEntry:
         best_hit: MrqEntry | None = None
@@ -47,8 +51,11 @@ class FrFcfsScheduler:
         for entry in ready:
             if oldest is None or entry.arrival < oldest.arrival:
                 oldest = entry
-            coords = entry.coords
-            if device.is_row_open(coords.rank, coords.bank, coords.row):
+            bank = entry.bank
+            if bank is None:
+                coords = entry.coords
+                bank = device.bank(coords.rank, coords.bank)
+            if bank.is_row_open(entry.coords.row):
                 if best_hit is None or entry.arrival < best_hit.arrival:
                     best_hit = entry
         assert oldest is not None

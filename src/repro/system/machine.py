@@ -111,6 +111,7 @@ class Machine:
         workload_name: str = "",
         engine: Optional[Engine] = None,
         checkers=None,
+        batched: bool = True,
     ) -> None:
         """Wire a machine.
 
@@ -124,6 +125,11 @@ class Machine:
                 a comma-separated string, or an iterable of names from
                 :data:`repro.validate.CHECKER_NAMES`).  ``None`` (the
                 default) attaches nothing and adds zero overhead.
+            batched: feed cores columnar :class:`~repro.cpu.trace.
+                TraceBatch` streams, enabling the fused L1-hit-run fast
+                path (bit-identical statistics, verified by
+                ``scripts/diff_validate.py --batched``).  ``False``
+                replays the legacy per-item path exactly.
         """
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -272,7 +278,12 @@ class Machine:
                 latency=config.l1_latency,
                 prefetcher=l1_prefetcher,
             )
-            trace = spec.trace(core_id * CORE_VA_STRIDE, seed + core_id)
+            if batched:
+                trace = spec.batched_trace(
+                    core_id * CORE_VA_STRIDE, seed + core_id
+                )
+            else:
+                trace = spec.trace(core_id * CORE_VA_STRIDE, seed + core_id)
             tlb = None
             if config.dtlb_enabled:
                 tlb = Tlb(
@@ -548,6 +559,7 @@ def run_workload(
     workload_name: str = "",
     checkers=None,
     sampling=None,
+    batched: bool = True,
 ) -> MachineResult:
     """One-call convenience: build a machine and run it.
 
@@ -560,6 +572,7 @@ def run_workload(
         seed=seed,
         workload_name=workload_name,
         checkers=checkers,
+        batched=batched,
     )
     if sampling is not None:
         return machine.run_sampled(

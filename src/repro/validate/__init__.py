@@ -28,6 +28,7 @@ from __future__ import annotations
 from ..common.errors import CheckViolation
 from .base import Checker, CheckerSet
 from .diff import (
+    diff_batched,
     DiffReport,
     TracedRun,
     diff_engines,
@@ -55,6 +56,7 @@ __all__ = [
     "TracedRun",
     "TranscriptRecorder",
     "attach_checkers",
+    "diff_batched",
     "diff_engines",
     "diff_runs",
     "diff_timing_presets",

@@ -58,9 +58,17 @@ def run_traced(
     workload_name: str = "",
     engine=None,
     checkers=None,
+    batched: bool = True,
+    sampling=None,
     label: str = "",
 ) -> TracedRun:
-    """Run one workload and capture its command transcript and stats."""
+    """Run one workload and capture its command transcript and stats.
+
+    ``batched`` selects the core's trace representation (columnar fused
+    fast path vs per-item scalar dispatch); ``sampling`` optionally runs
+    under a :class:`~repro.sampling.plan.SamplingPlan` instead of full
+    detail.
+    """
     from ..system.machine import Machine
 
     machine = Machine(
@@ -70,12 +78,16 @@ def run_traced(
         workload_name=workload_name,
         engine=engine,
         checkers=checkers,
+        batched=batched,
     )
     recorder = TranscriptRecorder()
     from .hooks import instrument_banks
 
     instrument_banks(machine, recorder)
-    result = machine.run(warmup, measure)
+    if sampling is not None:
+        result = machine.run_sampled(sampling, warmup, measure)
+    else:
+        result = machine.run(warmup, measure)
     return TracedRun(
         label=label or f"{config.name}/{type(machine.engine).__name__}",
         config_name=config.name,
@@ -243,6 +255,38 @@ def diff_engines(
         config, benchmarks, warmup=warmup, measure=measure, seed=seed,
         workload_name=workload_name, engine=HeapEngine(), checkers=checkers,
         label=f"{config.name}/heap",
+    )
+    return diff_runs(lhs, rhs), lhs, rhs
+
+
+def diff_batched(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    *,
+    warmup: int,
+    measure: int,
+    seed: int = 42,
+    workload_name: str = "",
+    checkers=None,
+    sampling=None,
+) -> Tuple[DiffReport, TracedRun, TracedRun]:
+    """Same workload with scalar vs batched (fused fast path) cores.
+
+    The batched representation is a pure execution-strategy change, so
+    transcripts and stat tables must be bit-identical; any difference is
+    a fused-path bug.  ``checkers``/``sampling`` exercise the fallback
+    seams (checker-enabled and sampled runs lean on the scalar path for
+    parts of the simulation — the mixture must still match exactly).
+    """
+    lhs = run_traced(
+        config, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, checkers=checkers, batched=False,
+        sampling=sampling, label=f"{config.name}/scalar",
+    )
+    rhs = run_traced(
+        config, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, checkers=checkers, batched=True,
+        sampling=sampling, label=f"{config.name}/batched",
     )
     return diff_runs(lhs, rhs), lhs, rhs
 

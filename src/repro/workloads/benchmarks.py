@@ -10,13 +10,14 @@ used by the core model's commit pacing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 from ..common.units import KIB, MIB
-from ..cpu.trace import TraceItem
+from ..cpu.trace import BatchedTrace, TraceBatch, TraceItem, as_batched
 from . import synthetic as syn
 
 TraceFactory = Callable[[int, int], Iterator[TraceItem]]
+BatchFactory = Callable[[int, int], Iterator[TraceBatch]]
 
 
 @dataclass(frozen=True)
@@ -28,10 +29,25 @@ class BenchmarkSpec:
     paper_mpki: float
     factory: TraceFactory = field(repr=False)
     base_cpi: float = 0.5
+    #: Native columnar producer emitting the identical item stream as
+    #: TraceBatch chunks; None falls back to chunking ``factory``.
+    batch_factory: Optional[BatchFactory] = field(default=None, repr=False)
 
     def trace(self, base: int, seed: int) -> Iterator[TraceItem]:
         """Instantiate the trace rooted at virtual address ``base``."""
         return self.factory(base, seed)
+
+    def batched_trace(self, base: int, seed: int) -> BatchedTrace:
+        """Instantiate the trace in columnar form (same item stream).
+
+        Uses the native batch producer when the generator has one —
+        columns are then built at C iteration speed — and otherwise
+        chunks the per-item generator through
+        :func:`repro.cpu.trace.batch_iter`.
+        """
+        if self.batch_factory is not None:
+            return BatchedTrace(self.batch_factory(base, seed))
+        return as_batched(self.factory(base, seed))
 
 
 def _spec(
@@ -40,8 +56,11 @@ def _spec(
     paper_mpki: float,
     factory: TraceFactory,
     base_cpi: float = 0.5,
+    batch_factory: Optional[BatchFactory] = None,
 ) -> BenchmarkSpec:
-    return BenchmarkSpec(name, suite, paper_mpki, factory, base_cpi)
+    return BenchmarkSpec(
+        name, suite, paper_mpki, factory, base_cpi, batch_factory
+    )
 
 
 _BIG = 64 * MIB  # canonical "much larger than the 6 MiB L2" footprint
@@ -54,22 +73,36 @@ def _stream(reads: int, writes: int, gap: int) -> TraceFactory:
     )
 
 
+def _stream_batches(reads: int, writes: int, gap: int) -> BatchFactory:
+    return lambda base, seed: syn.stream_kernel_batches(
+        base, array_bytes=8 * MIB, reads_per_element=reads,
+        writes_per_element=writes, gap=gap,
+    )
+
+
 BENCHMARKS: Dict[str, BenchmarkSpec] = {
     spec.name: spec
     for spec in [
         # --- Stream family (very high miss rates) ---------------------
-        _spec("S.copy", "Stream", 326.9, _stream(1, 1, 0)),
-        _spec("S.add", "Stream", 313.2, _stream(2, 1, 0)),
+        _spec("S.copy", "Stream", 326.9, _stream(1, 1, 0),
+              batch_factory=_stream_batches(1, 1, 0)),
+        _spec("S.add", "Stream", 313.2, _stream(2, 1, 0),
+              batch_factory=_stream_batches(2, 1, 0)),
         _spec(
             "S.all", "Stream", 282.2,
             lambda base, seed: syn.stream_all(base, array_bytes=8 * MIB, gap=0),
         ),
-        _spec("S.triad", "Stream", 254.0, _stream(2, 1, 0)),
-        _spec("S.scale", "Stream", 252.1, _stream(1, 1, 0)),
+        _spec("S.triad", "Stream", 254.0, _stream(2, 1, 0),
+              batch_factory=_stream_batches(2, 1, 0)),
+        _spec("S.scale", "Stream", 252.1, _stream(1, 1, 0),
+              batch_factory=_stream_batches(1, 1, 0)),
         # --- High miss rates ------------------------------------------
         _spec(
             "tigr", "BioBench", 170.6,
             lambda base, seed: syn.sequential_scan(
+                base, footprint=_BIG, stride=64, gap=5, seed=seed,
+            ),
+            batch_factory=lambda base, seed: syn.sequential_scan_batches(
                 base, footprint=_BIG, stride=64, gap=5, seed=seed,
             ),
         ),
@@ -82,6 +115,10 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         _spec(
             "libquantum", "SpecInt'06", 134.5,
             lambda base, seed: syn.strided(
+                base, footprint=_BIG, stride=16, gap=1,
+                write_fraction=0.3, seed=seed,
+            ),
+            batch_factory=lambda base, seed: syn.strided_batches(
                 base, footprint=_BIG, stride=16, gap=1,
                 write_fraction=0.3, seed=seed,
             ),
@@ -98,10 +135,18 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
                 base, footprint=_BIG, stride=64, gap=18,
                 write_fraction=0.2, seed=seed,
             ),
+            batch_factory=lambda base, seed: syn.strided_batches(
+                base, footprint=_BIG, stride=64, gap=18,
+                write_fraction=0.2, seed=seed,
+            ),
         ),
         _spec(
             "wupwise", "SpecFP'00", 40.4,
             lambda base, seed: syn.strided(
+                base, footprint=_BIG, stride=64, gap=24,
+                write_fraction=0.25, seed=seed,
+            ),
+            batch_factory=lambda base, seed: syn.strided_batches(
                 base, footprint=_BIG, stride=64, gap=24,
                 write_fraction=0.25, seed=seed,
             ),
@@ -115,6 +160,10 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         _spec(
             "lbm", "SpecFP'06", 36.5,
             lambda base, seed: syn.stream_kernel(
+                base, array_bytes=8 * MIB, reads_per_element=1,
+                writes_per_element=1, gap=2,
+            ),
+            batch_factory=lambda base, seed: syn.stream_kernel_batches(
                 base, array_bytes=8 * MIB, reads_per_element=1,
                 writes_per_element=1, gap=2,
             ),
@@ -132,10 +181,17 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
             lambda base, seed: syn.sequential_scan(
                 base, footprint=_BIG, stride=64, gap=33, seed=seed,
             ),
+            batch_factory=lambda base, seed: syn.sequential_scan_batches(
+                base, footprint=_BIG, stride=64, gap=33, seed=seed,
+            ),
         ),
         _spec(
             "swim", "SpecFP'00", 18.7,
             lambda base, seed: syn.strided(
+                base, footprint=_BIG, stride=64, gap=52,
+                write_fraction=0.3, seed=seed,
+            ),
+            batch_factory=lambda base, seed: syn.strided_batches(
                 base, footprint=_BIG, stride=64, gap=52,
                 write_fraction=0.3, seed=seed,
             ),
@@ -152,10 +208,18 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
                 base, footprint=_BIG, stride=64, gap=81,
                 write_fraction=0.25, seed=seed,
             ),
+            batch_factory=lambda base, seed: syn.strided_batches(
+                base, footprint=_BIG, stride=64, gap=81,
+                write_fraction=0.25, seed=seed,
+            ),
         ),
         _spec(
             "mgrid", "SpecFP'06", 9.2,
             lambda base, seed: syn.strided(
+                base, footprint=_BIG, stride=64, gap=108,
+                write_fraction=0.2, seed=seed,
+            ),
+            batch_factory=lambda base, seed: syn.strided_batches(
                 base, footprint=_BIG, stride=64, gap=108,
                 write_fraction=0.2, seed=seed,
             ),

@@ -13,9 +13,10 @@ disjoint (the machine namespaces ``base`` by core).
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Iterator, Sequence
 
-from ..cpu.trace import TraceItem
+from ..cpu.trace import TRACE_BATCH_SIZE, TraceBatch, TraceItem
 
 LINE = 64  # for documentation; generators do not depend on the line size
 
@@ -23,6 +24,25 @@ LINE = 64  # for documentation; generators do not depend on the line size
 def _pc(region: int, slot: int) -> int:
     """A stable fake program counter for stride-prefetcher training."""
     return 0x400000 + region * 0x100 + slot * 8
+
+
+def _swept(out: array, base: int, offset: int, stride: int, region: int,
+           count: int) -> int:
+    """Append ``count`` stride-swept addresses to ``out``; returns the
+    final offset.
+
+    Reproduces ``offset = (offset + stride) % region`` per item, but
+    emits each wrap-free span as one C-level ``extend(range(...))``.
+    """
+    while count:
+        span = (region - offset + stride - 1) // stride
+        if span > count:
+            span = count
+        start = base + offset
+        out.extend(range(start, start + span * stride, stride))
+        offset = (offset + span * stride) % region
+        count -= span
+    return offset
 
 
 def stream_kernel(
@@ -63,6 +83,58 @@ def stream_kernel(
                 slot += 1
 
 
+def stream_kernel_batches(
+    base: int,
+    array_bytes: int,
+    reads_per_element: int,
+    writes_per_element: int,
+    element_size: int = 8,
+    gap: int = 0,
+    batch_size: int = TRACE_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Columnar :func:`stream_kernel`: the identical item stream, emitted
+    as :class:`TraceBatch` chunks built column-at-a-time.
+
+    Batches are sized to a whole number of elements so every batch
+    starts at access slot 0; per-slot address columns then become pure
+    arithmetic progressions filled with extended-slice assignment.
+    """
+    if reads_per_element < 0 or writes_per_element < 0:
+        raise ValueError("element access counts cannot be negative")
+    if reads_per_element + writes_per_element == 0:
+        raise ValueError("kernel must access memory")
+    num_arrays = reads_per_element + writes_per_element
+    elements = max(1, array_bytes // element_size)
+    arrays = [base + i * array_bytes for i in range(num_arrays)]
+    per_batch = max(1, batch_size // num_arrays)
+    length = per_batch * num_arrays
+    region = elements * element_size
+    gaps = array("q", [gap]) * length
+    pc_cols = [
+        array("q", [_pc(0, slot)]) * per_batch for slot in range(num_arrays)
+    ]
+    write_cols = [
+        array("b", [1 if slot >= reads_per_element else 0]) * per_batch
+        for slot in range(num_arrays)
+    ]
+    offset = 0
+    while True:
+        addrs = array("q", bytes(8 * length))
+        pcs = array("q", bytes(8 * length))
+        writes = array("b", bytes(length))
+        next_offset = offset
+        for slot in range(num_arrays):
+            col = array("q")
+            next_offset = _swept(
+                col, arrays[slot], offset, element_size, region, per_batch
+            )
+            addrs[slot::num_arrays] = col
+            pcs[slot::num_arrays] = pc_cols[slot]
+            writes[slot::num_arrays] = write_cols[slot]
+        offset = next_offset
+        yield TraceBatch(gaps, addrs, writes, pcs)
+
+
 def stream_all(
     base: int, array_bytes: int, element_size: int = 8, gap: int = 0
 ) -> Iterator[TraceItem]:
@@ -100,6 +172,46 @@ def sequential_scan(
         is_write = rng.random() < write_fraction
         yield TraceItem(gap, addr, is_write, _pc(1, 0))
         offset = (offset + stride) % footprint
+
+
+def sequential_scan_batches(
+    base: int,
+    footprint: int,
+    stride: int = 64,
+    gap: int = 5,
+    write_fraction: float = 0.0,
+    seed: int = 1,
+    batch_size: int = TRACE_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Columnar :func:`sequential_scan`: identical item stream as batches.
+
+    The address column is filled by wrap-free ``range`` spans.  With a
+    zero ``write_fraction`` the per-item RNG draw (``random() < 0.0``,
+    always False) is skipped entirely — the RNG is private to this
+    generator, so the emitted stream is unchanged.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    rng = random.Random(seed)
+    rnd = rng.random
+    gaps = array("q", [gap]) * batch_size
+    pcs = array("q", [_pc(1, 0)]) * batch_size
+    no_writes = array("b", [0]) * batch_size if write_fraction <= 0.0 else None
+    offset = 0
+    while True:
+        addrs = array("q")
+        offset = _swept(addrs, base, offset, stride, footprint, batch_size)
+        if no_writes is not None:
+            writes = no_writes
+        else:
+            writes = array(
+                "b",
+                (
+                    1 if rnd() < write_fraction else 0
+                    for _ in range(batch_size)
+                ),
+            )
+        yield TraceBatch(gaps, addrs, writes, pcs)
 
 
 def random_uniform(
@@ -179,6 +291,60 @@ def strided(
             addr = base + s * region + offsets[s]
             yield TraceItem(gap, addr, rng.random() < write_fraction, pcs[s])
             offsets[s] = (offsets[s] + stride) % region
+
+
+def strided_batches(
+    base: int,
+    footprint: int,
+    stride: int,
+    gap: int,
+    write_fraction: float = 0.0,
+    seed: int = 4,
+    num_streams: int = 3,
+    batch_size: int = TRACE_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Columnar :func:`strided`: identical item stream as batches.
+
+    Batches hold a whole number of round-robin rounds so every batch
+    starts at stream 0; each stream's address column is then a set of
+    wrap-free ``range`` spans written with extended-slice assignment.
+    The write column draws the RNG once per item in emission order
+    (matching the per-item generator draw for draw), skipped entirely
+    when ``write_fraction`` is zero.
+    """
+    if num_streams < 1:
+        raise ValueError("need at least one stream")
+    rng = random.Random(seed)
+    rnd = rng.random
+    region = footprint // num_streams
+    per_batch = max(1, batch_size // num_streams)
+    length = per_batch * num_streams
+    gaps = array("q", [gap]) * length
+    pc_cols = [
+        array("q", [_pc(4, (stride + s) % 11)]) * per_batch
+        for s in range(num_streams)
+    ]
+    bases = [base + s * region for s in range(num_streams)]
+    offsets = [0] * num_streams
+    no_writes = array("b", [0]) * length if write_fraction <= 0.0 else None
+    while True:
+        addrs = array("q", bytes(8 * length))
+        pcs = array("q", bytes(8 * length))
+        for s in range(num_streams):
+            col = array("q")
+            offsets[s] = _swept(
+                col, bases[s], offsets[s], stride, region, per_batch
+            )
+            addrs[s::num_streams] = col
+            pcs[s::num_streams] = pc_cols[s]
+        if no_writes is not None:
+            writes = no_writes
+        else:
+            writes = array(
+                "b",
+                (1 if rnd() < write_fraction else 0 for _ in range(length)),
+            )
+        yield TraceBatch(gaps, addrs, writes, pcs)
 
 
 def hot_cold(

@@ -8,17 +8,21 @@ traces.  The format is one record per line::
 
 optionally gzip-compressed (suffix ``.gz``).  ``capture`` snapshots a
 generator to a file; ``read_trace`` streams one back, optionally looping
-forever (the core model expects endless traces).
+forever (the core model expects endless traces).  ``read_trace_batches``
+streams the same file in columnar :class:`~repro.cpu.trace.TraceBatch`
+form — records parse straight into column arrays with no per-item
+object, which is what the batched core fast path wants to consume.
 """
 
 from __future__ import annotations
 
 import gzip
 import itertools
+from array import array
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
-from ..cpu.trace import TraceItem
+from ..cpu.trace import TRACE_BATCH_SIZE, TraceBatch, TraceItem
 
 PathLike = Union[str, Path]
 
@@ -48,24 +52,6 @@ def capture(trace: Iterator[TraceItem], count: int, path: PathLike) -> int:
     return write_trace(itertools.islice(trace, count), path)
 
 
-def _parse_line(line: str, lineno: int, path: Path) -> TraceItem:
-    parts = line.split()
-    if len(parts) != 4 or parts[2] not in ("R", "W"):
-        raise ValueError(f"{path}:{lineno}: malformed trace record {line!r}")
-    try:
-        return TraceItem(
-            gap=int(parts[0]),
-            addr=int(parts[1], 16),
-            is_write=parts[2] == "W",
-            pc=int(parts[3], 16),
-        )
-    except ValueError:
-        # Re-raise with the file/line context the bare int() error lacks.
-        raise ValueError(
-            f"{path}:{lineno}: malformed trace record {line!r}"
-        ) from None
-
-
 def read_trace(path: PathLike, loop: bool = False) -> Iterator[TraceItem]:
     """Stream a trace file; with ``loop`` the file repeats forever.
 
@@ -73,17 +59,92 @@ def read_trace(path: PathLike, loop: bool = False) -> Iterator[TraceItem]:
     wrap point behaves like a program iterating its main loop again.
     """
     path = Path(path)
+    item_cls = TraceItem
     while True:
         empty = True
         with _open(path, "r") as handle:
             for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line or line.startswith("#"):
+                parts = line.split()
+                if not parts or parts[0][0] == "#":
                     continue
                 empty = False
-                yield _parse_line(line, lineno, path)
+                if len(parts) != 4 or parts[2] not in ("R", "W"):
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed trace record "
+                        f"{line.strip()!r}"
+                    )
+                try:
+                    yield item_cls(
+                        int(parts[0]),
+                        int(parts[1], 16),
+                        parts[2] == "W",
+                        int(parts[3], 16),
+                    )
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed trace record "
+                        f"{line.strip()!r}"
+                    ) from None
         if empty:
             raise ValueError(f"trace file {path} contains no records")
+        if not loop:
+            return
+
+
+def read_trace_batches(
+    path: PathLike,
+    batch_size: int = TRACE_BATCH_SIZE,
+    loop: bool = False,
+) -> Iterator[TraceBatch]:
+    """Stream a trace file as columnar :class:`TraceBatch` chunks.
+
+    Records parse directly into ``array`` columns — no per-item
+    NamedTuple is ever built — so file replay feeds the batched core
+    fast path at column speed.  Batches hold ``batch_size`` items except
+    possibly the last one per pass (the file's tail); with ``loop`` the
+    file repeats forever, restarting a fresh batch at each wrap just as
+    :func:`read_trace`'s wrap restarts the record stream.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    path = Path(path)
+    while True:
+        empty = True
+        gaps = array("q")
+        addrs = array("q")
+        writes = array("b")
+        pcs = array("q")
+        with _open(path, "r") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                parts = line.split()
+                if not parts or parts[0][0] == "#":
+                    continue
+                empty = False
+                if len(parts) != 4 or parts[2] not in ("R", "W"):
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed trace record "
+                        f"{line.strip()!r}"
+                    )
+                try:
+                    gaps.append(int(parts[0]))
+                    addrs.append(int(parts[1], 16))
+                    writes.append(1 if parts[2] == "W" else 0)
+                    pcs.append(int(parts[3], 16))
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{lineno}: malformed trace record "
+                        f"{line.strip()!r}"
+                    ) from None
+                if len(gaps) >= batch_size:
+                    yield TraceBatch(gaps, addrs, writes, pcs)
+                    gaps = array("q")
+                    addrs = array("q")
+                    writes = array("b")
+                    pcs = array("q")
+        if empty:
+            raise ValueError(f"trace file {path} contains no records")
+        if gaps:
+            yield TraceBatch(gaps, addrs, writes, pcs)
         if not loop:
             return
 

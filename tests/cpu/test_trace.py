@@ -1,6 +1,25 @@
-"""Unit tests for trace primitives."""
+"""Unit tests for trace primitives (row and columnar forms)."""
 
-from repro.cpu.trace import TraceItem, instructions_per_item
+import itertools
+
+import pytest
+
+from repro.cpu.trace import (
+    BatchedTrace,
+    TraceBatch,
+    TraceItem,
+    as_batched,
+    batch_iter,
+    instructions_per_item,
+)
+
+ITEMS = [
+    TraceItem(0, 0x1000, False, 0x400),
+    TraceItem(4, 0x1040, True, 0x404),
+    TraceItem(2, 0x2000, False, 0x408),
+    TraceItem(7, 0x2040, True, 0x40C),
+    TraceItem(0, 0x3000, False, 0x410),
+]
 
 
 def test_trace_item_fields():
@@ -16,3 +35,90 @@ def test_instructions_per_item():
     # (0+1 + 4+1) / 2
     assert instructions_per_item(sample) == 3.0
     assert instructions_per_item([]) == 0.0
+
+
+def test_instructions_per_item_accepts_any_iterable():
+    # A generator (single-pass iterable) must work — the one-pass
+    # contract means no len() or second traversal.
+    gen = (TraceItem(g, 0, False, 0) for g in (1, 3))
+    assert instructions_per_item(gen) == 3.0
+
+
+def test_instructions_per_item_counts_batches():
+    batch = batch_iter(ITEMS, size=len(ITEMS)).__next__()
+    expected = sum(i.gap + 1 for i in ITEMS) / len(ITEMS)
+    assert instructions_per_item([batch]) == expected
+    # Mixed row items and batches accumulate into one mean.
+    mixed = [ITEMS[0], batch]
+    total = (ITEMS[0].gap + 1) + sum(i.gap + 1 for i in ITEMS)
+    assert instructions_per_item(mixed) == total / (1 + len(ITEMS))
+
+
+def test_trace_batch_columns_and_row_views():
+    batch = TraceBatch(
+        [i.gap for i in ITEMS],
+        [i.addr for i in ITEMS],
+        [1 if i.is_write else 0 for i in ITEMS],
+        [i.pc for i in ITEMS],
+    )
+    assert len(batch) == len(ITEMS)
+    assert list(batch) == ITEMS
+    assert [batch.item(i) for i in range(len(ITEMS))] == ITEMS
+    assert batch.instructions == sum(i.gap + 1 for i in ITEMS)
+
+
+def test_trace_batch_rejects_ragged_columns():
+    with pytest.raises(ValueError):
+        TraceBatch([0, 1], [0x0], [0], [0x0])
+
+
+def test_trace_batch_derived_columns():
+    batch = batch_iter(ITEMS, size=len(ITEMS)).__next__()
+    page_shift, line_shift, set_mask = 12, 6, 0x3F
+    derived = batch.derived(page_shift, line_shift, set_mask)
+    assert derived.vlines == [i.addr >> line_shift for i in ITEMS]
+    assert derived.vpns == [i.addr >> page_shift for i in ITEMS]
+    page_off_mask = (1 << page_shift) - 1 & ~((1 << line_shift) - 1)
+    assert derived.line_offsets == [i.addr & page_off_mask for i in ITEMS]
+    assert derived.sets == [v & set_mask for v in derived.vlines]
+    # Cached per geometry: same key returns the same object.
+    assert batch.derived(page_shift, line_shift, set_mask) is derived
+    other = batch.derived(13, line_shift, set_mask)
+    assert other is not derived
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 1024])
+def test_batch_iter_chunks_and_preserves_order(size):
+    batches = list(batch_iter(ITEMS, size=size))
+    assert [len(b) for b in batches[:-1]] == [size] * (len(batches) - 1)
+    assert sum(len(b) for b in batches) == len(ITEMS)
+    flattened = [item for b in batches for item in b]
+    assert flattened == ITEMS
+
+
+def test_batch_iter_rejects_bad_size():
+    with pytest.raises(ValueError):
+        next(batch_iter(ITEMS, size=0))
+
+
+def test_batched_trace_row_interface_matches_source():
+    trace = BatchedTrace(batch_iter(ITEMS, size=2))
+    assert list(itertools.islice(trace, len(ITEMS))) == ITEMS
+    with pytest.raises(StopIteration):
+        next(trace)
+
+
+def test_batched_trace_shared_cursor_mixes_views():
+    trace = BatchedTrace(batch_iter(ITEMS, size=2))
+    cursor = trace.cursor()
+    # Row view consumes one item, then the cursor continues from there.
+    assert next(trace) == ITEMS[0]
+    assert cursor.next_item() == ITEMS[1]
+    # Batch view: the cursor's position is mid-stream, not rewound.
+    assert next(trace) == ITEMS[2]
+
+
+def test_as_batched_is_idempotent():
+    trace = as_batched(ITEMS, size=2)
+    assert as_batched(trace) is trace
+    assert list(itertools.islice(trace, len(ITEMS))) == ITEMS

@@ -125,3 +125,44 @@ def test_avg_probes_statistic(mshr):
     mshr.search(1 * LINE)
     assert mshr.total_accesses >= 2
     assert mshr.avg_probes_per_access >= 1.0
+
+
+def test_contains_many_matches_scalar_contains(mshr):
+    """The batch probe is a pure vectorization of ``contains``.
+
+    Drive a random allocate/deallocate sequence and, at every step,
+    check the batch membership verdicts against per-line ``contains``
+    calls — and that batching, like ``contains``, never counts as a
+    timed access.
+    """
+    import random
+
+    rng = random.Random(5)
+    lines = [i * LINE for i in range(32)]
+    live = set()
+    for _ in range(300):
+        line = rng.choice(lines)
+        if line in live and rng.random() < 0.6:
+            mshr.deallocate(line)
+            live.discard(line)
+        elif line not in live:
+            entry, _ = mshr.allocate(line)
+            if entry is not None:
+                live.add(line)
+        probe = [rng.choice(lines) for _ in range(8)]
+        accesses_before = mshr.total_accesses
+        batch = mshr.contains_many(probe)
+        assert mshr.total_accesses == accesses_before
+        assert list(batch) == [mshr.contains(x) for x in probe]
+
+
+def test_contains_many_empty_and_full(mshr):
+    assert mshr.contains_many([]) == []
+    assert mshr.contains_many([0, LINE, 2 * LINE]) == [False, False, False]
+    allocated = []
+    for i in range(mshr.capacity):
+        entry, _ = mshr.allocate(i * LINE)
+        if entry is None:
+            break
+        allocated.append(i * LINE)
+    assert all(mshr.contains_many(allocated))

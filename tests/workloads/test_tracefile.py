@@ -6,7 +6,13 @@ import pytest
 
 from repro.cpu.trace import TraceItem
 from repro.workloads import synthetic as syn
-from repro.workloads.tracefile import capture, read_trace, trace_length, write_trace
+from repro.workloads.tracefile import (
+    capture,
+    read_trace,
+    read_trace_batches,
+    trace_length,
+    write_trace,
+)
 
 ITEMS = [
     TraceItem(0, 0x1000, False, 0x400),
@@ -169,3 +175,108 @@ def test_replayed_trace_drives_a_core(tmp_path):
     engine.run(stop_when=lambda: core.frozen, until=10_000_000)
     assert core.frozen
     assert core.frozen_ipc > 0
+
+
+# ----------------------------------------------------------------------
+# Columnar streaming (read_trace_batches)
+# ----------------------------------------------------------------------
+
+def _flatten(batches):
+    return [item for batch in batches for item in batch]
+
+
+@pytest.mark.parametrize("batch_size", [1, 2, 3, 1024])
+def test_read_trace_batches_matches_row_reader(tmp_path, batch_size):
+    path = tmp_path / "t.txt"
+    write_trace(ITEMS, path)
+    batches = list(read_trace_batches(path, batch_size=batch_size))
+    assert _flatten(batches) == list(read_trace(path))
+    # Every batch is full except possibly the file's tail.
+    assert all(len(b) == batch_size for b in batches[:-1])
+
+
+def test_read_trace_batches_gzip(tmp_path):
+    path = tmp_path / "t.trace.gz"
+    write_trace(ITEMS, path)
+    assert _flatten(read_trace_batches(path, batch_size=2)) == ITEMS
+
+
+def test_read_trace_batches_loop_restarts_at_wrap(tmp_path):
+    path = tmp_path / "t.txt"
+    write_trace(ITEMS, path)
+    stream = read_trace_batches(path, batch_size=2, loop=True)
+    batches = list(itertools.islice(stream, 7))
+    # 3 items per pass at size 2 -> batches of 2, 1 then wrap.
+    assert [len(b) for b in batches] == [2, 1, 2, 1, 2, 1, 2]
+    assert _flatten(batches) == ITEMS + ITEMS + ITEMS + ITEMS[:2]
+
+
+def test_read_trace_batches_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("# header\n\n0 1000 R 400\n\n# tail\n5 2000 W 404\n")
+    (batch,) = read_trace_batches(path, batch_size=16)
+    assert list(batch) == [
+        TraceItem(0, 0x1000, False, 0x400),
+        TraceItem(5, 0x2000, True, 0x404),
+    ]
+
+
+def test_read_trace_batches_malformed_and_empty_raise(tmp_path):
+    path = tmp_path / "t.txt"
+    path.write_text("0 1000 X 400\n")
+    with pytest.raises(ValueError, match="malformed"):
+        list(read_trace_batches(path))
+    path.write_text("# only comments\n")
+    with pytest.raises(ValueError, match="no records"):
+        list(read_trace_batches(path))
+    with pytest.raises(ValueError, match="batch_size"):
+        next(read_trace_batches(path, batch_size=0))
+
+
+def test_read_trace_batches_feeds_batched_machine(tmp_path):
+    """A captured file replayed in columnar form is a valid batch source."""
+    from repro.cpu.trace import BatchedTrace
+
+    generator = syn.stream_kernel(0, array_bytes=4096,
+                                  reads_per_element=1, writes_per_element=1)
+    path = tmp_path / "stream.trace"
+    capture(generator, 200, path)
+    trace = BatchedTrace(read_trace_batches(path, batch_size=64))
+    assert list(itertools.islice(trace, 200)) == list(read_trace(path))
+
+
+def test_read_trace_batches_throughput(tmp_path):
+    """Regression guard: the columnar reader must not fall behind the
+    per-item reader (in practice it is well ahead; the slack absorbs
+    timer noise on shared CI hosts)."""
+    import time
+
+    generator = syn.stream_kernel(0, array_bytes=1 << 20,
+                                  reads_per_element=2, writes_per_element=1)
+    path = tmp_path / "big.trace"
+    n = capture(generator, 20_000, path)
+
+    def consume_rows():
+        count = 0
+        for _ in read_trace(path):
+            count += 1
+        return count
+
+    def consume_batches():
+        count = 0
+        for batch in read_trace_batches(path, batch_size=1024):
+            count += len(batch)
+        return count
+
+    # Warm the page cache so the first timed pass isn't penalised.
+    assert consume_rows() == n
+    start = time.perf_counter()
+    assert consume_rows() == n
+    row_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    assert consume_batches() == n
+    batch_seconds = time.perf_counter() - start
+    assert batch_seconds < row_seconds * 1.5, (
+        f"columnar reader regressed: {batch_seconds:.3f}s vs "
+        f"row reader {row_seconds:.3f}s over {n} records"
+    )
