@@ -16,6 +16,14 @@ Modes:
   against the array-batched fused fast path — plain, checker-enabled
   and sampled — and fails on any transcript or stat divergence.
 
+* ``--modes`` (CI): stack-mode seam assertions —
+  1. ``memory`` mode is **bit-identical** to the all-direct MemCache
+     degenerate configuration (the facade pass-through path): same
+     stack transcript, same pre-existing stat tables, zero off-chip
+     commands;
+  2. a cache-mode (L4) run completes under every runtime checker with
+     all invariants holding on both the stack and off-chip channels.
+
 * ``--engines``: diff the two engines on a chosen config/mix/scale and
   print the report (first divergence with cycle, command and bank
   state when they differ).
@@ -166,11 +174,61 @@ def cmd_smoke(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_modes(args) -> int:
+    from repro.system.config import config_l4_cache
+    from repro.validate.diff import diff_modes
+
+    scale = get_scale(args.scale)
+    config = CONFIGS["3d-fast"]()
+    mix = MIXES["H1"]
+    failures = []
+
+    # 1. Memory mode must be bit-identical to the facade's pass-through
+    #    (memcache with a zero-size cache region).
+    report, _, rhs = diff_modes(
+        config, list(mix.benchmarks),
+        warmup=scale.warmup_instructions,
+        measure=scale.measure_instructions,
+        seed=args.seed, workload_name=mix.name,
+    )
+    print(report.format())
+    if not report.identical:
+        failures.append("mode differential: memory vs memcache-direct diverged")
+    l4_stats = rhs.stats.get("l4", {})
+    if not l4_stats.get("direct_accesses"):
+        failures.append("memcache-direct run never took the direct path")
+
+    # 2. A real cache-mode run must complete with every checker attached
+    #    (invariants hold on the stack and the off-chip channel alike).
+    cache_config = config_l4_cache(base=config)
+    machine = Machine(
+        cache_config, list(mix.benchmarks), seed=args.seed,
+        workload_name=mix.name, checkers="all",
+    )
+    result = machine.run(scale.warmup_instructions, scale.measure_instructions)
+    offchip_reads = result.extra.get("l4_offchip_reads", 0.0)
+    print(
+        f"cache mode under checkers: hmipc {result.hmipc:.3f}, "
+        f"l4 hit rate {result.extra.get('l4_hit_rate', 0.0):.3f}, "
+        f"{offchip_reads:.0f} off-chip reads, all invariants held"
+    )
+    if not offchip_reads:
+        failures.append("cache-mode run produced no off-chip traffic")
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if not failures:
+        print("diff-validate modes: OK")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--smoke", action="store_true",
                       help="CI smoke: engine diff + seeded-bug drill")
+    mode.add_argument("--modes", action="store_true",
+                      help="CI: memory-mode bit-identity + checked L4 run")
     mode.add_argument("--engines", action="store_true",
                       help="diff calendar vs heap engine")
     mode.add_argument("--timing", action="store_true",
@@ -192,6 +250,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         return cmd_smoke(args)
+    if args.modes:
+        return cmd_modes(args)
     if args.engines:
         return cmd_engines(args)
     return cmd_timing(args)

@@ -11,6 +11,8 @@ Commands:
 * ``table {2a,2b}``                   — regenerate a table.
 * ``fairness --config quad-mc``       — solo-vs-mixed fairness metrics.
 * ``ras-study``                       — fault rate x ECC sweep (RAS).
+* ``stack-modes``                     — stack usage-mode x capacity
+  study (flat memory / L4 cache / MemCache — see docs/stack_modes.md).
 * ``report --output results/``        — regenerate everything.
 * ``ablation {scheduler,interleave,prefetch,replacement,mshr}``
 
@@ -67,6 +69,9 @@ from .system.config import (
     config_3d_fast,
     config_3d_wide,
     config_dual_mc,
+    config_l4_alloy,
+    config_l4_cache,
+    config_memcache,
     config_quad_mc,
 )
 from .system.machine import run_workload
@@ -81,6 +86,9 @@ CONFIGS: Dict[str, Callable[[], SystemConfig]] = {
     "3d-fast": config_3d_fast,
     "dual-mc": config_dual_mc,
     "quad-mc": config_quad_mc,
+    "l4-cache": config_l4_cache,
+    "l4-alloy": config_l4_alloy,
+    "memcache": config_memcache,
 }
 
 
@@ -420,6 +428,35 @@ def _cmd_ras_study(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_stack_modes(args) -> int:
+    from .common.units import MIB
+    from .experiments import run_stack_modes, save_table
+    from .experiments.stack_modes import DEFAULT_CAPACITIES
+
+    _export_check_env(args)
+    _export_sample_env(args)
+    if args.capacities:
+        capacities = tuple(
+            int(float(c) * MIB) for c in args.capacities.split(",")
+        )
+    else:
+        capacities = DEFAULT_CAPACITIES
+    result = run_stack_modes(
+        scale=get_scale(args.scale),
+        mixes=_mixes_arg(args.mixes),
+        seed=args.seed,
+        workers=args.workers,
+        capacities=capacities,
+        policy=_policy_from_args(args, "stack_modes"),
+    )
+    print(result.format())
+    if args.output:
+        save_table(result.table, args.output)
+        print(f"\nsaved result table to {args.output}")
+    _print_failures(result.table)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .service.http import ServiceServer
     from .service.service import SweepService
@@ -566,6 +603,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_ras)
     p_ras.set_defaults(func=_cmd_ras_study)
+
+    p_modes = sub.add_parser(
+        "stack-modes",
+        help="stack usage-mode study: flat memory vs L4 cache vs MemCache "
+        "across stack capacities",
+    )
+    p_modes.add_argument(
+        "--capacities", default=None,
+        help="comma-separated stack capacities in MiB (default: 32,64,128)",
+    )
+    p_modes.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also save the raw result table as JSON",
+    )
+    _add_common(p_modes)
+    p_modes.set_defaults(func=_cmd_stack_modes)
 
     p_srv = sub.add_parser(
         "serve",

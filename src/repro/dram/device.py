@@ -27,6 +27,7 @@ class DramDevice:
         registry: Optional[StatRegistry] = None,
         first_rank_id: int = 0,
         page_policy: str = "open",
+        stat_prefix: str = "",
     ) -> None:
         if num_ranks < 1:
             raise ValueError("need at least one rank")
@@ -39,6 +40,7 @@ class DramDevice:
                 row_buffer_entries=row_buffer_entries,
                 registry=registry,
                 page_policy=page_policy,
+                stat_prefix=stat_prefix,
             )
             for i in range(num_ranks)
         ]

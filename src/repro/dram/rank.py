@@ -27,6 +27,7 @@ class Rank:
         registry: Optional[StatRegistry] = None,
         refresh_phase: Optional[int] = None,
         page_policy: str = "open",
+        stat_prefix: str = "",
     ) -> None:
         if num_banks < 1:
             raise ValueError("a rank needs at least one bank")
@@ -40,7 +41,7 @@ class Rank:
         self.activations = ActivationWindow(timing)
         self.banks: List[Bank] = []
         for bank_id in range(num_banks):
-            name = f"dram.rank{rank_id}.bank{bank_id}"
+            name = f"{stat_prefix}dram.rank{rank_id}.bank{bank_id}"
             stats = registry.group(name) if registry is not None else None
             self.banks.append(
                 Bank(

@@ -16,6 +16,7 @@ from .figure4 import Figure4Result, run_figure4
 from .full_run import run_full_suite
 from .persistence import CellJournal, journal_signature, load_table, save_table
 from .ras_study import RasStudyResult, run_ras_study
+from .stack_modes import StackModesResult, run_stack_modes
 from .stack_study import StackStudyResult, run_stack_study
 from .sweep import SweepResult, sweep_field
 from .figure6 import Figure6aResult, Figure6bResult, run_figure6a, run_figure6b
@@ -77,6 +78,8 @@ __all__ = [
     "run_table2a",
     "RasStudyResult",
     "run_ras_study",
+    "StackModesResult",
+    "run_stack_modes",
     "StackStudyResult",
     "run_stack_study",
     "run_table2b",

@@ -41,7 +41,17 @@ class MainMemory:
         line_size: int = 64,
         mapping_scheme: str = "page",
         page_policy: str = "open",
+        first_mc_id: int = 0,
+        stat_prefix: str = "",
     ) -> None:
+        """``first_mc_id``/``stat_prefix`` let a second memory system
+        coexist with the primary one (the stack-mode facade's off-chip
+        DRAM): controllers get globally unique ``mc_id``s (transcripts
+        and checker keys stay unambiguous) and every stat group is
+        namespaced (e.g. ``offchip.mc1``, ``offchip.dram.rank0.bank0``)
+        so the DRAM power model's ``dram.`` aggregation still counts
+        only the stack.  The defaults are byte-identical to the
+        single-system machine."""
         if total_ranks % num_mcs != 0:
             raise ValueError(
                 f"{total_ranks} ranks cannot be split evenly over {num_mcs} MCs"
@@ -64,17 +74,19 @@ class MainMemory:
         )
         per_mc_queue = aggregate_queue_capacity // num_mcs
         self.controllers: List[MemoryController] = []
-        for mc_id in range(num_mcs):
+        for local_mc in range(num_mcs):
+            mc_id = first_mc_id + local_mc
             device = DramDevice(
                 timing,
                 num_ranks=ranks_per_mc,
                 banks_per_rank=banks_per_rank,
                 row_buffer_entries=row_buffer_entries,
                 registry=self.registry,
-                first_rank_id=mc_id * ranks_per_mc,
+                first_rank_id=local_mc * ranks_per_mc,
                 page_policy=page_policy,
+                stat_prefix=stat_prefix,
             )
-            bus = bus_factory(f"mc{mc_id}.bus")
+            bus = bus_factory(f"{stat_prefix}mc{mc_id}.bus")
             self.controllers.append(
                 MemoryController(
                     mc_id=mc_id,
@@ -86,7 +98,7 @@ class MainMemory:
                     queue_capacity=per_mc_queue,
                     quantum=mc_quantum,
                     transaction_overhead=mc_transaction_overhead,
-                    stats=self.registry.group(f"mc{mc_id}"),
+                    stats=self.registry.group(f"{stat_prefix}mc{mc_id}"),
                 )
             )
 

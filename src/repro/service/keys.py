@@ -34,7 +34,9 @@ from ..system.scale import ExperimentScale
 
 #: Bump when the key payload layout changes — old cache entries become
 #: unreachable (and are recomputed) instead of being misinterpreted.
-KEY_SCHEMA_VERSION = 1
+#: v2: SystemConfig grew the stack-mode fields (stack_mode, l4_*,
+#: offchip_*), changing the asdict payload.
+KEY_SCHEMA_VERSION = 2
 
 
 def canonical_json(obj) -> str:

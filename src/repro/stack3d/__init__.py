@@ -1,6 +1,24 @@
-"""3D integration modelling: TSVs, die geometry, density, thermal."""
+"""3D integration modelling: TSVs, die geometry, density, thermal, and
+the stack's usage modes (flat memory / L4 cache / MemCache)."""
 
 from .geometry import DramDensity, StackPlan, TsvSpec, plan_stack
+from .modes import (
+    AlloyTagStore,
+    SramTagStore,
+    StackModeMemory,
+    partition_quantum,
+    quantize_cache_bytes,
+    sram_tag_bytes,
+)
+from .predictor import (
+    PREDICTOR_KINDS,
+    AlwaysHitPredictor,
+    AlwaysMissPredictor,
+    HitMissPredictor,
+    MapIPredictor,
+    OraclePredictor,
+    make_predictor,
+)
 from .thermal import (
     DRAM_THERMAL_LIMIT_C,
     StackThermalModel,
@@ -11,12 +29,25 @@ from .thermal import (
 
 __all__ = [
     "DRAM_THERMAL_LIMIT_C",
+    "PREDICTOR_KINDS",
+    "AlloyTagStore",
+    "AlwaysHitPredictor",
+    "AlwaysMissPredictor",
     "DramDensity",
+    "HitMissPredictor",
+    "MapIPredictor",
+    "OraclePredictor",
+    "SramTagStore",
+    "StackModeMemory",
     "StackPlan",
     "StackThermalModel",
     "ThermalLayer",
     "TsvSpec",
     "default_stack",
+    "make_predictor",
+    "partition_quantum",
     "plan_stack",
+    "quantize_cache_bytes",
     "refresh_period_for_temperature",
+    "sram_tag_bytes",
 ]

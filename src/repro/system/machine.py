@@ -190,6 +190,81 @@ class Machine:
             page_policy=config.dram_page_policy,
         )
 
+        # Stack modes (repro.stack3d.modes): in "cache"/"memcache" the
+        # stack built above becomes an L4 in front of a commodity
+        # off-chip channel, behind the same MainMemory interface.  In
+        # "memory" mode this block is skipped entirely — zero new
+        # objects, stat groups, or branches on the request path (gated
+        # bit-for-bit by ``scripts/diff_validate.py --modes``).
+        self.l4 = None
+        self._l4_tag_shave = 0
+        l2_size = config.l2_size
+        if config.stack_mode != "memory":
+            from ..stack3d.modes import StackModeMemory, sram_tag_bytes
+
+            def _offchip_bus(name: str) -> Bus:
+                return offchip_fsb(stats=self.registry.group(name), name=name)
+
+            offchip = MainMemory(
+                self.engine,
+                ddr2_commodity(),
+                bus_factory=_offchip_bus,
+                registry=self.registry,
+                num_mcs=config.offchip_num_mcs,
+                total_ranks=config.offchip_total_ranks,
+                banks_per_rank=config.banks_per_rank,
+                row_buffer_entries=1,
+                aggregate_queue_capacity=config.offchip_mrq_capacity,
+                scheduler=config.scheduler,
+                mc_quantum=2,
+                mc_transaction_overhead=12,
+                page_size=config.page_size,
+                line_size=config.line_size,
+                mapping_scheme=config.dram_mapping_scheme,
+                page_policy=config.dram_page_policy,
+                # Globally unique MC ids and "offchip."-prefixed stat
+                # groups: transcripts/checkers stay unambiguous, and the
+                # stack power model (bank prefix "dram.") keeps counting
+                # only stack banks.
+                first_mc_id=config.num_mcs,
+                stat_prefix="offchip.",
+            )
+            self.l4 = StackModeMemory(
+                self.engine,
+                self.memory,
+                offchip,
+                self.registry,
+                mode=config.stack_mode,
+                capacity=config.l4_capacity,
+                cache_fraction=config.l4_cache_fraction,
+                tags=config.l4_tags,
+                assoc=config.l4_assoc,
+                tag_latency=config.l4_tag_latency,
+                predictor=config.l4_predictor,
+                mshr_entries=config.l4_mshr_entries,
+                warm_start=config.l4_warm_start,
+                repartition_epoch=config.l4_repartition_epoch,
+                partition_step=config.l4_partition_step,
+                fraction_min=config.l4_fraction_min,
+                fraction_max=config.l4_fraction_max,
+                line_size=config.line_size,
+            )
+            self.memory = self.l4
+            if (
+                config.l4_tags == "sram"
+                and config.l4_sram_tag_cost
+                and self.l4.cache_bytes
+            ):
+                # SRAM tags are not free: the directory's bytes come out
+                # of the L2 (down to at most half of it, whole sets).
+                quantum = config.l2_assoc * config.line_size
+                shave = min(
+                    sram_tag_bytes(self.l4.cache_bytes, config.line_size),
+                    l2_size // 2,
+                )
+                l2_size = max(quantum, ((l2_size - shave) // quantum) * quantum)
+                self._l4_tag_shave = config.l2_size - l2_size
+
         # L2 MSHR banks: one per MC in the streamlined organization,
         # each with the configured per-bank capacity.
         num_mshr_banks = config.num_mcs if config.l2_mshr_banked else 1
@@ -233,7 +308,7 @@ class Machine:
         self.l2 = BankedL2Cache(
             self.engine,
             CacheArray(
-                config.l2_size,
+                l2_size,
                 config.l2_assoc,
                 config.line_size,
                 policy=config.l2_replacement,
@@ -370,7 +445,8 @@ class Machine:
         """
         mshr = sum(f.occupancy for f in self.l2_mshr_files)
         mrq = sum(len(mc.mrq) for mc in self.memory.controllers)
-        return mshr + mrq
+        l4 = self.l4.occupancy() if self.l4 is not None else 0
+        return mshr + mrq + l4
 
     def run(
         self,
@@ -537,6 +613,9 @@ class Machine:
         }
         if self.ras is not None:
             merged_extra.update(self.ras.result_extra())
+        if self.l4 is not None:
+            merged_extra.update(self.l4.result_extra())
+            merged_extra["l4_tag_shave_bytes"] = float(self._l4_tag_shave)
         merged_extra.update(extra)
         return MachineResult(
             config_name=self.config.name,

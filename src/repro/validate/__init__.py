@@ -32,8 +32,10 @@ from .diff import (
     DiffReport,
     TracedRun,
     diff_engines,
+    diff_modes,
     diff_runs,
     diff_timing_presets,
+    filter_run,
     run_traced,
 )
 from .dram_timing import DramTimingChecker, ShadowBank
@@ -58,8 +60,10 @@ __all__ = [
     "attach_checkers",
     "diff_batched",
     "diff_engines",
+    "diff_modes",
     "diff_runs",
     "diff_timing_presets",
+    "filter_run",
     "instrument_banks",
     "resolve_checker_names",
     "run_traced",

@@ -291,6 +291,103 @@ def diff_batched(
     return diff_runs(lhs, rhs), lhs, rhs
 
 
+def filter_run(
+    run: TracedRun,
+    *,
+    max_mc: Optional[int] = None,
+    drop_stat_prefixes: Sequence[str] = (),
+    label: Optional[str] = None,
+) -> TracedRun:
+    """Project a traced run onto a sub-system before diffing.
+
+    Used by the stack-mode equivalence checks: a non-memory mode adds an
+    off-chip channel (MC ids >= the stack's ``num_mcs``) and new stat
+    groups (``l4``, ``offchip.*``), but its *stack* traffic is the part
+    a memory-mode run must be compared against.  ``max_mc`` keeps only
+    transcript records from MCs below it; ``drop_stat_prefixes`` removes
+    whole stat groups by name prefix.
+    """
+    transcript = run.transcript
+    if max_mc is not None:
+        transcript = [r for r in transcript if r.mc < max_mc]
+    stats = {
+        group: values
+        for group, values in run.stats.items()
+        if not any(group.startswith(p) for p in drop_stat_prefixes)
+    }
+    return TracedRun(
+        label=label or f"{run.label}[filtered]",
+        config_name=run.config_name,
+        workload=run.workload,
+        engine_name=run.engine_name,
+        transcript=transcript,
+        stats=stats,
+        result=run.result,
+    )
+
+
+#: Stat-group prefixes that exist only in non-memory stack modes.
+MODE_ONLY_STAT_PREFIXES: Tuple[str, ...] = ("l4", "offchip.")
+
+
+def diff_modes(
+    config: SystemConfig,
+    benchmarks: Sequence[str],
+    *,
+    warmup: int,
+    measure: int,
+    seed: int = 42,
+    workload_name: str = "",
+    checkers=None,
+) -> Tuple[DiffReport, TracedRun, TracedRun]:
+    """Memory mode vs the all-direct MemCache degenerate configuration.
+
+    The rhs runs ``memcache`` with ``l4_cache_fraction=0.0`` over the
+    full DRAM capacity: no cache region exists, so the facade's only
+    job is to pass every original request straight through to the stack
+    — synchronously, with zero events of its own.  Its stack transcript
+    and every pre-existing stat group must be bit-identical to memory
+    mode; the only new information allowed is the ``l4``/``offchip.*``
+    groups (and the off-chip channel must carry zero commands).
+    """
+    lhs = run_traced(
+        config, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, checkers=checkers,
+        label=f"{config.name}/memory",
+    )
+    identity = config.derive(
+        name=f"{config.name}-l4id",
+        stack_mode="memcache",
+        l4_capacity=config.dram_capacity,
+        l4_cache_fraction=0.0,
+        l4_repartition_epoch=0,
+        l4_sram_tag_cost=False,
+    )
+    rhs = run_traced(
+        identity, benchmarks, warmup=warmup, measure=measure, seed=seed,
+        workload_name=workload_name, checkers=checkers,
+        label=f"{config.name}/memcache-direct",
+    )
+    rhs_view = filter_run(
+        rhs,
+        max_mc=config.num_mcs,
+        drop_stat_prefixes=MODE_ONLY_STAT_PREFIXES,
+        label=rhs.label,
+    )
+    report = diff_runs(lhs, rhs_view)
+    # The projection must not have hidden real divergence: the identity
+    # configuration may never touch the off-chip channel.
+    offchip = [r for r in rhs.transcript if r.mc >= config.num_mcs]
+    if offchip:
+        report.first_divergence = report.first_divergence or 0
+        report.lhs_record = report.lhs_record or None
+        report.rhs_record = report.rhs_record or offchip[0]
+        report.stat_diffs.append(
+            ("offchip", "commands", 0.0, float(len(offchip)))
+        )
+    return report, lhs, rhs
+
+
 def diff_timing_presets(
     config: SystemConfig,
     benchmarks: Sequence[str],

@@ -1,0 +1,189 @@
+"""Hit/miss predictor battery for the alloy (tags-in-DRAM) L4.
+
+Two kinds of pin:
+
+* **Golden decision streams** — MAP-I is deterministic, so its exact
+  predict-bit sequence under a fixed seeded workload is fingerprinted.
+  Any change to the hash, table width, counter depth, or update rule
+  shows up here before it silently shifts every alloy-mode result.
+* **Mispredict storms** — degenerate predictors (always-hit over a
+  miss storm, always-miss over a hit-heavy stream) push the facade
+  down its worst paths: every access takes the wasted-TAD-read or
+  serialized-fetch fallback while a single-entry MSHR throttles fills.
+  The property is liveness: the stream drains completely, nothing
+  deadlocks behind the MSHR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.stack3d.predictor import (
+    PREDICTOR_KINDS,
+    AlwaysHitPredictor,
+    AlwaysMissPredictor,
+    MapIPredictor,
+    OraclePredictor,
+    make_predictor,
+)
+
+from tests.stack3d.test_mode_equivalence import _build_facade, _drive
+from tests.strategies import address_stream
+
+#: sha256 (first 16 hex) over the 500-bit MAP-I decision stream of the
+#: recipe in ``_decision_fingerprint``.  Recompute only for a deliberate
+#: predictor change — these pin the alloy mode's behaviour.
+GOLDEN_DECISIONS = {
+    1: "839ca834510778ba",
+    2: "7c61043656f9437b",
+    3: "79bc1699056138ee",
+}
+
+
+def _decision_fingerprint(seed, entries=64, length=500):
+    rng = random.Random(seed)
+    predictor = MapIPredictor(entries=entries)
+    bits = []
+    for _ in range(length):
+        pc = rng.randrange(256) * 4
+        line = rng.randrange(128) * 64
+        bits.append(1 if predictor.predict(line, pc) else 0)
+        predictor.update(line, pc, rng.random() < 0.55)
+    return hashlib.sha256(bytes(bits)).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Golden decision streams
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", sorted(GOLDEN_DECISIONS))
+def test_map_i_decision_stream_is_pinned(seed):
+    assert _decision_fingerprint(seed) == GOLDEN_DECISIONS[seed]
+
+
+def test_map_i_decision_stream_is_reproducible():
+    # Determinism, separately from the golden value: two fresh
+    # predictors fed the same stream agree bit for bit.
+    assert _decision_fingerprint(7) == _decision_fingerprint(7)
+
+
+# ----------------------------------------------------------------------
+# MAP-I mechanics
+# ----------------------------------------------------------------------
+def test_map_i_starts_weakly_predicting_hit():
+    predictor = MapIPredictor(entries=8)
+    assert predictor.predict(0, 0x400)
+    assert all(v == MapIPredictor.THRESHOLD for v in predictor.table)
+
+
+def test_map_i_counters_saturate_both_ways():
+    predictor = MapIPredictor(entries=1)
+    for _ in range(20):
+        predictor.update(0, 0x400, hit=True)
+    assert predictor.table[0] == MapIPredictor.COUNTER_MAX
+    assert predictor.predict(0, 0x400)
+    for _ in range(20):
+        predictor.update(0, 0x400, hit=False)
+    assert predictor.table[0] == 0
+    assert not predictor.predict(0, 0x400)
+
+
+def test_map_i_trains_per_pc_not_per_line():
+    predictor = MapIPredictor(entries=256)
+    hot_pc, cold_pc = 0x1004, 0x2008
+    assert predictor._index(hot_pc) != predictor._index(cold_pc)
+    for _ in range(8):
+        predictor.update(0, cold_pc, hit=False)
+    # The miss-trained PC flips to bypass; different lines under the
+    # untouched PC still predict hit.
+    assert not predictor.predict(12345 * 64, cold_pc)
+    assert predictor.predict(12345 * 64, hot_pc)
+
+
+def test_map_i_rejects_empty_table():
+    with pytest.raises(ValueError):
+        MapIPredictor(entries=0)
+
+
+# ----------------------------------------------------------------------
+# Factory and the stateless kinds
+# ----------------------------------------------------------------------
+def test_make_predictor_covers_every_kind():
+    truth = lambda line: line == 64
+    built = {kind: make_predictor(kind, truth) for kind in PREDICTOR_KINDS}
+    assert isinstance(built["oracle"], OraclePredictor)
+    assert isinstance(built["always-hit"], AlwaysHitPredictor)
+    assert isinstance(built["always-miss"], AlwaysMissPredictor)
+    assert isinstance(built["map-i"], MapIPredictor)
+    for kind, predictor in built.items():
+        assert predictor.name == kind
+
+
+def test_make_predictor_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_predictor("tage", lambda line: True)
+
+
+def test_oracle_follows_truth_and_ignores_training():
+    resident = set()
+    predictor = make_predictor("oracle", lambda line: line in resident)
+    assert not predictor.predict(64, 0x400)
+    resident.add(64)
+    predictor.update(64, 0x400, hit=False)  # lies must not matter
+    assert predictor.predict(64, 0x400)
+
+
+def test_degenerate_predictors_are_constant():
+    hit = AlwaysHitPredictor()
+    miss = AlwaysMissPredictor()
+    for pc in (0, 0x400, 0xFFFF_FFFC):
+        hit.update(0, pc, hit=False)
+        miss.update(0, pc, hit=True)
+        assert hit.predict(pc * 64, pc)
+        assert not miss.predict(pc * 64, pc)
+
+
+# ----------------------------------------------------------------------
+# Mispredict storms: fallback paths never deadlock the MSHR
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("predictor", ["always-hit", "always-miss", "map-i"])
+@pytest.mark.parametrize("mshr_entries", [1, 2])
+def test_mispredict_storm_never_deadlocks_mshr(predictor, mshr_entries):
+    """A footprint far beyond capacity makes nearly every access miss;
+    always-hit then takes the wasted-TAD-read path every time while the
+    tiny MSHR stalls fills behind one another.  Every request must
+    still complete and the facade must drain dry."""
+    engine, facade = _build_facade(
+        tags="dram", assoc=1, predictor=predictor,
+        capacity=16 * 1024, mshr_entries=mshr_entries,
+    )
+    stream = address_stream(21, length=400, pattern="random",
+                            footprint_lines=4096)
+    completed = _drive(engine, facade, stream)
+    assert sorted(completed) == sorted(stream)
+    assert facade.occupancy() == 0
+    stats = dict(facade.stats.items())
+    if predictor == "always-hit":
+        # The storm really happened: false hits paid the wasted read.
+        assert stats["false_hits"] > 0
+    if mshr_entries == 1:
+        assert stats["mshr_stalls"] > 0
+    assert stats["fills"] == stats["offchip_reads"]
+
+
+def test_hit_storm_under_always_miss_stays_live():
+    """The opposite lie: a hot resident set that always-miss keeps
+    bypassing.  False misses serialize through the off-chip path but
+    must never strand a request."""
+    engine, facade = _build_facade(
+        tags="dram", assoc=1, predictor="always-miss",
+        capacity=64 * 1024, mshr_entries=2,
+    )
+    stream = address_stream(22, length=300, pattern="hot",
+                            footprint_lines=128)
+    completed = _drive(engine, facade, stream)
+    assert sorted(completed) == sorted(stream)
+    assert facade.occupancy() == 0
+    assert facade.stats.get("false_misses") > 0
