@@ -152,6 +152,42 @@ def cmd_smoke(args) -> int:
             if not breport.identical:
                 failures.append(f"{name}: transcripts/stats diverged")
 
+        # Miss-heavy mixes: DRAM-bound traffic that puts the fused
+        # memory-controller drain (not just the core fast path) on the
+        # line.  The L2 is shrunk so the looping synthetic footprints
+        # stay miss-heavy for the whole run.
+        if args.miss_heavy:
+            from repro.validate import missheavy
+
+            names = missheavy.register_all(seed=args.seed, batch_size=256)
+            mh_config = config.derive(
+                name=f"{config.name}-mh", l2_size=64 * 1024, l2_assoc=8
+            )
+            mh_benchmarks = list(names.values())
+            try:
+                for name, kwargs in variants:
+                    breport, _, rhs = diff_batched(
+                        mh_config, mh_benchmarks,
+                        warmup=scale.warmup_instructions,
+                        measure=scale.measure_instructions,
+                        seed=args.seed, workload_name="miss-heavy",
+                        **kwargs,
+                    )
+                    print(f"[miss-heavy {name}] {breport.format()}")
+                    if not breport.identical:
+                        failures.append(
+                            f"miss-heavy {name}: transcripts/stats diverged"
+                        )
+                    fused = rhs.result.extra.get("fused_mc_issues", 0.0)
+                    print(f"  (fused drain issues: {fused:.0f})")
+                    if not fused:
+                        failures.append(
+                            f"miss-heavy {name}: fused drain never engaged "
+                            "(differential proved nothing)"
+                        )
+            finally:
+                missheavy.unregister(names)
+
     # 3. A seeded timing bug must be caught and named.
     faults.install(faults.parse_fault("timing:*:*:-1:0.5"))
     try:
@@ -243,6 +279,10 @@ def main(argv=None) -> int:
     parser.add_argument("--batched", action="store_true",
                         help="with --smoke: also diff scalar vs batched "
                              "cores (plain, checker-enabled, sampled)")
+    parser.add_argument("--miss-heavy", action="store_true",
+                        help="with --smoke --batched: also diff the "
+                             "DRAM-bound miss-heavy mixes that drive the "
+                             "fused memory-controller drain")
     parser.add_argument("--preset-a", default="2d",
                         choices=["2d", "3d-commodity", "true-3d"])
     parser.add_argument("--preset-b", default="true-3d",

@@ -320,11 +320,24 @@ class BankedL2Cache:
         schedule_at = engine.schedule_at
         prefetch = AccessType.PREFETCH
         respond_at = now + delay + self.routing_latency
+        pending = None
         for waiting in entry.requests:
             if waiting.access is prefetch:
                 waiting.complete(respond_at - self.routing_latency)
+            elif pending is None:
+                pending = [waiting]
             else:
+                pending.append(waiting)
+        if pending is not None:
+            if len(pending) == 1:
+                waiting = pending[0]
                 schedule_at(respond_at, waiting.complete, respond_at)
+            else:
+                # Batched delivery: the per-waiter completion events
+                # would carry consecutive sequence numbers at the same
+                # cycle, so nothing can interleave between them — one
+                # event completing the run in order is bit-identical.
+                schedule_at(respond_at, self._deliver_fills, pending, respond_at)
         # Only a non-empty waiter queue needs a drain pass.  A waiter
         # that arrives later necessarily found the file full again, and
         # the deallocate that next frees a slot schedules its own drain
@@ -333,6 +346,11 @@ class BankedL2Cache:
             engine.schedule(delay, self._drain_mshr_waiters, bank_idx)
         # The memory-side fetch has served its purpose.
         mem_request.release()
+
+    def _deliver_fills(self, waiters, at: int) -> None:
+        """Complete a run of same-cycle fill waiters in arrival order."""
+        for waiting in waiters:
+            waiting.complete(at)
 
     def _drain_mshr_waiters(self, bank_idx: int) -> None:
         waiters = self._mshr_waiters[bank_idx]

@@ -7,6 +7,9 @@ Commands:
   per-core results (``--benchmarks a,b,c,d`` for a custom mix).
 * ``analyze --config 2d --mix VH2``   — run once and print a bottleneck
   report.
+* ``profile run --config 2d --mix H1`` — run one workload (or
+  ``figure4``) in-process under cProfile and print the top hotspots
+  plus the fused/scalar memory-controller window statistics.
 * ``figure {4,6a,6b,7,9}``            — regenerate a figure.
 * ``table {2a,2b}``                   — regenerate a table.
 * ``fairness --config quad-mc``       — solo-vs-mixed fairness metrics.
@@ -222,6 +225,7 @@ def _cmd_run(args) -> int:
         workload_name=workload_name,
         checkers=args.check,
         sampling=plan,
+        fused_mc=False if args.no_fused_mc else None,
     )
     print(f"config {config.name}, workload {workload_name} ({scale.name} scale)")
     if args.check:
@@ -244,6 +248,89 @@ def _cmd_run(args) -> int:
         "DRAM dynamic energy "
         f"{result.extra['dram_dynamic_nj_per_access']:.2f} nJ/access"
     )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from .system.machine import ENV_FUSED_MC, Machine
+
+    if args.no_fused_mc:
+        # The env hatch reaches every machine the experiment builds,
+        # including runner cells that never see an explicit argument.
+        os.environ[ENV_FUSED_MC] = "0"
+    scale = get_scale(args.scale)
+    profiler = cProfile.Profile()
+    fused = None
+    if args.experiment == "run":
+        config = CONFIGS[args.config]()
+        mix = MIXES[args.mix]
+        machine = Machine(
+            config, list(mix.benchmarks), seed=args.seed,
+            workload_name=mix.name,
+        )
+        profiler.enable()
+        result = machine.run(
+            warmup_instructions=scale.warmup_instructions,
+            measure_instructions=scale.measure_instructions,
+        )
+        profiler.disable()
+        print(
+            f"profiled run: config {config.name}, workload {mix.name} "
+            f"({scale.name} scale), HMIPC {result.hmipc:.3f}"
+        )
+        fused = [mc.fused_stats() for mc in machine.memory.controllers]
+    else:
+        profiler.enable()
+        figure = run_figure4(
+            scale=scale, mixes=_mixes_arg(args.mixes), seed=args.seed,
+            workers=1,
+        )
+        profiler.disable()
+        print(f"profiled figure4 ({scale.name} scale, in-process cells)")
+        fused = figure.table
+
+    print("\nfused memory-controller drain:")
+    if isinstance(fused, list):
+        for index, snap in enumerate(fused):
+            if not snap["enabled"]:
+                print(f"  mc{index}: drain disabled (scalar pump only)")
+                continue
+            breaks = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(snap["breaks"].items())
+            ) or "none"
+            print(
+                f"  mc{index}: windows {snap['windows']}, "
+                f"fused issues {snap['fused_issues']}, "
+                f"scalar pumps {snap['scalar_pumps']}, breaks: {breaks}"
+            )
+    else:
+        # Cells only surface the aggregate extras (the per-controller
+        # break histograms die with each cell's machine).
+        totals = {"fused_mc_windows": 0.0, "fused_mc_issues": 0.0,
+                  "fused_mc_scalar_pumps": 0.0}
+        armed = 0
+        for cell in fused.cells.values():
+            if "fused_mc_windows" in cell.extra:
+                armed += 1
+                for key in totals:
+                    totals[key] += cell.extra.get(key, 0.0)
+        if armed:
+            print(
+                f"  {armed} cell(s): "
+                f"windows {totals['fused_mc_windows']:.0f}, "
+                f"fused issues {totals['fused_mc_issues']:.0f}, "
+                f"scalar pumps {totals['fused_mc_scalar_pumps']:.0f}"
+            )
+        else:
+            print("  drain disabled in every cell (scalar pump only)")
+
+    print(f"\ntop {args.top} functions by {args.sort}:")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 
 
@@ -539,7 +626,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=42)
     _add_check_flag(p_run)
     _add_sample_flag(p_run)
+    p_run.add_argument(
+        "--no-fused-mc", action="store_true",
+        help="disable the fused memory-controller drain (same as "
+        "REPRO_FUSED_MC=0); the scalar pump handles every issue",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one experiment in-process under cProfile: top hotspots "
+        "plus fused/scalar memory-controller window statistics",
+    )
+    p_prof.add_argument("experiment", choices=["run", "figure4"])
+    p_prof.add_argument("--config", default="3d-fast",
+                        choices=sorted(CONFIGS))
+    p_prof.add_argument("--mix", default="H1", choices=list(MIX_ORDER))
+    p_prof.add_argument("--mixes", default=None,
+                        help="(figure4) comma-separated mix names")
+    p_prof.add_argument("--scale", default="smoke",
+                        choices=["smoke", "default", "large"])
+    p_prof.add_argument("--seed", type=int, default=42)
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="functions to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime"])
+    p_prof.add_argument(
+        "--no-fused-mc", action="store_true",
+        help="profile the scalar pump instead (exports REPRO_FUSED_MC=0)",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("which", choices=["4", "6a", "6b", "7", "9"])

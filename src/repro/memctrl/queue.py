@@ -3,6 +3,14 @@
 The paper keeps the *aggregate* MRQ capacity constant at 32 entries across
 all controllers: one MC gets a 32-entry queue, four MCs get 8 entries each
 (Section 4.1).
+
+The queue is stored structure-of-arrays: alongside the ``MrqEntry``
+handles (which schedulers, checkers, and tests consume) it maintains
+parallel columns of the fields the controller's ready-scan touches every
+pump — bank object, row, arrival cycle.  The scalar pump and the fused
+drain both scan the columns with plain attribute loads instead of
+chasing per-entry objects; the entry list stays the source of truth for
+everything else.
 """
 
 from __future__ import annotations
@@ -47,6 +55,10 @@ class MemoryRequestQueue:
             raise ValueError("MRQ capacity must be >= 1")
         self.capacity = capacity
         self._entries: List[MrqEntry] = []
+        # Parallel columns, index-aligned with _entries.
+        self._banks: List = []
+        self._rows: List[int] = []
+        self._arrivals: List[int] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -64,6 +76,21 @@ class MemoryRequestQueue:
         """Entries in arrival order (the scheduler may pick any of them)."""
         return self._entries
 
+    @property
+    def banks(self) -> List:
+        """Bank column, index-aligned with :attr:`entries`."""
+        return self._banks
+
+    @property
+    def rows(self) -> List[int]:
+        """Row column, index-aligned with :attr:`entries`."""
+        return self._rows
+
+    @property
+    def arrivals(self) -> List[int]:
+        """Arrival-cycle column, index-aligned with :attr:`entries`."""
+        return self._arrivals
+
     def push(
         self,
         request: MemoryRequest,
@@ -76,10 +103,21 @@ class MemoryRequestQueue:
             return None
         entry = MrqEntry(request, coords, now, bank)
         self._entries.append(entry)
+        self._banks.append(bank)
+        self._rows.append(coords.row)
+        self._arrivals.append(now)
         return entry
 
     def remove(self, entry: MrqEntry) -> None:
-        self._entries.remove(entry)
+        self.remove_at(self._entries.index(entry))
+
+    def remove_at(self, index: int) -> MrqEntry:
+        """Remove and return the entry at ``index`` (column-aligned)."""
+        entry = self._entries.pop(index)
+        del self._banks[index]
+        del self._rows[index]
+        del self._arrivals[index]
+        return entry
 
     def occupancy(self) -> float:
         return len(self._entries) / self.capacity

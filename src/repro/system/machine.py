@@ -9,6 +9,7 @@ keeps executing, and report harmonic-mean IPC plus per-core MPKI.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -39,6 +40,11 @@ from .config import SystemConfig
 
 #: Per-core virtual address spacing; generators stay far below this.
 CORE_VA_STRIDE = 1 << 40
+
+#: Environment escape hatch for the memory-controller fused drain:
+#: ``REPRO_FUSED_MC=0`` disables it machine-wide (mirrors the CLI's
+#: ``--no-fused-mc``).  The name is pinned by a test.
+ENV_FUSED_MC = "REPRO_FUSED_MC"
 
 
 def _timing_for(config: SystemConfig) -> DramTiming:
@@ -112,6 +118,7 @@ class Machine:
         engine: Optional[Engine] = None,
         checkers=None,
         batched: bool = True,
+        fused_mc: Optional[bool] = None,
     ) -> None:
         """Wire a machine.
 
@@ -130,6 +137,12 @@ class Machine:
                 path (bit-identical statistics, verified by
                 ``scripts/diff_validate.py --batched``).  ``False``
                 replays the legacy per-item path exactly.
+            fused_mc: enable the memory-controller fused drain (the
+                batched miss path).  ``None`` (default) follows the
+                ``REPRO_FUSED_MC`` environment variable (on unless set
+                to ``0``).  Regardless of the request, the drain only
+                arms on eligible machines: batched mode, flat
+                ``stack_mode == "memory"`` topology, RAS disabled.
         """
         if len(benchmarks) != config.num_cores:
             raise ValueError(
@@ -435,6 +448,24 @@ class Machine:
             # Checked runs also arm the request-pool reuse guard.
             request_mod.set_pool_check(True)
 
+        # Memory-side fused drain (the batched miss path).  Only armed
+        # where the drain's window proofs hold structurally: batched
+        # mode, the flat memory topology (no L4/stack facade traffic),
+        # and no RAS (fault injection must see every scalar issue).
+        # Each controller still re-proves a quiescent window per pump
+        # and falls back to the scalar path otherwise.
+        if fused_mc is None:
+            fused_mc = os.environ.get(ENV_FUSED_MC, "1") != "0"
+        self.fused_mc_enabled = bool(
+            fused_mc
+            and batched
+            and config.stack_mode == "memory"
+            and not ras_enabled
+        )
+        if self.fused_mc_enabled:
+            for controller in self.memory.controllers:
+                controller.enable_fused_drain()
+
     # ------------------------------------------------------------------
     def outstanding_requests(self) -> int:
         """Requests in flight: MSHR occupancy plus MC queue depths.
@@ -616,6 +647,17 @@ class Machine:
         if self.l4 is not None:
             merged_extra.update(self.l4.result_extra())
             merged_extra["l4_tag_shave_bytes"] = float(self._l4_tag_shave)
+        if self.fused_mc_enabled:
+            drain = [mc.fused_stats() for mc in self.memory.controllers]
+            merged_extra["fused_mc_windows"] = float(
+                sum(d["windows"] for d in drain)
+            )
+            merged_extra["fused_mc_issues"] = float(
+                sum(d["fused_issues"] for d in drain)
+            )
+            merged_extra["fused_mc_scalar_pumps"] = float(
+                sum(d["scalar_pumps"] for d in drain)
+            )
         merged_extra.update(extra)
         return MachineResult(
             config_name=self.config.name,
@@ -639,11 +681,14 @@ def run_workload(
     checkers=None,
     sampling=None,
     batched: bool = True,
+    fused_mc: Optional[bool] = None,
 ) -> MachineResult:
     """One-call convenience: build a machine and run it.
 
     ``sampling`` accepts a :class:`~repro.sampling.plan.SamplingPlan`
-    (or ``None`` for the default full-detail run).
+    (or ``None`` for the default full-detail run).  ``fused_mc=False``
+    (or ``REPRO_FUSED_MC=0``) disables the memory-controller fused
+    drain while keeping the batched core path.
     """
     machine = Machine(
         config,
@@ -652,6 +697,7 @@ def run_workload(
         workload_name=workload_name,
         checkers=checkers,
         batched=batched,
+        fused_mc=fused_mc,
     )
     if sampling is not None:
         return machine.run_sampled(

@@ -61,13 +61,16 @@ def run_traced(
     batched: bool = True,
     sampling=None,
     label: str = "",
+    fused_mc: Optional[bool] = None,
 ) -> TracedRun:
     """Run one workload and capture its command transcript and stats.
 
     ``batched`` selects the core's trace representation (columnar fused
-    fast path vs per-item scalar dispatch); ``sampling`` optionally runs
-    under a :class:`~repro.sampling.plan.SamplingPlan` instead of full
-    detail.
+    fast path vs per-item scalar dispatch) and, with it, the memory
+    controllers' fused drain; ``fused_mc=False`` pins the drain off
+    while keeping the batched core path (the ``--no-fused-mc`` escape
+    hatch).  ``sampling`` optionally runs under a
+    :class:`~repro.sampling.plan.SamplingPlan` instead of full detail.
     """
     from ..system.machine import Machine
 
@@ -79,6 +82,7 @@ def run_traced(
         engine=engine,
         checkers=checkers,
         batched=batched,
+        fused_mc=fused_mc,
     )
     recorder = TranscriptRecorder()
     from .hooks import instrument_banks
@@ -270,13 +274,16 @@ def diff_batched(
     checkers=None,
     sampling=None,
 ) -> Tuple[DiffReport, TracedRun, TracedRun]:
-    """Same workload with scalar vs batched (fused fast path) cores.
+    """Same workload, scalar vs batched execution strategy end to end.
 
-    The batched representation is a pure execution-strategy change, so
-    transcripts and stat tables must be bit-identical; any difference is
-    a fused-path bug.  ``checkers``/``sampling`` exercise the fallback
-    seams (checker-enabled and sampled runs lean on the scalar path for
-    parts of the simulation — the mixture must still match exactly).
+    The batched arm runs both fused fast paths — the core's L1-hit-run
+    dispatch *and* the memory controllers' fused miss-path drain (armed
+    by ``Machine`` whenever ``batched=True`` on an eligible config);
+    the scalar arm runs neither.  Both are pure execution-strategy
+    changes, so transcripts and stat tables must be bit-identical; any
+    difference is a fused-path bug.  ``checkers``/``sampling`` exercise
+    the seams: both fast paths stay active under instrumentation, and
+    the mixture must still match exactly.
     """
     lhs = run_traced(
         config, benchmarks, warmup=warmup, measure=measure, seed=seed,

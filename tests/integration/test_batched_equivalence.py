@@ -139,6 +139,129 @@ def test_native_producer_matches_batch_iter_adapter():
     assert native[:1_500] == rows
 
 
+# ---------------------------------------------------------------------------
+# Miss-heavy mixes: the memory-controller fused drain under stress.
+# ---------------------------------------------------------------------------
+#
+# The random mix above is mostly L1 hits, so it exercises the *core*
+# fused dispatch.  The mixes below are DRAM-bound: deep MRQs, blocked
+# cores, row conflicts, refresh blackouts, MSHR backpressure.  In
+# batched mode the Machine also arms the memory-controller fused drain,
+# so this diff covers both fast paths against the fully scalar machine.
+
+from repro.validate import missheavy
+
+
+# The stock L2 is 12 MiB — a looping synthetic trace becomes resident
+# after one pass and stops missing.  Shrink the L2 so the mixes stay
+# DRAM-bound for their whole run.
+_SMALL_L2 = dict(l2_size=64 * 1024, l2_assoc=8)
+
+
+def _run_mc(name: str, batched: bool, **overrides):
+    params = dict(_SMALL_L2)
+    params.update(overrides)
+    config = config_2d().derive(name="2D-mh", num_cores=1, **params)
+    machine = Machine(
+        config, [name], seed=7, workload_name=name, batched=batched
+    )
+    result = machine.run(
+        warmup_instructions=_WARMUP, measure_instructions=_MEASURE
+    )
+    return result, machine.registry.dump(), machine
+
+
+@pytest.fixture
+def miss_heavy_benchmark(request):
+    kind, seed, batch_size = request.param
+    name = missheavy.register_miss_heavy(kind, seed, batch_size)
+    yield kind, name
+    missheavy.unregister(name)
+
+
+@pytest.mark.parametrize(
+    "miss_heavy_benchmark",
+    [
+        ("streaming", 5, 1),
+        ("streaming", 5, 4096),
+        ("pointer-chase", 9, 2),
+        ("row-conflict-max", 13, 7),
+        ("refresh-straddling", 17, 4096),
+    ],
+    indirect=True,
+    ids=[
+        "streaming-batch1",
+        "streaming-batch-huge",
+        "pointer-chase-batch2",
+        "row-conflict-batch-odd",
+        "refresh-straddle-batch-huge",
+    ],
+)
+def test_miss_heavy_stats_bit_identical(miss_heavy_benchmark):
+    kind, name = miss_heavy_benchmark
+    scalar_result, scalar_stats, scalar_machine = _run_mc(name, batched=False)
+    batched_result, batched_stats, batched_machine = _run_mc(name, batched=True)
+    assert batched_stats == scalar_stats
+    assert batched_result.hmipc == scalar_result.hmipc
+    assert batched_result.total_cycles == scalar_result.total_cycles
+    for bcore, score in zip(batched_result.cores, scalar_result.cores):
+        assert bcore.avg_load_latency == score.avg_load_latency
+        assert bcore.l2_mpki == score.l2_mpki
+    assert not scalar_machine.fused_mc_enabled
+    assert batched_machine.fused_mc_enabled
+    assert (
+        batched_machine.engine.events_fired
+        <= scalar_machine.engine.events_fired
+    )
+    if kind == "streaming":
+        # The drain's best case must actually engage, otherwise this
+        # differential is scalar-vs-scalar and proves nothing.
+        fused = sum(
+            mc.fused_stats()["fused_issues"]
+            for mc in batched_machine.memory.controllers
+        )
+        assert fused > 0
+        assert (
+            batched_machine.engine.events_fired
+            < scalar_machine.engine.events_fired
+        )
+
+
+def test_miss_heavy_single_entry_mshr_bit_identical():
+    """One MSHR entry per bank: maximal backpressure and fill churn."""
+    name = missheavy.register_miss_heavy("streaming", 21, 7)
+    try:
+        dumps = []
+        for batched in (False, True):
+            _, dump, _ = _run_mc(
+                name, batched=batched, l1_mshr_entries=1, l2_mshr_per_bank=1
+            )
+            dumps.append(dump)
+        assert dumps[0] == dumps[1]
+    finally:
+        missheavy.unregister(name)
+
+
+def test_miss_heavy_multicore_mixed_kinds_bit_identical():
+    """All four miss-heavy kinds at once on a 4-core machine."""
+    names = missheavy.register_all(seed=31, batch_size=256)
+    try:
+        dumps = []
+        for batched in (False, True):
+            config = config_2d().derive(name="2D-mh4", **_SMALL_L2)
+            machine = Machine(
+                config, list(names.values()), seed=11,
+                workload_name="missheavy-4c", batched=batched,
+            )
+            machine.run(
+                warmup_instructions=_WARMUP, measure_instructions=_MEASURE
+            )
+            dumps.append(machine.registry.dump())
+        assert dumps[0] == dumps[1]
+    finally:
+        missheavy.unregister(names)
+
+
 def test_multicore_mix_stats_bit_identical():
     """The stock 4-core H1 mix: full-system scalar vs batched dump."""
     from repro.workloads.mixes import MIXES

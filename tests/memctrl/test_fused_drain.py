@@ -1,0 +1,257 @@
+"""The memory-side fused drain: bit-identity and fallback discipline.
+
+These are engine-level tests against a bare :class:`MemoryController`
+(no cores, no caches): bursts of randomized requests are replayed into
+a scalar-pump controller and a fused-drain controller, and the complete
+observable record — per-request completion and issue times, row-hit
+flags, controller and bus counters — must match exactly.  Refresh is
+left *enabled* (unlike the latency unit tests) so fused windows run
+into blackout barriers.
+"""
+
+import random
+
+import pytest
+
+from repro.common.request import AccessType, MemoryRequest
+from repro.dram.bank import Bank
+from repro.dram.device import DramDevice
+from repro.dram.refresh import RefreshSchedule
+from repro.dram.timing import ddr2_commodity
+from repro.engine import Engine
+from repro.interconnect.bus import Bus
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.mapping import AddressMapping
+from repro.memctrl.queue import MemoryRequestQueue, MrqEntry
+from repro.memctrl.schedulers import FcfsScheduler, FrFcfsScheduler
+
+
+def _mc(engine, scheduler=None, queue_capacity=64, quantum=1):
+    mapping = AddressMapping(num_mcs=1, ranks_per_mc=2, banks_per_rank=2)
+    device = DramDevice(ddr2_commodity(), num_ranks=2, banks_per_rank=2)
+    bus = Bus(width_bytes=64, cycles_per_beat=1, wire_latency=2)
+    return MemoryController(
+        0, engine, device, bus,
+        scheduler if scheduler is not None else FrFcfsScheduler(),
+        mapping, queue_capacity=queue_capacity, quantum=quantum,
+    )
+
+
+def _burst_specs(seed, bursts=12, burst_size=16):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(bursts):
+        burst = []
+        for _ in range(burst_size):
+            addr = rng.randrange(0, 1 << 22) & ~0x3F
+            is_write = rng.random() < 0.3
+            burst.append((addr, is_write))
+        out.append(burst)
+    return out
+
+
+def _replay(engine, mc, specs, idle_gap=200):
+    """Enqueue bursts while quiescent; returns the completion record."""
+    record = []
+
+    def _cb(request):
+        record.append((
+            engine.now,
+            request.addr,
+            request.completed_at,
+            request.issued_to_dram_at,
+            request.row_buffer_hit,
+        ))
+
+    for burst in specs:
+        for addr, is_write in burst:
+            access = AccessType.WRITEBACK if is_write else AccessType.READ
+            assert mc.enqueue(MemoryRequest(addr, access, callback=_cb))
+        engine.run()
+        # Idle forward so the next burst starts from a quiet machine at
+        # a deterministic time in both arms.
+        engine.schedule_at(engine.now + idle_gap, lambda: None)
+        engine.run()
+    return record
+
+
+@pytest.mark.parametrize("scheduler_cls", [FrFcfsScheduler, FcfsScheduler])
+@pytest.mark.parametrize("seed", [3, 17])
+def test_fused_drain_matches_scalar_pump_exactly(scheduler_cls, seed):
+    specs = _burst_specs(seed)
+    records, engines, mcs = [], [], []
+    for fused in (False, True):
+        engine = Engine()
+        mc = _mc(engine, scheduler=scheduler_cls())
+        if fused:
+            mc.enable_fused_drain()
+        records.append(_replay(engine, mc, specs))
+        engines.append(engine)
+        mcs.append(mc)
+    assert records[0] == records[1]
+    for key in ("issued", "row_hits", "row_misses"):
+        assert mcs[1].stats.get(key) == mcs[0].stats.get(key)
+    for key in ("transfers", "busy_cycles", "bytes", "queue_cycles"):
+        assert mcs[1].bus.stats.get(key) == mcs[0].bus.stats.get(key)
+    stats = mcs[1].fused_stats()
+    assert stats["enabled"]
+    assert stats["fused_issues"] > 0, (
+        "burst replay never engaged the drain: %r" % (stats,)
+    )
+    # The drain's whole point: strictly fewer pump events fired.
+    assert engines[1].events_fired < engines[0].events_fired
+
+
+def test_fused_drain_refuses_shallow_queue():
+    engine = Engine()
+    mc = _mc(engine)
+    mc.enable_fused_drain()
+    done = []
+    mc.enqueue(MemoryRequest(0x0, AccessType.READ, callback=done.append))
+    engine.run()
+    stats = mc.fused_stats()
+    assert done[0].completed_at is not None
+    assert stats["fused_issues"] == 0
+    assert stats["breaks"].get("shallow-queue", 0) >= 1
+    assert stats["scalar_pumps"] >= 1
+
+
+def test_fused_drain_ineligible_scheduler_falls_back():
+    from repro.memctrl.schedulers import make_scheduler
+
+    engine = Engine()
+    mc = _mc(engine, scheduler=make_scheduler("frfcfs-writedrain"))
+    mc.enable_fused_drain()
+    for addr in (0x0, 0x1000, 0x2000, 0x3000):
+        mc.enqueue(MemoryRequest(addr, AccessType.READ))
+    engine.run()
+    stats = mc.fused_stats()
+    assert stats["fused_issues"] == 0
+    assert stats["windows"] == 0
+
+
+# ---------------------------------------------------------------------------
+# SoA queue invariants.
+# ---------------------------------------------------------------------------
+
+
+class _FakeBank:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def _entry(i):
+    request = MemoryRequest(i * 64, AccessType.READ)
+    coords = type("C", (), {"row": i % 4})()
+    return request, coords, _FakeBank(i)
+
+
+def test_queue_columns_stay_aligned():
+    q = MemoryRequestQueue(capacity=8)
+    entries = []
+    for i in range(6):
+        request, coords, bank = _entry(i)
+        entries.append(q.push(request, coords, now=i * 10, bank=bank))
+    assert q.banks == [e.bank for e in q.entries]
+    assert q.rows == [e.coords.row for e in q.entries]
+    assert q.arrivals == [e.arrival for e in q.entries]
+    # Remove from the middle by index, then by identity.
+    removed = q.remove_at(2)
+    assert removed is entries[2]
+    q.remove(entries[4])
+    survivors = [entries[0], entries[1], entries[3], entries[5]]
+    assert q.entries == survivors
+    assert q.banks == [e.bank for e in survivors]
+    assert q.rows == [e.coords.row for e in survivors]
+    assert q.arrivals == [e.arrival for e in survivors]
+    assert len(q) == 4
+    assert q.occupancy() == 4 / 8
+
+
+def test_queue_push_returns_entry_with_bank():
+    q = MemoryRequestQueue(capacity=2)
+    request, coords, bank = _entry(0)
+    entry = q.push(request, coords, now=5, bank=bank)
+    assert isinstance(entry, MrqEntry)
+    assert entry.bank is bank
+    assert entry.arrival == 5
+    assert q.is_full is False
+    q.push(*_entry(1)[:2], now=6, bank=_FakeBank(1))
+    assert q.is_full is True
+
+
+# ---------------------------------------------------------------------------
+# next_blackout_start: the window-barrier clamp.
+# ---------------------------------------------------------------------------
+
+
+def test_next_blackout_start_properties():
+    timing = ddr2_commodity()
+    schedule = RefreshSchedule(timing, phase=37)
+    rng = random.Random(9)
+    horizon = 5 * timing.refresh_interval
+    for _ in range(300):
+        t = rng.randrange(37, horizon)
+        start = schedule.next_blackout_start(t)
+        assert start >= t
+        # The returned cycle is genuinely inside a blackout...
+        assert schedule.earliest_available(start) > start
+        # ...and every cycle in [t, start) is blackout-free.
+        for probe in range(t, min(start, t + 4)):
+            assert schedule.earliest_available(probe) == probe
+        if start > t:
+            assert schedule.earliest_available(start - 1) == start - 1
+
+
+def test_next_blackout_start_pre_anchor_is_conservative():
+    timing = ddr2_commodity()
+    schedule = RefreshSchedule(timing, phase=1000)
+    # Before the anchor the regime is undefined; the clamp must claim an
+    # immediate blackout so fused windows cannot open there.
+    assert schedule.next_blackout_start(10) == 10
+
+
+# ---------------------------------------------------------------------------
+# Bulk helpers: access_run and transfer_run.
+# ---------------------------------------------------------------------------
+
+
+def _fresh_bank():
+    timing = ddr2_commodity()
+    return Bank(timing, RefreshSchedule(timing, phase=123))
+
+
+def test_bank_access_run_matches_loop():
+    rng = random.Random(21)
+    for trial in range(10):
+        rows = [rng.randrange(0, 6) for _ in range(40)]
+        writes = rng.random() < 0.5
+        start = rng.randrange(0, 10_000)
+        a, b = _fresh_bank(), _fresh_bank()
+        got = a.access_run(start, rows, is_write=writes)
+        t = start
+        want = []
+        for row in rows:
+            result = b.access(t, row, writes)
+            want.append(result)
+            t = result[0]
+        assert got == want, f"trial {trial}"
+        assert a.earliest_start(t) == b.earliest_start(t)
+        assert sorted(a.open_rows) == sorted(b.open_rows)
+        for key in ("row_hits", "row_misses"):
+            assert a.stats.get(key) == b.stats.get(key)
+
+
+def test_bus_transfer_run_matches_loop():
+    rng = random.Random(5)
+    starts = [0]
+    for _ in range(50):
+        starts.append(starts[-1] + rng.randrange(0, 30))
+    a = Bus(width_bytes=16, cycles_per_beat=2, wire_latency=3)
+    b = Bus(width_bytes=16, cycles_per_beat=2, wire_latency=3)
+    got = a.transfer_run(64, starts)
+    want = [b.transfer(64, s) for s in starts]
+    assert got == want
+    assert a.free_at == b.free_at
+    for key in ("transfers", "busy_cycles", "bytes", "queue_cycles"):
+        assert a.stats.get(key) == b.stats.get(key)

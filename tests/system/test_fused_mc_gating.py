@@ -1,0 +1,85 @@
+"""Arming rules for the memory-controller fused drain.
+
+The fast path is only provably exact for the plain stacked-memory
+machine: batched mode, ``stack_mode == "memory"``, RAS disabled.  Every
+other configuration must construct with the drain off so its event
+streams are byte-for-byte those of the pre-fast-path simulator.  The
+``REPRO_FUSED_MC`` escape hatch (and the ``fused_mc=`` argument that
+overrides it) is the operator's way to rule the fast path out when
+bisecting a discrepancy.
+"""
+
+import pytest
+
+from repro.ras.config import RasConfig
+from repro.system.config import config_2d, config_l4_cache, config_memcache
+from repro.system.machine import ENV_FUSED_MC, Machine
+
+_BENCH = "S.copy"
+
+
+def _machine(config, **kwargs):
+    benchmarks = [_BENCH] * config.num_cores
+    return Machine(config, benchmarks, seed=3, workload_name="gate",
+                   **kwargs)
+
+
+def _drains_armed(machine):
+    return [
+        mc.fused_stats()["enabled"] for mc in machine.memory.controllers
+    ]
+
+
+def test_batched_memory_mode_arms_drain():
+    machine = _machine(config_2d(), batched=True)
+    assert machine.fused_mc_enabled
+    assert all(_drains_armed(machine))
+
+
+def test_scalar_mode_does_not_arm_drain():
+    machine = _machine(config_2d(), batched=False)
+    assert not machine.fused_mc_enabled
+    assert not any(_drains_armed(machine))
+
+
+@pytest.mark.parametrize(
+    "config_factory", [config_l4_cache, config_memcache],
+    ids=["stack-cache", "stack-memcache"],
+)
+def test_stacked_cache_modes_never_arm_drain(config_factory):
+    machine = _machine(config_factory(), batched=True)
+    assert not machine.fused_mc_enabled
+    assert not any(_drains_armed(machine))
+
+
+def test_ras_never_arms_drain():
+    config = config_2d().derive(ras=RasConfig(transient_rate=1e-6))
+    machine = _machine(config, batched=True)
+    assert not machine.fused_mc_enabled
+    assert not any(_drains_armed(machine))
+
+
+def test_explicit_fused_mc_false_disarms():
+    machine = _machine(config_2d(), batched=True, fused_mc=False)
+    assert not machine.fused_mc_enabled
+    assert not any(_drains_armed(machine))
+
+
+def test_env_var_name_is_pinned():
+    # Documented in docs/performance.md and the CLI help; renaming it
+    # silently breaks every operator runbook that exports it.
+    assert ENV_FUSED_MC == "REPRO_FUSED_MC"
+
+
+def test_env_var_zero_disarms(monkeypatch):
+    monkeypatch.setenv(ENV_FUSED_MC, "0")
+    machine = _machine(config_2d(), batched=True)
+    assert not machine.fused_mc_enabled
+    assert not any(_drains_armed(machine))
+
+
+def test_explicit_argument_beats_env_var(monkeypatch):
+    monkeypatch.setenv(ENV_FUSED_MC, "0")
+    machine = _machine(config_2d(), batched=True, fused_mc=True)
+    assert machine.fused_mc_enabled
+    assert all(_drains_armed(machine))
