@@ -653,6 +653,131 @@ def bench_figure4_sampled(repeats):
     }
 
 
+def bench_snapshot_overhead(repeats):
+    """Guard metric: whole-machine checkpointing must stay ~free.
+
+    Preempts a figure-4 cell at its midpoint (the real checkpoint
+    shape — nobody resumes a finished cell), then times one capture
+    (``Machine.snapshot``: state walk + atomic fsync'd write) and one
+    restore (``Machine.resume`` + state application into a fresh
+    machine) of that mid-run state.  ``value`` is their combined
+    wall-clock as a fraction of the cell's own runtime — the marginal
+    cost of one checkpoint/resume cycle.  ``--check`` fails when it
+    exceeds ``SNAPSHOT_OVERHEAD_BUDGET`` — the gate that keeps the
+    snapshot subsystem honest about "periodic checkpoints are cheap
+    enough to leave on" (see docs/snapshot.md).
+
+    The cell is sized to run at least one *default* checkpoint interval
+    (``SnapshotPlan().every`` cycles): snapshot cost is dominated by
+    fixed work (state walk + fsync), so the meaningful ratio is against
+    the shortest cell in which a periodic snapshot ever fires.  The
+    plain smoke cell is ~85k cycles — below the default cadence — and
+    gating against it would charge the fixed cost to a cadence the
+    system never uses.
+    """
+    import tempfile
+
+    from repro.common.errors import SnapshotPreempted
+    from repro.snapshot import SnapshotPlan, preemption
+    from repro.snapshot.format import read_snapshot_file
+
+    scale = get_scale("smoke")
+    mix = MIXES[SMOKE_MIX]
+    measure_instructions = scale.measure_instructions * 3
+
+    def build():
+        return Machine(
+            config_2d(), list(mix.benchmarks), seed=SMOKE_SEED,
+            workload_name=mix.name,
+        )
+
+    def run_cell():
+        machine = build()
+        return machine.run(
+            warmup_instructions=scale.warmup_instructions,
+            measure_instructions=measure_instructions,
+        )
+
+    result = run_cell()
+    assert result.total_cycles >= SnapshotPlan(write=False).every, (
+        "bench cell is shorter than the default snapshot interval; "
+        "grow the measure window"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.snap")
+        # Park a machine mid-run: preempt at the boundary nearest the
+        # cell's midpoint, leaving live mid-flight state to checkpoint.
+        paused = build()
+        preemption.clear()
+        preemption.request_preemption()
+        try:
+            paused.run(
+                warmup_instructions=scale.warmup_instructions,
+                measure_instructions=measure_instructions,
+                snapshot=SnapshotPlan(
+                    path=path, every=result.total_cycles // 2,
+                    preemptible=True,
+                ),
+            )
+        except SnapshotPreempted:
+            pass
+        else:
+            raise AssertionError("cell finished before its midpoint boundary")
+        finally:
+            preemption.clear()
+
+        # A trace cursor only restores into a fresh machine, so the
+        # timed restore must rebuild one — but construction is paid by
+        # any run, resumed or not, so its separately-measured cost is
+        # subtracted back out.
+        def run_restore():
+            fresh = build()
+            fresh.resume(path)
+            fresh._apply_restore()
+            return fresh.engine.now
+
+        # Interleave the arms (the mc_loop discipline): the gated value
+        # is a ratio, so cell and checkpoint timings must see the same
+        # host conditions or a load spike on one side skews it.
+        best = {"cell": float("inf"), "capture": float("inf"),
+                "build": float("inf"), "restore_total": float("inf")}
+        resumed_cycle = None
+        for _ in range(repeats):
+            for key, fn in (
+                ("cell", run_cell),
+                ("capture", lambda: paused.snapshot(path)),
+                ("build", build),
+                ("restore_total", run_restore),
+            ):
+                start = time.perf_counter()
+                out = fn()
+                elapsed = time.perf_counter() - start
+                if elapsed < best[key]:
+                    best[key] = elapsed
+                if key == "restore_total":
+                    resumed_cycle = out
+        cell_seconds = best["cell"]
+        capture_seconds = best["capture"]
+        restore_seconds = max(best["restore_total"] - best["build"], 0.0)
+        snapshot_bytes = os.path.getsize(path)
+        header, _tree = read_snapshot_file(path)
+        capture_cycle = header["meta"]["cycle"]
+        assert 0 < capture_cycle < result.total_cycles
+    assert resumed_cycle == capture_cycle, "restore did not land on capture"
+    return {
+        "value": (capture_seconds + restore_seconds) / cell_seconds,
+        "unit": "fraction_of_cell",
+        "higher_is_better": False,
+        "wall_seconds": cell_seconds + capture_seconds + restore_seconds,
+        "cell_seconds": cell_seconds,
+        "capture_seconds": capture_seconds,
+        "restore_seconds": restore_seconds,
+        "capture_cycle": capture_cycle,
+        "total_cycles": result.total_cycles,
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+
 def run_suite(quick):
     chain_events = 20_000 if quick else 100_000
     ops = 2_000 if quick else 5_000
@@ -673,6 +798,7 @@ def run_suite(quick):
         "figure4_smoke": bench_figure4_smoke(1 if quick else 2),
         "figure4_rasoff": bench_figure4_rasoff(2 if quick else 3),
         "figure4_sampled": bench_figure4_sampled(1 if quick else 2),
+        "snapshot_overhead": bench_snapshot_overhead(2 if quick else 3),
     }
 
 
@@ -683,6 +809,10 @@ RAS_HOOK_BUDGET = 1.02
 #: Floor on the mc_loop fused-over-scalar speedup.  An in-process ratio,
 #: so host drift cannot save a fast path that stopped engaging.
 MIN_MC_LOOP_RATIO = 2.0
+
+#: Ceiling on one checkpoint + one restore as a fraction of the smoke
+#: cell's runtime (an in-process ratio, immune to host drift).
+SNAPSHOT_OVERHEAD_BUDGET = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -890,6 +1020,22 @@ def main(argv=None):
             print(
                 f"FAIL: fused memory-side drain is {mc_ratio:.2f}x the "
                 f"scalar pump; floor is {MIN_MC_LOOP_RATIO:.1f}x"
+            )
+            return 1
+
+    snap_ratio = metrics.get("snapshot_overhead", {}).get("value")
+    if snap_ratio is not None:
+        over = snap_ratio > SNAPSHOT_OVERHEAD_BUDGET
+        print(
+            f"snapshot overhead: {snap_ratio:.3f} of cell runtime "
+            f"(budget {SNAPSHOT_OVERHEAD_BUDGET:.2f})"
+            + ("  <-- OVER BUDGET" if over else "")
+        )
+        if args.check and over:
+            print(
+                f"FAIL: one checkpoint + restore costs {snap_ratio:.3f} of "
+                "the smoke cell's runtime; budget is "
+                f"{SNAPSHOT_OVERHEAD_BUDGET:.2f}"
             )
             return 1
 

@@ -11,6 +11,7 @@ the next bottleneck (Section 5).
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, Optional
 
 from ..common.request import AccessType, MemoryRequest
@@ -110,7 +111,7 @@ class L1Cache:
             self.core_id,
             pc,
             now,
-            lambda mr, e=new_entry: self._fill(e, mr),
+            partial(self._fill, new_entry),
         )
         self.engine.schedule(self.latency, self.l2.access, fetch)
         self._train_prefetcher(addr, pc, was_miss=True)
@@ -265,7 +266,7 @@ class L1Cache:
                 core_id=self.core_id,
                 pc=pc,
                 created_at=self.engine.now,
-                callback=lambda mr, e=entry: self._fill(e, mr),
+                callback=partial(self._fill, entry),
             )
             self.l2.access(fetch)
 
@@ -295,3 +296,37 @@ class L1Cache:
     def miss_rate(self) -> float:
         accesses = self.stats.get("accesses")
         return self.stats.get("misses") / accesses if accesses else 0.0
+
+    # ------------------------------------------------------------------
+    # Snapshot seam
+    # ------------------------------------------------------------------
+    def capture_state(self, ctx) -> dict:
+        return {
+            "v": 1,
+            "array": self.array.capture_state(),
+            "mshr": self.mshr.capture_state(ctx),
+            "prefetcher": (
+                None
+                if self.prefetcher is None
+                else self.prefetcher.capture_state()
+            ),
+            "free_waiters": [
+                ctx.encode_callback(cb) for cb in self._free_waiters
+            ],
+            "fill_dirty": list(self._fill_dirty.items()),
+            "poisoned_lines": list(self._poisoned_lines.items()),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "L1Cache")
+        self.array.restore_state(state["array"])
+        self.mshr.restore_state(state["mshr"], ctx)
+        if self.prefetcher is not None:
+            self.prefetcher.restore_state(state["prefetcher"])
+        self._free_waiters = deque(
+            ctx.decode_callback(enc) for enc in state["free_waiters"]
+        )
+        self._fill_dirty = dict(state["fill_dirty"])
+        self._poisoned_lines = dict(state["poisoned_lines"])

@@ -16,6 +16,7 @@ outstanding-miss limiter, as in the real design.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from ..common.request import AccessType, MemoryRequest
@@ -121,14 +122,14 @@ class StackedL3:
             core_id=request.core_id,
             pc=request.pc,
             created_at=now,
-            callback=lambda mr, l=line: self._fill_from_memory(l, mr),
+            callback=partial(self._fill_from_memory, line),
         )
         self._send(fetch)
 
     def _send(self, fetch: MemoryRequest) -> None:
         if not self.memory.enqueue(fetch):
             self.stats.add("mrq_full_retries")
-            self.memory.wait_for_space(fetch.addr, lambda: self._send(fetch))
+            self.memory.wait_for_space(fetch.addr, partial(self._send, fetch))
 
     def _fill_from_memory(self, line: int, fetch: MemoryRequest) -> None:
         self._fill(line, poisoned=fetch.poisoned)
@@ -189,3 +190,26 @@ class StackedL3:
         misses = self.stats.get("misses")
         total = hits + misses
         return hits / total if total else 0.0
+
+    # -- snapshot seam ---------------------------------------------------
+    def capture_state(self, ctx) -> dict:
+        return {
+            "v": 1,
+            "array": self.array.capture_state(),
+            "inflight": [
+                (line, [ctx.ref_request(r) for r in waiting])
+                for line, waiting in self._inflight.items()
+            ],
+            "poisoned_lines": list(self._poisoned_lines.items()),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "StackedL3")
+        self.array.restore_state(state["array"])
+        self._inflight = {
+            line: [ctx.get_request(ref) for ref in refs]
+            for line, refs in state["inflight"]
+        }
+        self._poisoned_lines = dict(state["poisoned_lines"])

@@ -32,6 +32,12 @@ class NextLinePrefetcher:
     def observe_run(self, addrs, pcs, start: int, stop: int) -> None:
         """Train on a run of demand hits: stateless, nothing to do."""
 
+    def capture_state(self) -> dict:
+        return {"v": 1}
+
+    def restore_state(self, state: dict) -> None:
+        pass
+
 
 class _StrideEntry:
     __slots__ = ("last_addr", "stride", "confidence")
@@ -339,6 +345,24 @@ class IpStridePrefetcher:
                 entry.confidence = 0
             entry.last_addr = addr
 
+    def capture_state(self) -> dict:
+        return {
+            "v": 1,
+            "table": [
+                (slot, entry.last_addr, entry.stride, entry.confidence)
+                for slot, entry in self._table.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        table: Dict[int, _StrideEntry] = {}
+        for slot, last_addr, stride, confidence in state["table"]:
+            entry = _StrideEntry(last_addr)
+            entry.stride = stride
+            entry.confidence = confidence
+            table[slot] = entry
+        self._table = table
+
 
 class CompositePrefetcher:
     """Fan-in of several prefetchers with de-duplication of candidates."""
@@ -376,3 +400,19 @@ class CompositePrefetcher:
         """Train every prefetcher on a verified hit run."""
         for prefetcher in self.prefetchers:
             prefetcher.observe_run(addrs, pcs, start, stop)
+
+    def capture_state(self) -> dict:
+        return {
+            "v": 1,
+            "children": [p.capture_state() for p in self.prefetchers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        children = state["children"]
+        if len(children) != len(self.prefetchers):
+            raise ValueError(
+                f"snapshot has {len(children)} prefetchers, composite has "
+                f"{len(self.prefetchers)}"
+            )
+        for prefetcher, child in zip(self.prefetchers, children):
+            prefetcher.restore_state(child)

@@ -23,8 +23,11 @@ All experiment commands accept ``--scale`` (smoke/default/large),
 ``--mixes`` (comma-separated) and ``--seed``, plus resilience knobs:
 ``--cell-timeout SECONDS`` (kill and retry hung cells),
 ``--retries N`` (re-attempt failed cells with exponential backoff),
-``--journal PATH`` (checkpoint each completed cell) and ``--resume``
-(skip cells already in the journal).  See ``docs/resilience.md``.
+``--journal PATH`` (checkpoint each completed cell), ``--resume``
+(skip cells already in the journal; refuses a journal whose configs
+were edited unless ``--force-resume``) and ``--snapshot-every CYCLES``
+(periodic whole-machine checkpoints so interrupted cells resume
+mid-run — see ``docs/snapshot.md``).  See ``docs/resilience.md``.
 
 ``run``, ``analyze`` and every experiment command also accept
 ``--check [names]`` to attach the runtime invariant checkers from
@@ -151,6 +154,7 @@ def _policy_from_args(args, default_name: str) -> Optional[RunPolicy]:
         and args.retries == 0
         and journal is None
         and not args.resume
+        and args.snapshot_every is None
     ):
         return None
     return RunPolicy(
@@ -158,6 +162,9 @@ def _policy_from_args(args, default_name: str) -> Optional[RunPolicy]:
         retries=args.retries,
         journal_path=journal,
         resume=args.resume,
+        force_resume=args.force_resume,
+        snapshot_every=args.snapshot_every,
+        snapshot_dir=args.snapshot_dir,
     )
 
 
@@ -426,11 +433,19 @@ def _cmd_report(args) -> int:
         # per experiment inside it).
         journal_dir = args.journal or args.output or "results"
     policy = None
-    if args.cell_timeout is not None or args.retries or args.resume:
+    if (
+        args.cell_timeout is not None
+        or args.retries
+        or args.resume
+        or args.snapshot_every is not None
+    ):
         policy = RunPolicy(
             cell_timeout=args.cell_timeout,
             retries=args.retries,
             resume=args.resume,
+            force_resume=args.force_resume,
+            snapshot_every=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
         )
     reports = run_full_suite(
         scale=get_scale(args.scale),
@@ -557,6 +572,7 @@ def _cmd_serve(args) -> int:
         max_pending_cells=args.max_pending_cells,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        snapshot_every=args.snapshot_every,
     )
     service = SweepService(args.root, policy)
     server = ServiceServer(
@@ -597,6 +613,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="skip cells already recorded in the journal; failed cells "
         "are re-simulated",
+    )
+    parser.add_argument(
+        "--force-resume", action="store_true",
+        help="resume a journal whose configs were edited since it was "
+        "written (same names, different contents) instead of refusing",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="CYCLES",
+        help="checkpoint every cell's machine state every CYCLES cycles; "
+        "interrupted cells resume from their latest snapshot "
+        "(see docs/snapshot.md)",
+    )
+    parser.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="directory for per-cell snapshot files (default: next to "
+        "the journal, or results/snapshots)",
     )
     _add_check_flag(parser)
     _add_sample_flag(parser)
@@ -764,6 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "circuit breaker")
     p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
                        help="seconds an open breaker sheds load")
+    p_srv.add_argument("--snapshot-every", type=int, default=None,
+                       metavar="CYCLES",
+                       help="checkpoint each cell every CYCLES cycles; "
+                       "preempted/killed workers are rescheduled from "
+                       "their latest snapshot")
     p_srv.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
     p_srv.set_defaults(func=_cmd_serve)

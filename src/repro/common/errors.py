@@ -204,6 +204,109 @@ class CellFailedError(RuntimeError):
     """
 
 
+class SnapshotError(SimulationError):
+    """Base class for checkpoint/restore failures (:mod:`repro.snapshot`).
+
+    Every refusal to load a snapshot raises a subclass of this; callers
+    that want "resume if possible, else start from zero" catch this one
+    type.  A snapshot is *never* silently patched up and resumed — a
+    refused file means a from-scratch run, not a best-effort restore.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, is torn, or fails its checksum.
+
+    Covers a missing/garbled magic line, an unparsable header, a payload
+    shorter than the header promises (torn tail from a crash mid-write),
+    trailing garbage, and checksum mismatches (bit rot or tampering).
+    """
+
+
+class SnapshotSchemaError(SnapshotError):
+    """The snapshot was written by an incompatible schema version.
+
+    Snapshot state trees are versioned as a whole; a reader never guesses
+    at fields written by a different layout.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        found: Optional[int] = None,
+        expected: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, path=path)
+        self.found = found
+        self.expected = expected
+
+
+class SnapshotConfigMismatch(SnapshotError):
+    """The snapshot's config fingerprint does not match the requested cell.
+
+    Resuming a snapshot under a different :class:`SystemConfig`, mix,
+    seed, or checker set would produce a machine whose future diverges
+    from (and whose past never happened under) the requested cell; the
+    loader refuses instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        found: Optional[str] = None,
+        expected: Optional[str] = None,
+    ) -> None:
+        super().__init__(message, path=path)
+        self.found = found
+        self.expected = expected
+
+
+class SnapshotPreempted(SimulationError):
+    """A run was suspended at a snapshot boundary on external request.
+
+    Raised by the machine drive loop after the checkpoint has been
+    durably written, so the caller (a preempted service worker) knows the
+    on-disk snapshot is complete and the cell can be rescheduled to
+    resume from it.  Not a :class:`SnapshotError`: nothing failed.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None, cycle: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.cycle = cycle
+
+
+class JournalConfigMismatch(SimulationError):
+    """A resumed :class:`CellJournal` was recorded under different configs.
+
+    The journal's signature names the same configs/mixes, but the config
+    *contents* differ from the run being resumed — completed cells in the
+    journal were simulated under an edited config and must not be mixed
+    with fresh ones.  ``--force-resume`` overrides (at the caller's risk).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        found: Optional[str] = None,
+        expected: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.found = found
+        self.expected = expected
+
+
 __all__ = [
     "CellFailedError",
     "CellTimeout",
@@ -211,10 +314,16 @@ __all__ = [
     "HardwareFaultError",
     "InjectedFault",
     "InjectedServiceCrash",
+    "JournalConfigMismatch",
     "ServiceOverloadError",
     "SimulationDeadlock",
     "SimulationError",
     "SimulationHang",
+    "SnapshotConfigMismatch",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotPreempted",
+    "SnapshotSchemaError",
     "UncorrectableMemoryError",
     "WorkerCrash",
 ]

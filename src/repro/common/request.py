@@ -35,6 +35,14 @@ _pool: list = []
 #: recycled object.
 _pool_check = bool(os.environ.get("REPRO_CHECK"))
 
+# Free-list hygiene accounting, maintained only while pool checking is
+# armed so the unchecked hot path stays two branches shorter.  ``_live``
+# counts requests acquired and not yet released; the other two are
+# monotone totals since the last :func:`reset_leak_stats`.
+_live = 0
+_acquired_total = 0
+_released_total = 0
+
 
 def set_pool_check(enabled: bool) -> None:
     """Enable/disable reuse-after-release guards on pooled requests."""
@@ -45,6 +53,101 @@ def set_pool_check(enabled: bool) -> None:
 def pool_size() -> int:
     """Number of released requests currently available for reuse."""
     return len(_pool)
+
+
+def leak_stats() -> dict:
+    """Free-list hygiene counters (valid while pool checking is armed)."""
+    return {
+        "live": _live,
+        "acquired": _acquired_total,
+        "released": _released_total,
+        "pooled": len(_pool),
+    }
+
+
+def reset_leak_stats() -> None:
+    """Zero the leak counters (test isolation)."""
+    global _live, _acquired_total, _released_total
+    _live = 0
+    _acquired_total = 0
+    _released_total = 0
+
+
+def live_requests() -> int:
+    """Requests acquired and not yet released since the last reset."""
+    return _live
+
+
+def verify_pool() -> None:
+    """End-of-run pool hygiene assertions (``REPRO_CHECK`` runs only).
+
+    Every pooled object must actually be released with a cleared
+    callback, and the leak counters must be internally consistent —
+    a violation means some component released a request it did not own
+    or resurrected one it had already returned.
+    """
+    for request in _pool:
+        if not request._released:
+            raise AssertionError(
+                f"pooled request {request.req_id} is not marked released"
+            )
+        if request.callback is not None:
+            raise AssertionError(
+                f"pooled request {request.req_id} still holds a callback"
+            )
+    if _live != _acquired_total - _released_total:
+        raise AssertionError(
+            f"request leak counters inconsistent: live={_live}, "
+            f"acquired={_acquired_total}, released={_released_total}"
+        )
+    if _live < 0:
+        raise AssertionError(
+            f"more requests released than acquired (live={_live})"
+        )
+
+
+def capture_globals() -> dict:
+    """Module-global request state for a whole-machine snapshot.
+
+    The pool is captured as an occupancy count only: pooled objects are
+    blank (every field is overwritten on acquire), so identical *count*
+    is sufficient for bit-identical resumed behaviour.
+    """
+    return {
+        "next_request_id": _request_ids.__reduce__()[1][0],
+        "pool_size": len(_pool),
+        "live": _live,
+        "acquired": _acquired_total,
+        "released": _released_total,
+    }
+
+
+def restore_globals(state: dict) -> None:
+    """Restore module-global request state from a snapshot."""
+    global _request_ids, _live, _acquired_total, _released_total
+    _request_ids = itertools.count(state["next_request_id"])
+    _pool.clear()
+    for _ in range(state["pool_size"]):
+        blank = MemoryRequest.__new__(MemoryRequest)
+        blank.req_id = -1
+        blank.addr = 0
+        blank.access = AccessType.READ
+        blank.core_id = 0
+        blank.pc = 0
+        blank.created_at = 0
+        blank.issued_to_dram_at = None
+        blank.completed_at = None
+        blank.callback = None
+        blank.is_write = False
+        blank.row_buffer_hit = None
+        blank.mshr_probes = 0
+        blank.annotations = {}
+        blank.poisoned = False
+        blank._released = True
+        _pool.append(blank)
+    _live = state["live"]
+    _acquired_total = state["acquired"]
+    _released_total = state["released"]
 
 
 def check_live(request: "MemoryRequest", context: str) -> None:
@@ -126,6 +229,10 @@ class MemoryRequest:
         # propagated through fills so the consuming core can machine-check.
         self.poisoned = False
         self._released = False
+        if _pool_check:
+            global _live, _acquired_total
+            _live += 1
+            _acquired_total += 1
 
     @classmethod
     def acquire(
@@ -168,6 +275,10 @@ class MemoryRequest:
             ann.clear()
         self.poisoned = False
         self._released = False
+        if _pool_check:
+            global _live, _acquired_total
+            _live += 1
+            _acquired_total += 1
         return self
 
     def release(self) -> None:
@@ -183,6 +294,10 @@ class MemoryRequest:
         self._released = True
         self.callback = None
         _pool.append(self)
+        if _pool_check:
+            global _live, _released_total
+            _live -= 1
+            _released_total += 1
 
     @property
     def latency(self) -> Optional[int]:

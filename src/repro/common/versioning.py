@@ -1,0 +1,28 @@
+"""Per-component snapshot state versioning.
+
+Every ``capture_state()`` seam stamps its state tree with a ``"v"`` key
+and every ``restore_state()`` begins with :func:`check_state_version`.
+The whole-file schema version (:data:`repro.snapshot.format.SCHEMA_VERSION`)
+gates gross layout changes; the per-component version lets one component
+evolve its state shape without invalidating every snapshot field, and
+turns a stale mixed-version snapshot into a precise refusal instead of a
+KeyError deep inside a restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .errors import SnapshotSchemaError
+
+
+def check_state_version(state: Mapping[str, Any], expected: int, component: str) -> None:
+    """Refuse a component state written by a different seam version."""
+    found = state.get("v") if isinstance(state, Mapping) else None
+    if found != expected:
+        raise SnapshotSchemaError(
+            f"{component} snapshot state is version {found!r}, "
+            f"this build restores version {expected}",
+            found=found if isinstance(found, int) else None,
+            expected=expected,
+        )

@@ -23,6 +23,7 @@ continues to contend for the shared L2, MSHRs and memory.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from math import ceil
 from typing import Deque, Optional
 
@@ -98,6 +99,7 @@ class Core:
         "ras_monitor",
         "_commit_event",
         "_cursor",
+        "_trace_items",
         "_page_shift",
         "_fuse_ready",
         "_fuse_fails",
@@ -179,6 +181,10 @@ class Core:
         self._cursor = (
             trace.cursor() if isinstance(trace, BatchedTrace) else None
         )
+        # Scalar-trace consumption counter: with no cursor the trace is
+        # a plain iterator, so snapshot restore replays position by
+        # pulling this many items from a freshly generated stream.
+        self._trace_items = 0
         self._page_shift = allocator._page_shift
         self._fuse_ready = self._compute_fuse_ready()
         # Deterministic fusion backoff: when fused attempts keep failing
@@ -316,15 +322,19 @@ class Core:
         translate = self.allocator.translate
         functional_access = self.l1.functional_access
         icount = start
+        pulled = 0
         while icount < target:
             if item is None:
                 item = next(trace)
+                pulled += 1
             icount += item.gap + 1
             addr = item.addr
             if tlb_touch is not None:
                 tlb_touch(addr)
             functional_access(translate(addr), item.pc, item.is_write)
             item = None
+        if self._cursor is None:
+            self._trace_items += pulled
         self.icount = icount
         # Orphan whatever was in flight: completions still arrive (and
         # count their real latencies) but nothing is left to commit.
@@ -415,6 +425,7 @@ class Core:
             cursor.index = i + 1
         else:
             item = next(self.trace)
+            self._trace_items += 1
             gap = item.gap
             addr = item.addr
             is_write = item.is_write
@@ -522,7 +533,7 @@ class Core:
             self.core_id,
             pc,
             now,
-            lambda req, f=inflight: self._on_data(f, req),
+            partial(self._on_data, inflight),
         )
         if not l1.access(request):
             if item is None:
@@ -981,3 +992,104 @@ class Core:
             if self.on_frozen is not None:
                 self.on_frozen(self)
             self.stats.freeze()
+
+    # ------------------------------------------------------------------
+    # Snapshot seam
+    # ------------------------------------------------------------------
+    def capture_state(self, ctx) -> dict:
+        """Full core state including the L1, TLB, and trace position.
+
+        ``on_frozen`` is not captured: the machine re-wires it at
+        construction, before restore, exactly as the original run did.
+        """
+        pending = self._pending_item
+        return {
+            "v": 1,
+            "l1": self.l1.capture_state(ctx),
+            "tlb": None if self.tlb is None else self.tlb.capture_state(),
+            "cursor": (
+                None if self._cursor is None else self._cursor.capture_state()
+            ),
+            "trace_items": self._trace_items,
+            "icount": self.icount,
+            "committed": self.committed,
+            "outstanding": [ctx.ref_inflight(f) for f in self._outstanding],
+            "pending_item": None if pending is None else tuple(pending),
+            "next_dispatch_time": self._next_dispatch_time,
+            "last_commit_time": self._last_commit_time,
+            "last_commit_icount": self._last_commit_icount,
+            "dispatch_scheduled": self._dispatch_scheduled,
+            "commit_scheduled": self._commit_scheduled,
+            "rob_blocked": self._rob_blocked,
+            "l1_blocked": self._l1_blocked,
+            "paused": self._paused,
+            "measure_start_icount": self._measure_start_icount,
+            "measure_start_time": self._measure_start_time,
+            "measure_quota": self.measure_quota,
+            "frozen": self.frozen,
+            "frozen_ipc": self.frozen_ipc,
+            "commit_watch": self._commit_watch,
+            "on_commit_watch": (
+                None
+                if self._on_commit_watch is None
+                else ctx.encode_callback(self._on_commit_watch)
+            ),
+            "commit_event": (
+                ctx.ref_event(self._commit_event)
+                if self._commit_scheduled and self._commit_event is not None
+                else None
+            ),
+            "fuse_fails": self._fuse_fails,
+            "fuse_skip": self._fuse_skip,
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "Core")
+        self.l1.restore_state(state["l1"], ctx)
+        if self.tlb is not None:
+            self.tlb.restore_state(state["tlb"])
+        if self._cursor is not None:
+            self._cursor.restore_state(state["cursor"])
+        else:
+            # Scalar trace: regenerated fresh at construction, so replay
+            # position by consuming the same number of items.
+            if self._trace_items != 0:
+                raise ValueError("can only restore a core with a fresh trace")
+            for _ in range(state["trace_items"]):
+                next(self.trace)
+            self._trace_items = state["trace_items"]
+        self.icount = state["icount"]
+        self.committed = state["committed"]
+        self._outstanding = deque(
+            ctx.get_inflight(ref) for ref in state["outstanding"]
+        )
+        pending = state["pending_item"]
+        self._pending_item = None if pending is None else TraceItem(*pending)
+        self._next_dispatch_time = state["next_dispatch_time"]
+        self._last_commit_time = state["last_commit_time"]
+        self._last_commit_icount = state["last_commit_icount"]
+        self._dispatch_scheduled = state["dispatch_scheduled"]
+        self._commit_scheduled = state["commit_scheduled"]
+        self._rob_blocked = state["rob_blocked"]
+        self._l1_blocked = state["l1_blocked"]
+        self._paused = state["paused"]
+        self._measure_start_icount = state["measure_start_icount"]
+        self._measure_start_time = state["measure_start_time"]
+        self.measure_quota = state["measure_quota"]
+        self.frozen = state["frozen"]
+        self.frozen_ipc = state["frozen_ipc"]
+        self._commit_watch = state["commit_watch"]
+        self._on_commit_watch = (
+            None
+            if state["on_commit_watch"] is None
+            else ctx.decode_callback(state["on_commit_watch"])
+        )
+        self._commit_event = (
+            None
+            if state["commit_event"] is None
+            else ctx.get_event(state["commit_event"])
+        )
+        self._fuse_fails = state["fuse_fails"]
+        self._fuse_skip = state["fuse_skip"]

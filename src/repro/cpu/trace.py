@@ -26,6 +26,7 @@ single consistent position.
 from __future__ import annotations
 
 from array import array
+from collections import deque
 from itertools import islice
 from typing import Iterable, Iterator, NamedTuple, Optional, Tuple
 
@@ -140,6 +141,45 @@ class TraceBatch:
         return self._derived
 
 
+class _BatchIter:
+    """Iterator form of :func:`batch_iter` with a cooperative skip.
+
+    Snapshot fast-forward discards every batch before the captured
+    position; :meth:`skip_batches` consumes the underlying items
+    without packing them into :class:`TraceBatch` columns, which is
+    the bulk of this adapter's per-batch cost.
+    """
+
+    __slots__ = ("_it", "_size")
+
+    def __init__(self, trace: Iterable[TraceItem], size: int) -> None:
+        self._it = iter(trace)
+        self._size = size
+
+    def __iter__(self) -> "_BatchIter":
+        return self
+
+    def __next__(self) -> TraceBatch:
+        chunk = list(islice(self._it, self._size))
+        if not chunk:
+            raise StopIteration
+        return TraceBatch(
+            array("q", [item[0] for item in chunk]),
+            array("q", [item[1] for item in chunk]),
+            array("b", [1 if item[2] else 0 for item in chunk]),
+            array("q", [item[3] for item in chunk]),
+        )
+
+    def skip_batches(self, count: int) -> None:
+        """Drop ``count`` whole batches without materializing them.
+
+        Only valid when every skipped batch is full — guaranteed for
+        any position a cursor actually reached, because a partial
+        batch can only be the last one a finite trace yields.
+        """
+        deque(islice(self._it, count * self._size), maxlen=0)
+
+
 def batch_iter(
     trace: Iterable[TraceItem], size: int = TRACE_BATCH_SIZE
 ) -> Iterator[TraceBatch]:
@@ -151,17 +191,7 @@ def batch_iter(
     """
     if size < 1:
         raise ValueError("batch size must be >= 1")
-    it = iter(trace)
-    while True:
-        chunk = list(islice(it, size))
-        if not chunk:
-            return
-        yield TraceBatch(
-            array("q", [item[0] for item in chunk]),
-            array("q", [item[1] for item in chunk]),
-            array("b", [1 if item[2] else 0 for item in chunk]),
-            array("q", [item[3] for item in chunk]),
-        )
+    return _BatchIter(trace, size)
 
 
 class BatchCursor:
@@ -173,18 +203,54 @@ class BatchCursor:
     position.
     """
 
-    __slots__ = ("batch", "index", "_source")
+    __slots__ = ("batch", "index", "batches_advanced", "_source")
 
     def __init__(self, batches: Iterator[TraceBatch]) -> None:
         self._source = batches
         self.batch: Optional[TraceBatch] = None
         self.index = 0
+        # Consumption counter for snapshot fast-forward: traces are
+        # regenerable, so position == (batches pulled, index within).
+        self.batches_advanced = 0
 
     def advance_batch(self) -> TraceBatch:
         """Load the next batch (raises StopIteration when exhausted)."""
         self.batch = next(self._source)
         self.index = 0
+        self.batches_advanced += 1
         return self.batch
+
+    def capture_state(self) -> dict:
+        return {
+            "v": 1,
+            "batches_advanced": self.batches_advanced,
+            "index": self.index,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Fast-forward a *fresh* cursor to the captured position.
+
+        The trace stream itself is regenerated deterministically from
+        the benchmark spec; position is replayed by pulling the same
+        number of batches and seating the intra-batch index.
+        """
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "BatchCursor")
+        if self.batches_advanced != 0:
+            raise ValueError("can only restore a fresh trace cursor")
+        target = state["batches_advanced"]
+        # Everything before the final batch is discarded anyway; a
+        # cooperating source consumes those items without packing them
+        # into columns.  Only the batch the cursor actually sits in
+        # must be materialized.
+        skip = getattr(self._source, "skip_batches", None)
+        if skip is not None and target > 1:
+            skip(target - 1)
+            self.batches_advanced = target - 1
+        while self.batches_advanced < target:
+            self.advance_batch()
+        self.index = state["index"]
 
     def next_item(self) -> TraceItem:
         """Consume one item in row form (raises StopIteration at end)."""

@@ -39,7 +39,9 @@ from ..common.errors import (
     SimulationDeadlock,
     SimulationError,
     SimulationHang,
+    SnapshotError,
 )
+from ..common.versioning import check_state_version
 from .event import Event
 
 __all__ = [
@@ -719,6 +721,69 @@ class Engine:
             if self._stop or stop_when():
                 return False
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+    def capture_state(self, ctx) -> dict:
+        """Snapshot the full event queue, clock and counters.
+
+        Every queued event — including lazily-cancelled wheel leftovers
+        and heap tombstones — is interned through the context so queue
+        structure, seq order and cancellation accounting round-trip
+        exactly.  Only callable between runs (never from a callback).
+        """
+        if self._active_batch is not None:
+            raise SnapshotError(
+                "cannot snapshot the engine from inside an event callback"
+            )
+        wheel = []
+        for idx, bucket in enumerate(self._wheel):
+            if bucket:
+                wheel.append((idx, [ctx.ref_event(event) for event in bucket]))
+        return {
+            "v": 1,
+            "horizon": self._horizon,
+            "now": self.now,
+            "seq": self._seq,
+            "events_fired": self._events_fired,
+            "wheel": wheel,
+            "heap": [ctx.ref_event(event) for event in self._heap],
+            "heap_cancelled": self._heap_cancelled,
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Rebuild the queue from a snapshot (inverse of capture).
+
+        The heap list is restored in its captured order — a valid heap's
+        element order *is* its structure, so no re-heapify is needed and
+        subsequent pops tie-break identically to the captured engine.
+        """
+        check_state_version(state, 1, "Engine")
+        if state["horizon"] != self._horizon:
+            raise SnapshotError(
+                f"snapshot wheel horizon {state['horizon']} does not match "
+                f"engine horizon {self._horizon}"
+            )
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self._events_fired = state["events_fired"]
+        self._wheel = [None] * self._horizon
+        count = 0
+        for idx, refs in state["wheel"]:
+            bucket = [ctx.get_event(ref) for ref in refs]
+            self._wheel[idx] = bucket
+            count += len(bucket)
+        self._wheel_count = count
+        heap = [ctx.get_event(ref) for ref in state["heap"]]
+        for event in heap:
+            event.heap_owner = self
+        self._heap = heap
+        self._heap_cancelled = state["heap_cancelled"]
+        self._stop = False
+        self._active_batch = None
+        self._active_pos = 0
+        self.run_deadline = None
+
 
 class HeapEngine:
     """Reference heap-only implementation of the engine contract.
@@ -884,3 +949,23 @@ class HeapEngine:
                 )
         if until is not None and self.now < until:
             self.now = until
+
+    def capture_state(self, ctx) -> dict:
+        """Snapshot the heap queue, clock and counters."""
+        return {
+            "v": 1,
+            "now": self.now,
+            "seq": self._seq,
+            "events_fired": self._events_fired,
+            "queue": [ctx.ref_event(event) for event in self._queue],
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Rebuild the queue from a snapshot (captured heap order)."""
+        check_state_version(state, 1, "HeapEngine")
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self._events_fired = state["events_fired"]
+        self._queue = [ctx.get_event(ref) for ref in state["queue"]]
+        self._stop = False
+        self.run_deadline = None

@@ -14,7 +14,13 @@ from .charts import bar, grouped_bars, speedup_chart
 from .fairness import FairnessResult, fairness_study
 from .figure4 import Figure4Result, run_figure4
 from .full_run import run_full_suite
-from .persistence import CellJournal, journal_signature, load_table, save_table
+from .persistence import (
+    CellJournal,
+    config_fingerprint,
+    journal_signature,
+    load_table,
+    save_table,
+)
 from .ras_study import RasStudyResult, run_ras_study
 from .stack_modes import StackModesResult, run_stack_modes
 from .stack_study import StackStudyResult, run_stack_study
@@ -39,6 +45,7 @@ __all__ = [
     "CellFailure",
     "CellJournal",
     "RunPolicy",
+    "config_fingerprint",
     "journal_signature",
     "parallelism_from_env",
     "analyze",

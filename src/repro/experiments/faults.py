@@ -191,6 +191,17 @@ SERVICE_KINDS = (
     #: matching cell's completion is journaled — a service killed here
     #: must resume to a bit-identical result.
     "crash-service",
+    #: SIGKILL the worker ``seconds`` into a matching cell *with periodic
+    #: snapshots on* — the retry must resume from the latest checkpoint
+    #: (not from zero) and still produce a bit-identical result.
+    "kill-worker-mid-cell",
+    #: Flip one byte in the cell's on-disk snapshot before a resume
+    #: attempt — the loader must refuse it (checksum) and the cell must
+    #: restart cleanly from zero, never resume corrupted state.
+    "corrupt-snapshot",
+    #: Cut the cell's on-disk snapshot in half before a resume attempt —
+    #: same refusal obligations as ``corrupt-snapshot``.
+    "truncate-snapshot",
 )
 
 

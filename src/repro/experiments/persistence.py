@@ -17,12 +17,14 @@ Two complementary mechanisms:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from ..common.errors import JournalConfigMismatch
 from ..system.machine import CoreResult, MachineResult
 from ..system.scale import ExperimentScale
 from .runner import CellFailure, ResultTable
@@ -223,18 +225,45 @@ def scan_jsonl(path: PathLike) -> Tuple[list, int]:
 # Incremental cell journal (checkpoint/resume)
 
 
+def config_fingerprint(configs) -> str:
+    """Content hash over a matrix's :class:`SystemConfig` objects.
+
+    The journal signature names configs, but two runs can use the same
+    *names* for edited contents (a tweaked ``l2_size``, a different
+    scheduler).  This fingerprint — sha256 over the canonical JSON of
+    every config's full field set — pins the contents, so a resumed
+    journal cannot silently mix cells simulated under different
+    hardware.
+    """
+    from ..service.keys import canonical_json, config_to_dict
+
+    return hashlib.sha256(
+        canonical_json([config_to_dict(c) for c in configs]).encode("utf-8")
+    ).hexdigest()
+
+
 def journal_signature(
     configs, mixes, scale: ExperimentScale, seed: int
 ) -> dict:
-    """Identity of one matrix: a journal only resumes an identical run."""
-    return {
-        "configs": list(configs),
+    """Identity of one matrix: a journal only resumes an identical run.
+
+    ``configs`` accepts :class:`SystemConfig` objects (preferred — the
+    signature then carries a :func:`config_fingerprint` pinning their
+    contents) or plain name strings (legacy; contents unchecked).
+    """
+    names = [c if isinstance(c, str) else c.name for c in configs]
+    signature = {
+        "configs": names,
         "mixes": list(mixes),
         "scale": scale.name,
         "warmup_instructions": scale.warmup_instructions,
         "measure_instructions": scale.measure_instructions,
         "seed": seed,
     }
+    objects = [c for c in configs if not isinstance(c, str)]
+    if objects and len(objects) == len(names):
+        signature["config_fingerprint"] = config_fingerprint(objects)
+    return signature
 
 
 class CellJournal:
@@ -265,15 +294,25 @@ class CellJournal:
 
     @classmethod
     def open(
-        cls, path: PathLike, signature: dict, resume: bool = False
+        cls,
+        path: PathLike,
+        signature: dict,
+        resume: bool = False,
+        force: bool = False,
     ) -> "CellJournal":
         """Open a journal for writing.
 
         With ``resume=True`` an existing journal is validated against
-        ``signature`` (raising ``ValueError`` on mismatch — a journal
-        from a different matrix/seed/scale must not silently poison a
-        run), its completed cells are loaded, and appending continues.
-        Otherwise any existing journal is truncated and restarted.
+        ``signature``: a mismatch in matrix shape (config/mix names,
+        scale, seed) raises ``ValueError``, while a signature that
+        matches in shape but differs in ``config_fingerprint`` — the
+        configs were *edited* since the journal was written — raises
+        :class:`~repro.common.errors.JournalConfigMismatch` so stale
+        cells are never silently mixed with fresh ones.  ``force=True``
+        overrides only the fingerprint check (``--force-resume``).
+        On success the journal's completed cells are loaded and
+        appending continues.  Without ``resume`` any existing journal
+        is truncated and restarted.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -282,12 +321,27 @@ class CellJournal:
         if resume and path.exists() and path.stat().st_size > 0:
             records, valid_bytes = scan_jsonl(path)
             header, completed, failed = cls._parse(records, path)
-            if header.get("signature") != signature:
-                raise ValueError(
-                    f"journal {path} was written by a different run "
-                    f"(its signature {header.get('signature')!r} does not "
-                    f"match this matrix); delete it or drop --resume"
-                )
+            recorded = header.get("signature")
+            if recorded != signature:
+                if cls._fingerprint_only_mismatch(recorded, signature):
+                    if not force:
+                        raise JournalConfigMismatch(
+                            f"journal {path} names the same matrix "
+                            "(configs/mixes/scale/seed) but its configs "
+                            "had different contents when it was written "
+                            "— a config was edited since; delete the "
+                            "journal or pass --force-resume to mix the "
+                            "old cells in anyway",
+                            path=str(path),
+                            found=recorded.get("config_fingerprint"),
+                            expected=signature.get("config_fingerprint"),
+                        )
+                else:
+                    raise ValueError(
+                        f"journal {path} was written by a different run "
+                        f"(its signature {recorded!r} does not "
+                        f"match this matrix); delete it or drop --resume"
+                    )
             if path.stat().st_size > valid_bytes:
                 # Crash mid-append left a torn final record: cut it off
                 # before reopening for append, otherwise the next record
@@ -308,6 +362,25 @@ class CellJournal:
                 },
             )
         return cls(handle, path, completed, failed)
+
+    @staticmethod
+    def _fingerprint_only_mismatch(recorded, expected) -> bool:
+        """True when two signatures differ *only* in config contents.
+
+        Covers an old journal with no fingerprint resumed by a run that
+        supplies one (and vice versa): same shape, unverifiable
+        contents, so the structured refusal (with its ``--force-resume``
+        escape) applies rather than the hard shape mismatch.
+        """
+        if not isinstance(recorded, dict):
+            return False
+
+        def shape(sig: dict) -> dict:
+            return {
+                k: v for k, v in sig.items() if k != "config_fingerprint"
+            }
+
+        return shape(recorded) == shape(expected)
 
     @staticmethod
     def _parse(records, path):

@@ -82,6 +82,18 @@ class RunPolicy:
             here (see :class:`repro.experiments.persistence.CellJournal`).
         resume: skip cells already recorded as successful in the journal;
             failed or missing cells are re-simulated.
+        force_resume: resume a journal whose configs were *edited* since
+            it was written (same names, different contents) instead of
+            refusing with
+            :class:`~repro.common.errors.JournalConfigMismatch`.
+        snapshot_every: checkpoint every cell's machine state every this
+            many cycles (see :mod:`repro.snapshot`); an interrupted,
+            crashed or timed-out cell re-attempt resumes from its latest
+            snapshot instead of re-simulating from zero.  A corrupt or
+            mismatched snapshot is refused and the cell restarts clean.
+        snapshot_dir: directory for per-cell snapshot files (default:
+            ``<journal_path>.snapshots`` next to the journal, or
+            ``results/snapshots`` without one).
     """
 
     cell_timeout: Optional[float] = None
@@ -92,6 +104,9 @@ class RunPolicy:
     backoff_jitter: float = 0.25
     journal_path: Optional[Union[str, "os.PathLike[str]"]] = None
     resume: bool = False
+    force_resume: bool = False
+    snapshot_every: Optional[int] = None
+    snapshot_dir: Optional[Union[str, "os.PathLike[str]"]] = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -99,6 +114,10 @@ class RunPolicy:
         if self.cell_timeout is not None and self.cell_timeout <= 0:
             raise ValueError(
                 f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+        if self.snapshot_every is not None and self.snapshot_every <= 0:
+            raise ValueError(
+                f"snapshot_every must be positive, got {self.snapshot_every}"
             )
 
     def with_journal(self, path) -> "RunPolicy":
@@ -144,24 +163,95 @@ ENV_CHECK = "REPRO_CHECK"
 def _run_cell(args):
     """Simulate one cell (runs inside the worker process)."""
     (config, mix_name, benchmarks, warmup, measure, seed, attempt, checkers,
-     sampling) = args
+     sampling, snapshot) = args
     faults.inject(config.name, mix_name, attempt)
     if checkers is None:
         checkers = os.environ.get(ENV_CHECK) or None
     from ..sampling.plan import parse_sample_spec, plan_from_env
 
     plan = parse_sample_spec(sampling) if sampling else plan_from_env()
-    result = run_workload(
-        config,
-        benchmarks,
-        warmup_instructions=warmup,
-        measure_instructions=measure,
-        seed=seed,
-        workload_name=mix_name,
-        checkers=checkers,
-        sampling=plan,
-    )
+
+    snap_plan = None
+    snap_path = None
+    if snapshot is not None:
+        from ..snapshot import SnapshotPlan
+
+        # (every, path) from run_matrix; (every, path, preemptible) from
+        # the sweep service, whose workers honor SIGUSR1 checkpoints.
+        every, snap_path = snapshot[0], snapshot[1]
+        preemptible = bool(snapshot[2]) if len(snapshot) > 2 else False
+        snap_plan = SnapshotPlan(
+            path=snap_path, every=every, preemptible=preemptible
+        )
+
+    def simulate(resume_from):
+        return run_workload(
+            config,
+            benchmarks,
+            warmup_instructions=warmup,
+            measure_instructions=measure,
+            seed=seed,
+            workload_name=mix_name,
+            checkers=checkers,
+            sampling=plan,
+            snapshot=snap_plan,
+            resume_from=resume_from,
+        )
+
+    if snap_path is not None and os.path.exists(snap_path):
+        # A previous attempt (crash, timeout, preemption) left a
+        # checkpoint: pick up from it rather than re-simulating the
+        # prefix.  A corrupt, torn or mismatched snapshot is *refused*
+        # by the loader — fall back to a clean from-zero run; never
+        # silently resume bad state.
+        from ..common.errors import SnapshotError
+
+        try:
+            result = simulate(snap_path)
+        except SnapshotError:
+            try:
+                os.unlink(snap_path)
+            except OSError:
+                pass
+            result = simulate(None)
+        else:
+            _write_resume_sidecar(snap_path, config.name, mix_name, attempt)
+    else:
+        result = simulate(None)
+    if snap_path is not None:
+        # The cell is done: its checkpoint must not shadow a future run.
+        try:
+            os.unlink(snap_path)
+        except OSError:
+            pass
     return (config.name, mix_name, result)
+
+
+def _write_resume_sidecar(
+    snap_path: str, config_name: str, mix_name: str, attempt: int
+) -> None:
+    """Record that a cell resumed from a checkpoint (``.resumed.json``).
+
+    Evidence for operators and the validation harness: the sidecar
+    outlives the snapshot itself (which is deleted once the cell
+    completes).
+    """
+    import json
+
+    sidecar = f"{snap_path}.resumed.json"
+    try:
+        with open(sidecar, "w") as handle:
+            json.dump(
+                {
+                    "config": config_name,
+                    "mix": mix_name,
+                    "attempt": attempt,
+                    "snapshot": os.path.basename(snap_path),
+                },
+                handle,
+            )
+    except OSError:  # informational only — never fail the cell over it
+        pass
 
 
 @dataclass
@@ -306,6 +396,8 @@ class _Job:
     elapsed: float = 0.0
     checkers: Optional[str] = None
     sampling: Optional[str] = None
+    #: ``(every_cycles, snapshot_path)`` when periodic checkpointing is on.
+    snapshot: Optional[Tuple[int, str]] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -322,6 +414,7 @@ class _Job:
             self.attempt,
             self.checkers,
             self.sampling,
+            self.snapshot,
         )
 
 
@@ -600,6 +693,25 @@ def run_matrix(
 
         parse_sample_spec(sampling)  # fail fast on a malformed spec
 
+    snapshot_dir = None
+    if policy.snapshot_every is not None:
+        if policy.snapshot_dir is not None:
+            snapshot_dir = str(policy.snapshot_dir)
+        elif policy.journal_path is not None:
+            snapshot_dir = f"{policy.journal_path}.snapshots"
+        else:
+            snapshot_dir = os.path.join("results", "snapshots")
+        os.makedirs(snapshot_dir, exist_ok=True)
+
+    def cell_snapshot(config_name: str, mix_name: str):
+        if snapshot_dir is None:
+            return None
+        safe = f"{config_name}__{mix_name}".replace(os.sep, "-")
+        return (
+            policy.snapshot_every,
+            os.path.join(snapshot_dir, f"{safe}.snap"),
+        )
+
     jobs = [
         _Job(
             config=config,
@@ -610,6 +722,7 @@ def run_matrix(
             seed=seed,
             checkers=checkers,
             sampling=sampling,
+            snapshot=cell_snapshot(config.name, mix.name),
         )
         for config in configs
         for mix in mixes
@@ -620,9 +733,14 @@ def run_matrix(
     if policy.journal_path is not None:
         from .persistence import CellJournal, journal_signature
 
-        signature = journal_signature(names, mix_names, scale, seed)
+        # Config *objects* (not just names) so the signature pins their
+        # contents via a fingerprint — see journal_signature.
+        signature = journal_signature(configs, mix_names, scale, seed)
         journal = CellJournal.open(
-            policy.journal_path, signature, resume=policy.resume
+            policy.journal_path,
+            signature,
+            resume=policy.resume,
+            force=policy.force_resume,
         )
         recorder.journal = journal
         if policy.resume:

@@ -510,3 +510,62 @@ class MemoryController:
             self._c_row_hits.value += 1.0
         else:
             self._c_row_misses.value += 1.0
+
+    # ------------------------------------------------------------------
+    # Snapshot seam
+    # ------------------------------------------------------------------
+    def capture_state(self, ctx) -> dict:
+        """Everything this channel owns: MRQ, device, bus, scheduler,
+        pump/backoff machinery, and the read-latency distribution."""
+        return {
+            "v": 1,
+            "mrq": self.mrq.capture_state(ctx),
+            "device": self.device.capture_state(),
+            "bus": self.bus.capture_state(),
+            "scheduler": self.scheduler.capture_state(),
+            "read_latency": self.read_latency.capture_state(),
+            "next_issue_time": self._next_issue_time,
+            "pump_event": (
+                None
+                if self._pump_event is None
+                else ctx.ref_event(self._pump_event)
+            ),
+            "space_waiters": [
+                ctx.encode_callback(cb) for cb in self._space_waiters
+            ],
+            "fused_enabled": self._fused_enabled,
+            "fuse_state": self._fuse_state,
+            "fuse_fails": self._fuse_fails,
+            "fuse_skip": self._fuse_skip,
+            "fs_windows": self._fs_windows,
+            "fs_fused_issues": self._fs_fused_issues,
+            "fs_scalar_pumps": self._fs_scalar_pumps,
+            "fuse_breaks": list(self._fuse_breaks.items()),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "MemoryController")
+        self.device.restore_state(state["device"])
+        self.mrq.restore_state(state["mrq"], ctx, self.device)
+        self.bus.restore_state(state["bus"])
+        self.scheduler.restore_state(state["scheduler"])
+        self.read_latency.restore_state(state["read_latency"])
+        self._next_issue_time = state["next_issue_time"]
+        self._pump_event = (
+            None
+            if state["pump_event"] is None
+            else ctx.get_event(state["pump_event"])
+        )
+        self._space_waiters = deque(
+            ctx.decode_callback(enc) for enc in state["space_waiters"]
+        )
+        self._fused_enabled = state["fused_enabled"]
+        self._fuse_state = state["fuse_state"]
+        self._fuse_fails = state["fuse_fails"]
+        self._fuse_skip = state["fuse_skip"]
+        self._fs_windows = state["fs_windows"]
+        self._fs_fused_issues = state["fs_fused_issues"]
+        self._fs_scalar_pumps = state["fs_scalar_pumps"]
+        self._fuse_breaks = dict(state["fuse_breaks"])

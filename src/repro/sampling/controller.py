@@ -25,13 +25,21 @@ Per-core CPI samples across intervals are averaged with a Student-t 95%
 confidence interval; the returned :class:`MachineResult` carries the
 estimates plus ``sample_*`` keys in ``extra`` so saved tables record the
 estimated error alongside the speedups.
+
+The alternation lives in :class:`SampledRunController`, an explicit
+state machine rather than nested loops, so a whole-machine snapshot can
+capture mid-run progress (stage, interval index, accumulated samples)
+and a restored run re-enters :meth:`~SampledRunController.run` at the
+recorded stage.  The interval callbacks are bound methods of the
+controller — the machine registers it as the ``"sampler"`` component,
+which is what makes the cores' commit watches snapshot-encodable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from ..common.errors import SimulationHang
+from ..common.errors import SimulationHang, SnapshotConfigMismatch, SnapshotError
 from ..engine.simulator import Watchdog
 from .estimate import estimate_mean
 from .plan import SamplingPlan
@@ -42,6 +50,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Instructions per functional-skip slice; cores round-robin at this
 #: granularity so their references interleave in the shared levels.
 FUNCTIONAL_CHUNK = 128
+
+#: Counter-reading tuples (see :meth:`SampledRunController._read_core`)
+#: and the per-interval delta tuples share this field order.
+_CYCLES, _INSTRUCTIONS, _LOADS, _LOAD_LATENCY, _L2_MISSES = range(5)
 
 
 def _functional_skip(machine: "Machine", per_core: int) -> None:
@@ -61,96 +73,317 @@ def _functional_skip(machine: "Machine", per_core: int) -> None:
             live = True
 
 
-def _drain(machine: "Machine", watchdog: Watchdog, max_cycles: int) -> None:
-    """Pause dispatch and run until the whole hierarchy is quiescent.
+class SampledRunController:
+    """Resumable driver for one sampled run.
 
-    Used once, at the end of a sampled run, so checker ``finish()`` sees
-    a conserved system (cores committed everything, no in-flight
-    requests anywhere).  Mid-run phase switches deliberately do *not*
-    drain — ``skip_ahead`` orphans in-flight ops so queue occupancy
-    survives the functional skip; draining between intervals was
-    measured to bias the first post-resume interval optimistic on
-    fast-memory configs (empty queues underestimate load latency).
+    Stage progression: ``init`` (functional warmup, cores not started)
+    -> per interval ``detail-warmup`` -> ``measure`` -> (next interval
+    or) ``drain`` -> ``done``.  All stage transitions happen between
+    engine drives, so a snapshot boundary always lands with the stage
+    fields and the cores' commit watches mutually consistent.
     """
-    cores = machine.cores
-    for core in cores:
-        core.pause()
 
-    def drained() -> bool:
-        return (
-            all(core.drained for core in cores)
-            and machine.outstanding_requests() == 0
+    def __init__(
+        self,
+        machine: "Machine",
+        plan: SamplingPlan,
+        warmup_instructions: int = 20_000,
+        measure_instructions: int = 80_000,
+        max_cycles: int = 500_000_000,
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.machine = machine
+        self.plan = plan
+        self.warmup_instructions = warmup_instructions
+        self.measure_instructions = measure_instructions
+        self.max_cycles = max_cycles
+        self.max_events = max_events
+        self.k = plan.intervals_for(measure_instructions)
+        self.stage = "init"
+        self.interval = 0
+        self.waiting = 0
+        #: Per-core list of per-interval delta tuples (field order
+        #: ``_CYCLES``..``_L2_MISSES``).
+        self.samples: List[List[Tuple]] = [[] for _ in machine.cores]
+        self.starts: List[Tuple] = []
+        self.ends: List[Optional[Tuple]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> "MachineResult":
+        machine = self.machine
+        if self.stage == "done":
+            raise SnapshotError("this sampled run already completed")
+        watchdog = Watchdog(
+            max_events=self.max_events,
+            pending_work=machine.outstanding_requests,
         )
+        if self.stage == "init":
+            # Phase 0: the entire warmup quota runs functionally.
+            _functional_skip(machine, self.warmup_instructions)
+            for core in machine.cores:
+                core.start()
+            if machine.tuner is not None:
+                machine.tuner.start()
+            self._enter_interval()
 
-    engine = machine.engine
-    if not drained():
-        engine.run(until=max_cycles, stop_when=drained, watchdog=watchdog)
-    if not drained():
-        raise SimulationHang(
-            "hierarchy failed to drain before a functional phase "
-            f"(outstanding: {machine.outstanding_requests()})",
-            cycle=engine.now,
-            events_fired=engine.events_fired,
-            queue_depth=engine.pending,
-        )
+        while self.stage in ("detail-warmup", "measure"):
+            stage = self.stage
+            machine._drive(watchdog, self.max_cycles, self._stage_done)
+            if self.waiting:
+                if stage == "detail-warmup":
+                    message = (
+                        "sampled detail-warmup phase did not finish within "
+                        f"{self.max_cycles} cycles "
+                        f"(committed: {[c.committed for c in machine.cores]})"
+                    )
+                else:
+                    message = (
+                        f"sampled interval {self.interval} did not finish "
+                        f"within {self.max_cycles} cycles "
+                        f"(committed: {[c.committed for c in machine.cores]})"
+                    )
+                machine._hang_snapshot()
+                raise SimulationHang(
+                    message,
+                    cycle=machine.engine.now,
+                    events_fired=machine.engine.events_fired,
+                    queue_depth=machine.engine.pending,
+                )
+            if stage == "detail-warmup":
+                self._begin_measure()
+            else:
+                self._finish_interval()
 
+        # Leave the machine quiescent: checker finish() then sees a
+        # conserved system (no in-flight requests).
+        self._do_drain(watchdog)
+        if machine.checker_set is not None:
+            machine.checker_set.finish()
+        self.stage = "done"
+        return self._build_result()
 
-def _run_detailed(
-    machine: "Machine", amount: int, watchdog: Watchdog, max_cycles: int,
-    phase: str,
-) -> None:
-    """Run detailed execution until every core commits ``amount`` more."""
-    if amount <= 0:
-        return
-    engine = machine.engine
-    cores = machine.cores
-    waiting = [len(cores)]
-    targets = [core.committed + amount for core in cores]
+    # ------------------------------------------------------------------
+    # Stage transitions (always between engine drives)
+    # ------------------------------------------------------------------
+    def _enter_interval(self) -> None:
+        machine = self.machine
+        if self.interval > 0:
+            # No drain: skip_ahead orphans in-flight ops, so MSHR and
+            # controller occupancy carries straight across the skip.
+            _functional_skip(machine, self.plan.warmup)
+        if self.plan.detail_warmup > 0:
+            self.stage = "detail-warmup"
+            self.waiting = len(machine.cores)
+            for core in machine.cores:
+                core.watch_commit(
+                    core.committed + self.plan.detail_warmup, self._crossed
+                )
+        else:
+            self._begin_measure()
 
-    def crossed(_core) -> None:
-        waiting[0] -= 1
-        if not waiting[0]:
-            engine.request_stop()
+    def _begin_measure(self) -> None:
+        machine = self.machine
+        self.stage = "measure"
+        self.starts = [self._read_core(core) for core in machine.cores]
+        self.ends = [None] * len(machine.cores)
+        self.waiting = len(machine.cores)
+        for core, start in zip(machine.cores, self.starts):
+            core.watch_commit(
+                start[_INSTRUCTIONS] + self.plan.detailed, self._freeze
+            )
 
-    for core, target in zip(cores, targets):
-        core.watch_commit(target, crossed)
-    if waiting[0]:
-        engine.run(until=max_cycles, watchdog=watchdog)
-    if any(core.committed < target for core, target in zip(cores, targets)):
-        raise SimulationHang(
-            f"sampled {phase} phase did not finish within {max_cycles} cycles "
-            f"(committed: {[core.committed for core in cores]})",
-            cycle=engine.now,
-            events_fired=engine.events_fired,
-            queue_depth=engine.pending,
-        )
+    def _finish_interval(self) -> None:
+        for idx in range(len(self.machine.cores)):
+            start = self.starts[idx]
+            end = self.ends[idx]
+            self.samples[idx].append(
+                tuple(e - s for e, s in zip(end, start))
+            )
+        self.interval += 1
+        self.starts = []
+        self.ends = []
+        if self.interval >= self.k:
+            self.stage = "drain"
+        else:
+            self._enter_interval()
 
+    def _do_drain(self, watchdog: Watchdog) -> None:
+        """Pause dispatch and run until the whole hierarchy is quiescent.
 
-class _CoreSnapshot:
-    """Counter readings for one core at an interval boundary."""
+        Mid-run phase switches deliberately do *not* drain —
+        ``skip_ahead`` orphans in-flight ops so queue occupancy survives
+        the functional skip; draining between intervals was measured to
+        bias the first post-resume interval optimistic on fast-memory
+        configs (empty queues underestimate load latency).
+        """
+        machine = self.machine
+        cores = machine.cores
+        for core in cores:
+            core.pause()
 
-    __slots__ = ("cycle", "committed", "loads", "load_latency", "l2_misses")
+        def drained() -> bool:
+            return (
+                all(core.drained for core in cores)
+                and machine.outstanding_requests() == 0
+            )
 
-    def __init__(self, machine: "Machine", core) -> None:
+        machine._drive(watchdog, self.max_cycles, drained, stop_when=drained)
+        if not drained():
+            machine._hang_snapshot()
+            raise SimulationHang(
+                "hierarchy failed to drain before a functional phase "
+                f"(outstanding: {machine.outstanding_requests()})",
+                cycle=machine.engine.now,
+                events_fired=machine.engine.events_fired,
+                queue_depth=machine.engine.pending,
+            )
+
+    # ------------------------------------------------------------------
+    # Commit-watch callbacks (bound methods — snapshot-encodable via the
+    # machine's "sampler" component registration)
+    # ------------------------------------------------------------------
+    def _crossed(self, _core) -> None:
+        self.waiting -= 1
+        if not self.waiting:
+            self.machine.engine.request_stop()
+
+    def _freeze(self, core) -> None:
+        self.ends[core.core_id] = self._read_core(core)
+        self.waiting -= 1
+        if not self.waiting:
+            self.machine.engine.request_stop()
+
+    def _stage_done(self) -> bool:
+        return self.waiting == 0
+
+    def _read_core(self, core) -> Tuple:
+        """Counter readings for one core at an interval boundary."""
+        machine = self.machine
         l2 = machine._l2_core_counters(core.core_id)
-        self.cycle = machine.engine.now
-        self.committed = core.committed
-        self.loads = core.stats.get("loads_completed")
-        self.load_latency = core.stats.get("load_latency_sum")
-        self.l2_misses = l2["demand_misses"]
+        return (
+            machine.engine.now,
+            core.committed,
+            core.stats.get("loads_completed"),
+            core.stats.get("load_latency_sum"),
+            l2["demand_misses"],
+        )
 
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _build_result(self) -> "MachineResult":
+        from ..system.machine import CoreResult  # local: avoid import cycle
 
-class _IntervalSample:
-    """Per-core deltas over one measured interval."""
+        machine = self.machine
+        # Stashed for diagnostics/validation tooling (per-core, per-interval).
+        machine.sample_log = [
+            [(s[_INSTRUCTIONS], s[_CYCLES]) for s in per_core]
+            for per_core in self.samples
+        ]
 
-    __slots__ = ("instructions", "cycles", "loads", "load_latency", "l2_misses")
+        core_results: List[CoreResult] = []
+        rel_cis: List[float] = []
+        for idx in range(len(machine.cores)):
+            per_interval = self.samples[idx]
+            cpis = [
+                s[_CYCLES] / s[_INSTRUCTIONS]
+                for s in per_interval
+                if s[_INSTRUCTIONS]
+            ]
+            est = estimate_mean(cpis)
+            rel_cis.append(est.rel_ci95)
+            instructions = float(sum(s[_INSTRUCTIONS] for s in per_interval))
+            cycles = float(sum(s[_CYCLES] for s in per_interval))
+            misses = sum(s[_L2_MISSES] for s in per_interval)
+            loads = sum(s[_LOADS] for s in per_interval)
+            latency = sum(s[_LOAD_LATENCY] for s in per_interval)
+            core_results.append(
+                CoreResult(
+                    benchmark=machine._benchmarks[idx],
+                    ipc=(1.0 / est.mean) if est.mean else 0.0,
+                    instructions=instructions,
+                    cycles=cycles,
+                    l2_mpki=(
+                        (1000.0 * misses / instructions) if instructions else 0.0
+                    ),
+                    avg_load_latency=(latency / loads) if loads else 0.0,
+                )
+            )
 
-    def __init__(self, start: _CoreSnapshot, end: _CoreSnapshot) -> None:
-        self.instructions = end.committed - start.committed
-        self.cycles = end.cycle - start.cycle
-        self.loads = end.loads - start.loads
-        self.load_latency = end.load_latency - start.load_latency
-        self.l2_misses = end.l2_misses - start.l2_misses
+        plan = self.plan
+        extra: Dict[str, float] = {
+            "sampled": 1.0,
+            "sample_intervals": float(self.k),
+            "sample_detailed_per_interval": float(plan.detailed),
+            "sample_warmup_per_interval": float(plan.warmup),
+            "sample_detail_warmup": float(plan.detail_warmup),
+            "sample_rel_ci95_max": max(rel_cis) if rel_cis else 0.0,
+            "sample_rel_ci95_mean": (
+                sum(rel_cis) / len(rel_cis) if rel_cis else 0.0
+            ),
+        }
+        return machine._build_result(core_results, extra)
+
+    # -- snapshot seam ---------------------------------------------------
+    def capture_state(self) -> dict:
+        """Stage machine plus accumulated samples (all plain tuples).
+
+        The per-core commit-watch targets and callbacks live with the
+        cores; only the controller-side progress is captured here.
+        """
+        return {
+            "v": 1,
+            "stage": self.stage,
+            "interval": self.interval,
+            "waiting": self.waiting,
+            "samples": [list(per_core) for per_core in self.samples],
+            "starts": list(self.starts),
+            "ends": list(self.ends),
+            "plan": [
+                self.plan.detailed,
+                self.plan.warmup,
+                self.plan.detail_warmup,
+                self.plan.min_intervals,
+            ],
+            "args": [self.warmup_instructions, self.measure_instructions],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "SampledRunController")
+        plan_fields = [
+            self.plan.detailed,
+            self.plan.warmup,
+            self.plan.detail_warmup,
+            self.plan.min_intervals,
+        ]
+        if list(state["plan"]) != plan_fields:
+            raise SnapshotConfigMismatch(
+                f"snapshot sampling plan {state['plan']} does not match "
+                f"this run's {plan_fields}"
+            )
+        args = [self.warmup_instructions, self.measure_instructions]
+        if list(state["args"]) != args:
+            raise SnapshotConfigMismatch(
+                f"resumed sampled-run arguments {args} do not match the "
+                f"snapshot's {state['args']}"
+            )
+        if len(state["samples"]) != len(self.machine.cores):
+            raise ValueError(
+                "snapshot sample lists do not match this machine's cores"
+            )
+        self.stage = state["stage"]
+        self.interval = state["interval"]
+        self.waiting = state["waiting"]
+        self.samples = [
+            [tuple(sample) for sample in per_core]
+            for per_core in state["samples"]
+        ]
+        self.starts = [tuple(start) for start in state["starts"]]
+        self.ends = [
+            None if end is None else tuple(end) for end in state["ends"]
+        ]
 
 
 def run_sampled(
@@ -163,109 +396,13 @@ def run_sampled(
 ) -> "MachineResult":
     """Run ``machine`` under ``plan`` and return extrapolated results.
 
-    The phase alternation and the estimate construction are documented
-    in the module docstring; ``max_cycles``/``max_events`` bound each
-    engine run exactly as in :meth:`Machine.run`.
+    Thin compatibility wrapper over :meth:`Machine.run_sampled`, which
+    owns the controller's component registration.
     """
-    from ..system.machine import CoreResult  # local: avoid import cycle
-
-    engine = machine.engine
-    cores = machine.cores
-    watchdog = Watchdog(
-        max_events=max_events, pending_work=machine.outstanding_requests
+    return machine.run_sampled(
+        plan,
+        warmup_instructions=warmup_instructions,
+        measure_instructions=measure_instructions,
+        max_cycles=max_cycles,
+        max_events=max_events,
     )
-
-    # Phase 0: the entire warmup quota runs functionally.
-    _functional_skip(machine, warmup_instructions)
-
-    for core in cores:
-        core.start()
-    if machine.tuner is not None:
-        machine.tuner.start()
-
-    k = plan.intervals_for(measure_instructions)
-    samples: List[List[_IntervalSample]] = [[] for _ in cores]
-
-    for interval in range(k):
-        if interval > 0:
-            # No drain: skip_ahead orphans in-flight ops, so MSHR and
-            # controller occupancy carries straight across the skip.
-            _functional_skip(machine, plan.warmup)
-
-        _run_detailed(
-            machine, plan.detail_warmup, watchdog, max_cycles, "detail-warmup"
-        )
-
-        starts = [_CoreSnapshot(machine, core) for core in cores]
-        waiting = [len(cores)]
-        ends: List[Optional[_CoreSnapshot]] = [None] * len(cores)
-
-        def freeze(core, _ends=ends, _waiting=waiting) -> None:
-            _ends[core.core_id] = _CoreSnapshot(machine, core)
-            _waiting[0] -= 1
-            if not _waiting[0]:
-                engine.request_stop()
-
-        for core, start in zip(cores, starts):
-            core.watch_commit(start.committed + plan.detailed, freeze)
-        engine.run(until=max_cycles, watchdog=watchdog)
-        if waiting[0]:
-            raise SimulationHang(
-                f"sampled interval {interval} did not finish within "
-                f"{max_cycles} cycles "
-                f"(committed: {[core.committed for core in cores]})",
-                cycle=engine.now,
-                events_fired=engine.events_fired,
-                queue_depth=engine.pending,
-            )
-        for idx in range(len(cores)):
-            samples[idx].append(_IntervalSample(starts[idx], ends[idx]))
-
-    # Leave the machine quiescent: checker finish() then sees a conserved
-    # system (no in-flight requests).
-    _drain(machine, watchdog, max_cycles)
-    if machine.checker_set is not None:
-        machine.checker_set.finish()
-
-    # Stashed for diagnostics/validation tooling (per-core, per-interval).
-    machine.sample_log = [
-        [(s.instructions, s.cycles) for s in per_core] for per_core in samples
-    ]
-
-    core_results: List[CoreResult] = []
-    rel_cis: List[float] = []
-    for idx, core in enumerate(cores):
-        per_interval = samples[idx]
-        cpis = [
-            s.cycles / s.instructions for s in per_interval if s.instructions
-        ]
-        est = estimate_mean(cpis)
-        rel_cis.append(est.rel_ci95)
-        instructions = float(sum(s.instructions for s in per_interval))
-        cycles = float(sum(s.cycles for s in per_interval))
-        misses = sum(s.l2_misses for s in per_interval)
-        loads = sum(s.loads for s in per_interval)
-        latency = sum(s.load_latency for s in per_interval)
-        core_results.append(
-            CoreResult(
-                benchmark=machine._benchmarks[idx],
-                ipc=(1.0 / est.mean) if est.mean else 0.0,
-                instructions=instructions,
-                cycles=cycles,
-                l2_mpki=(1000.0 * misses / instructions) if instructions else 0.0,
-                avg_load_latency=(latency / loads) if loads else 0.0,
-            )
-        )
-
-    extra: Dict[str, float] = {
-        "sampled": 1.0,
-        "sample_intervals": float(k),
-        "sample_detailed_per_interval": float(plan.detailed),
-        "sample_warmup_per_interval": float(plan.warmup),
-        "sample_detail_warmup": float(plan.detail_warmup),
-        "sample_rel_ci95_max": max(rel_cis) if rel_cis else 0.0,
-        "sample_rel_ci95_mean": (
-            sum(rel_cis) / len(rel_cis) if rel_cis else 0.0
-        ),
-    }
-    return machine._build_result(core_results, extra)

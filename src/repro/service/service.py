@@ -142,6 +142,10 @@ class SweepService:
     def _execute(self, job: SweepJob) -> None:
         self.queue.set_state(job.job_id, "running")
         spec = job.spec
+        snapshot_dir = None
+        if self.policy.snapshot_every is not None:
+            snapshot_dir = self.root / "snapshots"
+            snapshot_dir.mkdir(parents=True, exist_ok=True)
         tasks: List[CellTask] = []
         for config, mix in job.remaining_cells():
             key = spec.key_for(config, mix)
@@ -157,6 +161,17 @@ class SweepService:
                 )
                 self.stats_counters["cells_from_cache"] += 1
                 continue
+            snapshot = None
+            if snapshot_dir is not None:
+                # Keyed by the cell's content hash: a rescheduled or
+                # recovered attempt of the same cell finds its
+                # checkpoint; a different cell never can.  Workers honor
+                # SIGUSR1 preemption (the trailing True).
+                snapshot = (
+                    self.policy.snapshot_every,
+                    str(snapshot_dir / f"{key}.snap"),
+                    True,
+                )
             tasks.append(
                 CellTask(
                     config=config,
@@ -168,6 +183,7 @@ class SweepService:
                     seed=spec.seed,
                     checkers=spec.checkers,
                     sampling=spec.sampling,
+                    snapshot=snapshot,
                 )
             )
 

@@ -37,8 +37,10 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..common.errors import SnapshotPreempted
 from ..experiments import faults
 from ..experiments.runner import CellFailure, _run_cell
+from ..snapshot import preemption
 from ..system.config import SystemConfig
 
 
@@ -66,6 +68,14 @@ class ServicePolicy:
     breaker_threshold: int = 3
     #: Seconds an open breaker sheds load before allowing a probe.
     breaker_cooldown: float = 30.0
+    #: Checkpoint each cell's machine every this many cycles (``None``
+    #: disables snapshots).  Interrupted/preempted cells resume from
+    #: their latest snapshot instead of re-simulating from zero.
+    snapshot_every: Optional[int] = None
+    #: Seconds a doomed worker (hung heartbeat, cell timeout) gets to
+    #: honor a SIGUSR1 preemption request — checkpointing at the next
+    #: snapshot boundary — before the SIGKILL falls.
+    preempt_grace: float = 3.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -80,6 +90,10 @@ class ServicePolicy:
         if self.breaker_threshold < 1:
             raise ValueError(
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.snapshot_every is not None and self.snapshot_every <= 0:
+            raise ValueError(
+                f"snapshot_every must be positive, got {self.snapshot_every}"
             )
 
     def backoff_delay(self, attempt: int) -> float:
@@ -152,6 +166,9 @@ class CellTask:
     attempt: int = 1
     elapsed: float = 0.0
     ready_at: float = 0.0
+    #: ``(every_cycles, snapshot_path, preemptible)`` when the service
+    #: checkpoints this cell (see :mod:`repro.snapshot`).
+    snapshot: Optional[Tuple] = None
 
     def scenario(self) -> Tuple[str, str]:
         return (self.config.name, self.mix_name)
@@ -167,6 +184,7 @@ class CellTask:
             self.attempt,
             self.checkers,
             self.sampling,
+            self.snapshot,
         )
 
 
@@ -190,6 +208,28 @@ def _heartbeat_loop(conn, send_lock, interval, state) -> None:
         time.sleep(interval)
 
 
+def _tamper_snapshot(path: str, config: str, mix: str, attempt: int) -> None:
+    """Apply ``corrupt-snapshot``/``truncate-snapshot`` chaos to a cell's
+    on-disk checkpoint before the resume attempt reads it.
+
+    The loader's integrity checks must refuse the damaged file and the
+    cell must restart cleanly from zero — these faults prove that a torn
+    or bit-rotted checkpoint can only cost time, never correctness.
+    """
+    if not os.path.exists(path):
+        return
+    if faults.service_fault_for("corrupt-snapshot", config, mix, attempt):
+        data = bytearray(open(path, "rb").read())
+        if data:
+            data[len(data) // 2] ^= 0x01
+            with open(path, "wb") as handle:
+                handle.write(bytes(data))
+    elif faults.service_fault_for("truncate-snapshot", config, mix, attempt):
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+
 def _service_worker_main(conn, supervisor_conn, heartbeat_interval: float) -> None:
     """Persistent worker: heartbeat thread + one cell at a time."""
     if supervisor_conn is not None:
@@ -198,6 +238,9 @@ def _service_worker_main(conn, supervisor_conn, heartbeat_interval: float) -> No
         # otherwise our own inherited write end keeps recv() blocked
         # forever and the orphaned worker never exits.
         supervisor_conn.close()
+    # SIGUSR1 from the supervisor asks us to checkpoint at the next
+    # snapshot boundary and yield the cell (graceful preemption).
+    preemption.install_handler()
     send_lock = threading.Lock()
     state: dict = {"stop": False}
     beater = threading.Thread(
@@ -218,24 +261,36 @@ def _service_worker_main(conn, supervisor_conn, heartbeat_interval: float) -> No
             args = message[1]
             config, mix_name = args[0], args[1]
             attempt = args[6]
+            snapshot = args[9] if len(args) > 9 else None
+            preemption.clear()  # a stale request must not abort this cell
             delay = faults.service_fault_for(
                 "hb-delay", config.name, mix_name, attempt
             )
             if delay is not None:
                 state["stall"] = delay.seconds
-            killer = faults.service_fault_for(
-                "kill-worker", config.name, mix_name, attempt
-            )
-            if killer is not None:
-                # Chaos: die like a segfault, `seconds` into the cell.
-                timer = threading.Timer(
-                    killer.seconds,
-                    lambda: os.kill(os.getpid(), signal.SIGKILL),
+            for kind in ("kill-worker", "kill-worker-mid-cell"):
+                killer = faults.service_fault_for(
+                    kind, config.name, mix_name, attempt
                 )
-                timer.daemon = True
-                timer.start()
+                if killer is not None:
+                    # Chaos: die like a segfault, `seconds` into the cell.
+                    timer = threading.Timer(
+                        killer.seconds,
+                        lambda: os.kill(os.getpid(), signal.SIGKILL),
+                    )
+                    timer.daemon = True
+                    timer.start()
+                    break
+            if snapshot is not None:
+                _tamper_snapshot(
+                    snapshot[1], config.name, mix_name, attempt
+                )
             try:
                 _, _, result = _run_cell(args)
+            except SnapshotPreempted as exc:
+                # The checkpoint is durably on disk; the supervisor will
+                # reschedule the cell to resume from it.
+                reply = ("preempted", exc.path, exc.cycle)
             except Exception as exc:
                 reply = (
                     "error",
@@ -281,8 +336,10 @@ class WorkerSupervisor:
             "workers_started": 0,
             "workers_crashed": 0,
             "workers_hung_killed": 0,
+            "workers_preempted": 0,
             "cells_retried": 0,
             "cells_timed_out": 0,
+            "cells_preempted": 0,
         }
 
     # -- pool management -------------------------------------------------
@@ -425,12 +482,16 @@ class WorkerSupervisor:
             now = time.monotonic()
             for worker in [w for w in self._workers if w.busy is not None]:
                 if now - worker.last_heartbeat >= policy.heartbeat_timeout:
-                    self._worker_hung(worker, now, pending, on_failure)
+                    self._worker_hung(
+                        worker, now, pending, on_result, on_failure
+                    )
                 elif (
                     policy.cell_timeout is not None
                     and now - worker.started >= policy.cell_timeout
                 ):
-                    self._cell_timed_out(worker, now, pending, on_failure)
+                    self._cell_timed_out(
+                        worker, now, pending, on_result, on_failure
+                    )
 
     # -- event handlers --------------------------------------------------
 
@@ -453,6 +514,8 @@ class WorkerSupervisor:
                 task.elapsed += now - worker.started
                 self.breaker.record_success(task.scenario())
                 on_result(task, message[1])
+            elif kind == "preempted":
+                self._requeue_preempted(worker, now, pending)
             elif kind == "error":
                 task = worker.busy
                 worker.busy = None
@@ -461,6 +524,22 @@ class WorkerSupervisor:
                     task, message[1], message[2], message[3],
                     pending, on_failure,
                 )
+
+    def _requeue_preempted(self, worker, now, pending) -> None:
+        """A worker yielded its cell at a snapshot boundary.
+
+        The checkpoint is already durable, so the cell is rescheduled to
+        resume from it — nothing failed, no retry budget is burned and
+        the scenario's breaker does not move.
+        """
+        task = worker.busy
+        worker.busy = None
+        if task is None:  # pragma: no cover - defensive
+            return
+        task.elapsed += now - worker.started
+        task.ready_at = now
+        pending.append(task)
+        self.stats["cells_preempted"] += 1
 
     def _worker_died(self, worker, now, pending, on_failure) -> None:
         task = worker.busy
@@ -479,9 +558,62 @@ class WorkerSupervisor:
             on_failure,
         )
 
-    def _worker_hung(self, worker, now, pending, on_failure) -> None:
+    def _try_preempt(self, worker, pending, on_result) -> bool:
+        """Ask a doomed worker to checkpoint before the SIGKILL falls.
+
+        Sends SIGUSR1 and waits up to ``preempt_grace`` seconds for the
+        worker to reach a snapshot boundary, write its checkpoint, and
+        yield the cell.  Returns ``True`` when the cell was handled
+        (preempted-and-requeued, or it finished in the window) so the
+        caller skips the kill-and-retry path.  A worker whose simulation
+        is truly wedged never answers and gets killed as before — its
+        retry still resumes from the latest *periodic* snapshot.
+        """
+        task = worker.busy
+        if task is None or task.snapshot is None:
+            return False
+        pid = worker.process.pid
+        if pid is None or not worker.process.is_alive():
+            return False
+        try:
+            os.kill(pid, signal.SIGUSR1)
+        except (ProcessLookupError, OSError):
+            return False
+        deadline = time.monotonic() + self.policy.preempt_grace
+        while time.monotonic() < deadline:
+            try:
+                if not worker.conn.poll(0.05):
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return False
+            now = time.monotonic()
+            if message[0] == "hb":
+                worker.last_heartbeat = now
+            elif message[0] == "preempted":
+                self._requeue_preempted(worker, now, pending)
+                self.stats["workers_preempted"] += 1
+                return True
+            elif message[0] == "result":
+                # The cell finished while we were preparing to shoot it.
+                worker.busy = None
+                task.elapsed += now - worker.started
+                self.breaker.record_success(task.scenario())
+                on_result(task, message[1])
+                return True
+            elif message[0] == "error":
+                return False  # let the kill path classify the failure
+        return False
+
+    def _worker_hung(self, worker, now, pending, on_result, on_failure) -> None:
         task = worker.busy
         silence = now - worker.last_heartbeat
+        if self._try_preempt(worker, pending, on_result):
+            # Heartbeats were silent but the simulation answered the
+            # preemption: recycle the worker without losing progress.
+            self.stats["workers_hung_killed"] += 1
+            self._discard_worker(worker, kill=True)
+            return
         self.stats["workers_hung_killed"] += 1
         self._discard_worker(worker, kill=True)
         if task is None:  # pragma: no cover - busy is checked by caller
@@ -497,8 +629,14 @@ class WorkerSupervisor:
             on_failure,
         )
 
-    def _cell_timed_out(self, worker, now, pending, on_failure) -> None:
+    def _cell_timed_out(self, worker, now, pending, on_result, on_failure) -> None:
         task = worker.busy
+        if self._try_preempt(worker, pending, on_result):
+            # Checkpointed in the grace window: the retry resumes
+            # mid-cell instead of paying the whole budget again.
+            self.stats["cells_timed_out"] += 1
+            self._discard_worker(worker, kill=True)
+            return
         self.stats["cells_timed_out"] += 1
         self._discard_worker(worker, kill=True)
         task.elapsed += now - worker.started

@@ -1,0 +1,376 @@
+"""Object-graph codec for whole-machine snapshots.
+
+Component ``capture_state()`` seams return plain-data trees, but the
+live machine is a graph: one :class:`MemoryRequest` may simultaneously
+sit in an MSHR entry's coalescing list, in a memory-controller queue
+entry and inside a scheduled completion event's argument tuple, and its
+``callback`` closes back over cache internals.  Restoring those as
+*copies* would silently fork the request — the MSHR would deallocate one
+object while the controller completes another.
+
+:class:`SnapshotContext` therefore interns the four shared-identity
+object kinds — :class:`MemoryRequest`, :class:`MshrEntry`,
+:class:`Core._InFlight` and :class:`Event` — into side tables and
+encodes every cross-reference as a ``(tag, index)`` pair.  Decoding is
+two-phase: first every interned object is created as an empty shell, then
+fields are filled, so mutually referential objects resolve to the same
+identities they had at capture time.
+
+Callbacks are encoded structurally, not pickled: a callback must be a
+bound method of a registered component (or of an interned object), a
+``functools.partial`` over such a method, or one of a short whitelist of
+static functions.  Anything else — a lambda, a local closure — is a bug
+in the component's snapshot seam and raises immediately at capture time,
+never at restore time.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..common.errors import SnapshotError, SnapshotFormatError
+from ..common.request import AccessType, MemoryRequest
+from ..cpu.core import _InFlight
+from ..cpu.trace import TraceItem
+from ..engine.event import Event
+from ..memctrl.mapping import DramCoordinates
+from ..mshr.base import MshrEntry
+
+_NEW_REQUEST = MemoryRequest.__new__
+_NEW_ENTRY = MshrEntry.__new__
+_NEW_INFLIGHT = _InFlight.__new__
+_NEW_EVENT = Event.__new__
+
+#: NamedTuples that may appear inside encoded values.  They are encoded
+#: by name so the decoder rebuilds the right type (plain tuples would
+#: lose attribute access).
+_NAMEDTUPLES: Dict[str, type] = {
+    "DramCoordinates": DramCoordinates,
+    "TraceItem": TraceItem,
+}
+
+#: Static (unbound) functions that are legal callbacks.
+_STATIC_FUNCS: Dict[str, Callable[..., Any]] = {
+    "MemoryRequest.release": MemoryRequest.release,
+}
+_STATIC_FUNC_NAMES = {id(fn): name for name, fn in _STATIC_FUNCS.items()}
+
+
+def _tombstone(*_args: Any) -> None:  # pragma: no cover - never fires
+    """Stand-in body for restored lazily-cancelled events.
+
+    A cancelled event is skipped by the engine, never fired, but it still
+    occupies queue slots and affects cancellation accounting, so it must
+    be restored in place.  Its original callback may reference objects
+    that no longer exist; restoring it as an inert tombstone is exact.
+    """
+    raise AssertionError("cancelled snapshot tombstone event fired")
+
+
+class SnapshotContext:
+    """Shared capture/restore state threaded through every seam.
+
+    One context is used for exactly one capture *or* one restore; the
+    interning tables are not reusable across snapshots.
+    """
+
+    def __init__(self, components: "Dict[str, Any]") -> None:
+        self.components = components
+        self._paths = {id(obj): path for path, obj in components.items()}
+        # Capture-side interning: id(obj) -> table index.
+        self._req_ids: Dict[int, int] = {}
+        self._entry_ids: Dict[int, int] = {}
+        self._inflight_ids: Dict[int, int] = {}
+        self._event_ids: Dict[int, int] = {}
+        # Both sides: index -> live object.
+        self._req_objs: List[MemoryRequest] = []
+        self._entry_objs: List[MshrEntry] = []
+        self._inflight_objs: List[_InFlight] = []
+        self._event_objs: List[Event] = []
+        # Capture-side: index -> captured field state.
+        self.request_states: List[Any] = []
+        self.entry_states: List[Any] = []
+        self.inflight_states: List[Any] = []
+        self.event_states: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # capture side
+    # ------------------------------------------------------------------
+    def ref_request(self, request: MemoryRequest) -> int:
+        idx = self._req_ids.get(id(request))
+        if idx is None:
+            idx = len(self._req_objs)
+            self._req_ids[id(request)] = idx
+            self._req_objs.append(request)
+            self.request_states.append(None)
+            self.request_states[idx] = (
+                request.req_id,
+                request.addr,
+                request.access.name,
+                request.core_id,
+                request.pc,
+                request.created_at,
+                request.issued_to_dram_at,
+                request.completed_at,
+                self.encode_value(request.callback),
+                request.is_write,
+                request.row_buffer_hit,
+                request.mshr_probes,
+                self.encode_value(request.annotations),
+                request.poisoned,
+                request._released,
+            )
+        return idx
+
+    def ref_entry(self, entry: MshrEntry) -> int:
+        idx = self._entry_ids.get(id(entry))
+        if idx is None:
+            idx = len(self._entry_objs)
+            self._entry_ids[id(entry)] = idx
+            self._entry_objs.append(entry)
+            self.entry_states.append(None)
+            self.entry_states[idx] = (
+                entry.line_addr,
+                [self.ref_request(r) for r in entry.requests],
+                entry.issued,
+                entry.is_prefetch,
+            )
+        return idx
+
+    def ref_inflight(self, inflight: _InFlight) -> int:
+        idx = self._inflight_ids.get(id(inflight))
+        if idx is None:
+            idx = len(self._inflight_objs)
+            self._inflight_ids[id(inflight)] = idx
+            self._inflight_objs.append(inflight)
+            self.inflight_states.append(
+                (inflight.icount, inflight.is_write, inflight.completed_time)
+            )
+        return idx
+
+    def ref_event(self, event: Event) -> int:
+        idx = self._event_ids.get(id(event))
+        if idx is None:
+            idx = len(self._event_objs)
+            self._event_ids[id(event)] = idx
+            self._event_objs.append(event)
+            self.event_states.append(None)
+            if event.cancelled:
+                # Cancelled events never fire; their callback may hang on
+                # to dead objects, so it is dropped, not captured.
+                self.event_states[idx] = (event.time, event.seq, True, None, None)
+            else:
+                self.event_states[idx] = (
+                    event.time,
+                    event.seq,
+                    False,
+                    self.encode_value(event.fn),
+                    self.encode_value(tuple(event.args)),
+                )
+        return idx
+
+    def encode_value(self, value: Any) -> Any:
+        """Encode one value (callbacks included) as plain data."""
+        if value is None or type(value) in (int, float, str, bool, bytes):
+            return ("v", value)
+        if isinstance(value, MemoryRequest):
+            return ("rq", self.ref_request(value))
+        if isinstance(value, MshrEntry):
+            return ("me", self.ref_entry(value))
+        if isinstance(value, _InFlight):
+            return ("if", self.ref_inflight(value))
+        if isinstance(value, Event):
+            return ("ev", self.ref_event(value))
+        if isinstance(value, AccessType):
+            return ("at", value.name)
+        path = self._paths.get(id(value))
+        if path is not None:
+            return ("c", path)
+        if isinstance(value, tuple):
+            fields = getattr(value, "_fields", None)
+            if fields is not None:
+                name = type(value).__name__
+                if name not in _NAMEDTUPLES:
+                    raise SnapshotError(
+                        f"cannot snapshot namedtuple type {name!r}; add it to "
+                        "repro.snapshot.codec._NAMEDTUPLES"
+                    )
+                return ("nt", name, [self.encode_value(x) for x in value])
+            return ("t", [self.encode_value(x) for x in value])
+        if isinstance(value, list):
+            return ("l", [self.encode_value(x) for x in value])
+        if isinstance(value, dict):
+            return (
+                "d",
+                [[self.encode_value(k), self.encode_value(v)] for k, v in value.items()],
+            )
+        if isinstance(value, functools.partial):
+            return (
+                "p",
+                self.encode_value(value.func),
+                [self.encode_value(a) for a in value.args],
+                [[k, self.encode_value(v)] for k, v in sorted(value.keywords.items())],
+            )
+        if inspect.ismethod(value):
+            return ("m", self.encode_value(value.__self__), value.__func__.__name__)
+        static_name = _STATIC_FUNC_NAMES.get(id(value))
+        if static_name is not None:
+            return ("f", static_name)
+        if isinstance(value, (int, float, str, bool, bytes)):
+            # Subclass of a primitive (e.g. IntEnum that slipped through).
+            raise SnapshotError(
+                f"cannot snapshot primitive subclass {type(value).__name__}"
+            )
+        raise SnapshotError(
+            f"cannot snapshot value of type {type(value).__name__}: {value!r} "
+            "(component callbacks must be bound methods or partials of bound "
+            "methods, not closures)"
+        )
+
+    # ``encode_callback`` is an alias kept for seam readability.
+    encode_callback = encode_value
+
+    def capture_tables(self) -> Dict[str, Any]:
+        """The interned-object tables, for the snapshot payload.
+
+        Must be taken *after* every component has been captured — the
+        tables grow as components reference objects.
+        """
+        return {
+            "requests": list(self.request_states),
+            "entries": list(self.entry_states),
+            "inflights": list(self.inflight_states),
+            "events": list(self.event_states),
+        }
+
+    # ------------------------------------------------------------------
+    # restore side
+    # ------------------------------------------------------------------
+    def build_objects(self, tables: Dict[str, Any]) -> None:
+        """Two-phase rebuild of the interned object tables."""
+        try:
+            self.request_states = list(tables["requests"])
+            self.entry_states = list(tables["entries"])
+            self.inflight_states = list(tables["inflights"])
+            self.event_states = list(tables["events"])
+        except (KeyError, TypeError) as exc:
+            raise SnapshotFormatError(
+                f"snapshot object tables are malformed: {exc}"
+            ) from exc
+        # Phase 1: empty shells, so cross-references can resolve.
+        self._req_objs = [_NEW_REQUEST(MemoryRequest) for _ in self.request_states]
+        self._entry_objs = [_NEW_ENTRY(MshrEntry) for _ in self.entry_states]
+        self._inflight_objs = [_NEW_INFLIGHT(_InFlight) for _ in self.inflight_states]
+        self._event_objs = [_NEW_EVENT(Event) for _ in self.event_states]
+        # Phase 2: fill fields; decode_value sees complete shell tables.
+        for request, state in zip(self._req_objs, self.request_states):
+            (
+                request.req_id,
+                request.addr,
+                access_name,
+                request.core_id,
+                request.pc,
+                request.created_at,
+                request.issued_to_dram_at,
+                request.completed_at,
+                callback,
+                request.is_write,
+                request.row_buffer_hit,
+                request.mshr_probes,
+                annotations,
+                request.poisoned,
+                request._released,
+            ) = state
+            request.access = AccessType[access_name]
+            request.callback = self.decode_value(callback)
+            request.annotations = self.decode_value(annotations)
+        for entry, state in zip(self._entry_objs, self.entry_states):
+            line_addr, request_idxs, issued, is_prefetch = state
+            entry.line_addr = line_addr
+            entry.requests = [self._req_objs[i] for i in request_idxs]
+            entry.issued = issued
+            entry.is_prefetch = is_prefetch
+        for inflight, state in zip(self._inflight_objs, self.inflight_states):
+            inflight.icount, inflight.is_write, inflight.completed_time = state
+        for event, state in zip(self._event_objs, self.event_states):
+            time, seq, cancelled, fn, args = state
+            event.time = time
+            event.seq = seq
+            event.cancelled = cancelled
+            if cancelled:
+                event.fn = _tombstone
+                event.args = ()
+            else:
+                event.fn = self.decode_value(fn)
+                event.args = self.decode_value(args)
+
+    def get_request(self, idx: int) -> MemoryRequest:
+        return self._req_objs[idx]
+
+    def get_entry(self, idx: int) -> MshrEntry:
+        return self._entry_objs[idx]
+
+    def get_inflight(self, idx: int) -> _InFlight:
+        return self._inflight_objs[idx]
+
+    def get_event(self, idx: int) -> Event:
+        return self._event_objs[idx]
+
+    def decode_value(self, enc: Any) -> Any:
+        tag = enc[0]
+        if tag == "v":
+            return enc[1]
+        if tag == "rq":
+            return self._req_objs[enc[1]]
+        if tag == "me":
+            return self._entry_objs[enc[1]]
+        if tag == "if":
+            return self._inflight_objs[enc[1]]
+        if tag == "ev":
+            return self._event_objs[enc[1]]
+        if tag == "at":
+            return AccessType[enc[1]]
+        if tag == "c":
+            try:
+                return self.components[enc[1]]
+            except KeyError:
+                raise SnapshotFormatError(
+                    f"snapshot references unknown component {enc[1]!r}; the "
+                    "reconstructed machine does not match the captured one"
+                ) from None
+        if tag == "t":
+            return tuple(self.decode_value(x) for x in enc[1])
+        if tag == "nt":
+            try:
+                kind = _NAMEDTUPLES[enc[1]]
+            except KeyError:
+                raise SnapshotFormatError(
+                    f"snapshot references unknown namedtuple {enc[1]!r}"
+                ) from None
+            return kind(*(self.decode_value(x) for x in enc[2]))
+        if tag == "l":
+            return [self.decode_value(x) for x in enc[1]]
+        if tag == "d":
+            return {self.decode_value(k): self.decode_value(v) for k, v in enc[1]}
+        if tag == "p":
+            func = self.decode_value(enc[1])
+            args = tuple(self.decode_value(a) for a in enc[2])
+            kwargs = {k: self.decode_value(v) for k, v in enc[3]}
+            return functools.partial(func, *args, **kwargs)
+        if tag == "m":
+            # Resolved via getattr so instrumentation wrappers installed
+            # on the reconstructed machine (validate hooks wrap methods
+            # as instance attributes) are transparently picked up.
+            return getattr(self.decode_value(enc[1]), enc[2])
+        if tag == "f":
+            try:
+                return _STATIC_FUNCS[enc[1]]
+            except KeyError:
+                raise SnapshotFormatError(
+                    f"snapshot references unknown static function {enc[1]!r}"
+                ) from None
+        raise SnapshotFormatError(f"unknown snapshot value tag {tag!r}")
+
+    decode_callback = decode_value

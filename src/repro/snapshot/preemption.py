@@ -1,0 +1,43 @@
+"""Cooperative preemption flag for snapshot-aware workers.
+
+A preemptible worker installs the signal handler once at startup; the
+supervisor (or the platform) sends ``SIGUSR1`` to ask the worker to
+yield.  The simulation drive loop polls :func:`preempt_requested` at
+snapshot boundaries only — signal delivery itself never interrupts the
+engine mid-event, so the checkpoint written on the way out is taken at a
+deterministic cycle and the resumed run replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+_flag = threading.Event()
+
+#: Signal used to request cooperative preemption.
+PREEMPT_SIGNAL = signal.SIGUSR1
+
+
+def _handler(_signum, _frame) -> None:
+    _flag.set()
+
+
+def install_handler() -> None:
+    """Install the preemption signal handler (main thread only)."""
+    signal.signal(PREEMPT_SIGNAL, _handler)
+
+
+def request_preemption() -> None:
+    """Set the flag in-process (tests, or same-process supervisors)."""
+    _flag.set()
+
+
+def preempt_requested() -> bool:
+    """Whether a preemption request is pending."""
+    return _flag.is_set()
+
+
+def clear() -> None:
+    """Reset the flag (after handling a preemption, or between cells)."""
+    _flag.clear()

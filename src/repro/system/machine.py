@@ -9,6 +9,7 @@ keeps executing, and report harmonic-mean IPC plus per-core MPKI.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -27,7 +28,13 @@ from ..cache.l3 import StackedL3
 from ..cache.tlb import Tlb
 from ..cpu.core import Core
 from ..dram.timing import DramTiming, ddr2_commodity, stacked_commodity, true_3d
-from ..common.errors import SimulationHang
+from ..common.errors import (
+    SimulationDeadlock,
+    SimulationHang,
+    SnapshotConfigMismatch,
+    SnapshotError,
+    SnapshotPreempted,
+)
 from ..engine.simulator import Engine, Watchdog
 from ..interconnect.bus import Bus
 from ..interconnect.links import offchip_fsb, tsv_bus
@@ -151,6 +158,12 @@ class Machine:
             )
         self.config = config
         self.workload_name = workload_name or "+".join(benchmarks)
+        # Construction spec, kept verbatim for the snapshot config
+        # fingerprint: a checkpoint only resumes onto a machine built
+        # from the same (config, benchmarks, seed, mode) tuple.
+        self._requested_benchmarks = list(benchmarks)
+        self._seed = seed
+        self._batched = bool(batched)
         # Canonical core placement: a workload is a *multiset* of
         # benchmark instances — the cores are homogeneous, so which
         # physical slot runs which instance is an implementation detail,
@@ -395,6 +408,10 @@ class Machine:
             )
             if config.l2_inclusive:
                 self.l2.register_upper_level(l1)
+            # Wired at construction (not at measurement start) so a
+            # restored machine's cores already point at this machine's
+            # freeze hook; Core deliberately does not checkpoint it.
+            core.on_frozen = self._snapshot_core
             self.l1s.append(l1)
             self.cores.append(core)
         self._benchmarks = placed_benchmarks
@@ -430,21 +447,35 @@ class Machine:
             self.tuner = DynamicMshrTuner(
                 self.engine,
                 self.l2_mshr_files,
-                committed_reader=lambda: float(sum(c.committed for c in self.cores)),
+                committed_reader=self._total_committed,
             )
 
         self._l2_snapshot: Dict[int, Dict[str, float]] = {}
         self._core_results: Dict[int, CoreResult] = {}
         self._unfrozen_count = 0
+        self._measure_l2_start: Dict[int, Dict[str, float]] = {}
+
+        # Run-phase state, all of it checkpointed: "start" (nothing
+        # driven yet) -> "warmup" -> "measure" -> "done".  A restored
+        # machine re-enters run() and picks up at the recorded phase.
+        self._run_phase = "start"
+        self._run_args: Optional[List[int]] = None
+        self._warmup_waiting = 0
+        self._snapshot_plan = None
+        self._sampler = None
+        self._pending_restore: Optional[dict] = None
+        self.sample_log: Optional[List[List[tuple]]] = None
 
         # Runtime invariant checkers (opt-in; imported lazily so plain
         # runs never touch the validate package).
         self.checker_set = None
+        self._checker_names: Optional[List[str]] = None
         if checkers:
             from ..common import request as request_mod
             from ..validate import attach_checkers
 
             self.checker_set = attach_checkers(self, checkers)
+            self._checker_names = sorted(c.name for c in self.checker_set)
             # Checked runs also arm the request-pool reuse guard.
             request_mod.set_pool_check(True)
 
@@ -479,12 +510,17 @@ class Machine:
         l4 = self.l4.occupancy() if self.l4 is not None else 0
         return mshr + mrq + l4
 
+    def _total_committed(self) -> float:
+        """Instructions committed machine-wide (the tuner's epoch clock)."""
+        return float(sum(core.committed for core in self.cores))
+
     def run(
         self,
         warmup_instructions: int = 20_000,
         measure_instructions: int = 80_000,
         max_cycles: int = 500_000_000,
         max_events: Optional[int] = None,
+        snapshot=None,
     ) -> MachineResult:
         """Warm up, measure, and collect results (paper methodology).
 
@@ -494,32 +530,61 @@ class Machine:
             max_events: optional event budget per phase (watchdog against
                 runaway simulations that keep scheduling work without
                 committing instructions).
+            snapshot: optional :class:`~repro.snapshot.SnapshotPlan`;
+                when set, the run checkpoints at every absolute multiple
+                of ``plan.every`` cycles (and polls for cooperative
+                preemption if the plan is preemptible).  A machine
+                primed with :meth:`resume` continues from the recorded
+                phase instead of starting over.
         """
+        self._snapshot_plan = snapshot
+        if self._pending_restore is not None:
+            if self._pending_restore.get("sampler") is not None:
+                raise SnapshotError(
+                    "snapshot was taken under a sampled run; resume it "
+                    "with run_sampled() and the same SamplingPlan"
+                )
+            self._apply_restore()
+        if self._run_phase == "done":
+            raise SnapshotError("this machine's run already completed")
+        if self._run_phase != "start":
+            resumed_args = [warmup_instructions, measure_instructions]
+            if self._run_args != resumed_args:
+                raise SnapshotConfigMismatch(
+                    f"resumed run arguments {resumed_args} do not match "
+                    f"the snapshot's {self._run_args} "
+                    "(warmup/measure quotas are part of the run identity)"
+                )
+        else:
+            self._run_args = [warmup_instructions, measure_instructions]
+
         watchdog = Watchdog(
             max_events=max_events, pending_work=self.outstanding_requests
         )
-        for core in self.cores:
-            core.start()
-        if self.tuner is not None:
-            self.tuner.start()
-
-        if warmup_instructions > 0:
-            # Each core reports crossing the warmup quota from inside its
-            # own commit event; the last one stops the run.  This keeps
-            # the engine on its batched fast path (no per-event predicate)
-            # and stops at exactly the event a stop_when poll would have.
-            waiting = [len(self.cores)]
-
-            def _warmed_up(_core: Core) -> None:
-                waiting[0] -= 1
-                if not waiting[0]:
-                    self.engine.request_stop()
-
+        if self._run_phase == "start":
             for core in self.cores:
-                core.watch_commit(warmup_instructions, _warmed_up)
-            if waiting[0]:
-                self.engine.run(until=max_cycles, watchdog=watchdog)
+                core.start()
+            if self.tuner is not None:
+                self.tuner.start()
+            if warmup_instructions > 0:
+                # Each core reports crossing the warmup quota from inside
+                # its own commit event; the last one stops the run.  This
+                # keeps the engine on its batched fast path (no per-event
+                # predicate) and stops at exactly the event a stop_when
+                # poll would have.
+                self._run_phase = "warmup"
+                self._warmup_waiting = len(self.cores)
+                for core in self.cores:
+                    core.watch_commit(warmup_instructions, self._warmed_up)
+            else:
+                self._begin_measurement(measure_instructions)
+
+        if self._run_phase == "warmup":
+            self._drive(
+                watchdog, max_cycles, lambda: self._warmup_waiting == 0
+            )
             if not all(c.committed >= warmup_instructions for c in self.cores):
+                self._hang_snapshot()
                 raise SimulationHang(
                     f"warmup did not finish within {max_cycles} cycles "
                     f"(committed: {[c.committed for c in self.cores]})",
@@ -527,19 +592,13 @@ class Machine:
                     events_fired=self.engine.events_fired,
                     queue_depth=self.engine.pending,
                 )
-
-        self._unfrozen_count = len(self.cores)
-        for core in self.cores:
-            core.on_frozen = self._snapshot_core
-            core.begin_measurement(measure_instructions)
-        self._measure_l2_start = {
-            core.core_id: self._l2_core_counters(core.core_id) for core in self.cores
-        }
+            self._begin_measurement(measure_instructions)
 
         # _snapshot_core stops the run when the last core freezes, at the
         # same event a stop_when=all-frozen poll would have stopped on.
-        self.engine.run(until=max_cycles, watchdog=watchdog)
+        self._drive(watchdog, max_cycles, lambda: self._unfrozen_count == 0)
         if not all(core.frozen for core in self.cores):
+            self._hang_snapshot()
             raise SimulationHang(
                 f"measurement did not finish within {max_cycles} cycles "
                 f"(committed: {[c.committed for c in self.cores]})",
@@ -549,7 +608,23 @@ class Machine:
             )
         if self.checker_set is not None:
             self.checker_set.finish()
+        self._run_phase = "done"
         return self._collect()
+
+    def _warmed_up(self, _core: Core) -> None:
+        self._warmup_waiting -= 1
+        if not self._warmup_waiting:
+            self.engine.request_stop()
+
+    def _begin_measurement(self, measure_instructions: int) -> None:
+        self._run_phase = "measure"
+        self._unfrozen_count = len(self.cores)
+        for core in self.cores:
+            core.begin_measurement(measure_instructions)
+        self._measure_l2_start = {
+            core.core_id: self._l2_core_counters(core.core_id)
+            for core in self.cores
+        }
 
     def run_sampled(
         self,
@@ -558,17 +633,20 @@ class Machine:
         measure_instructions: int = 80_000,
         max_cycles: int = 500_000_000,
         max_events: Optional[int] = None,
+        snapshot=None,
     ) -> MachineResult:
         """Run under a :class:`~repro.sampling.plan.SamplingPlan`.
 
         Alternates functional-warmup and detailed phases instead of
         simulating every instruction in detail; results are estimates
         with confidence intervals recorded in ``MachineResult.extra``
-        (``sample_*`` keys).  See :mod:`repro.sampling`.
+        (``sample_*`` keys).  See :mod:`repro.sampling`.  ``snapshot``
+        works exactly as in :meth:`run`.
         """
-        from ..sampling.controller import run_sampled
+        from ..sampling.controller import SampledRunController
 
-        return run_sampled(
+        self._snapshot_plan = snapshot
+        controller = SampledRunController(
             self,
             plan,
             warmup_instructions=warmup_instructions,
@@ -576,6 +654,313 @@ class Machine:
             max_cycles=max_cycles,
             max_events=max_events,
         )
+        self._sampler = controller
+        try:
+            if self._pending_restore is not None:
+                if self._pending_restore.get("sampler") is None:
+                    raise SnapshotError(
+                        "snapshot was taken under a full-detail run; "
+                        "resume it with run() instead"
+                    )
+                self._apply_restore()
+            return controller.run()
+        finally:
+            self._sampler = None
+
+    # -- snapshot/restore ----------------------------------------------
+    def _drive(self, watchdog, max_cycles, finished, stop_when=None) -> None:
+        """Run the engine until ``finished()``, honoring the snapshot plan.
+
+        Without a plan this is a single ``engine.run`` call (identical
+        to the pre-snapshot drive).  With one, the run is chunked at
+        absolute multiples of ``plan.every`` cycles; the chunking is
+        behaviour-neutral (``engine.run(until=B)`` fires exactly the
+        events at time <= B, and the next chunk continues from there),
+        so a plan with ``write=False`` is a bit-identical oracle for a
+        writing or resumed run.
+        """
+        engine = self.engine
+        plan = self._snapshot_plan
+        if plan is None:
+            if not finished():
+                engine.run(
+                    until=max_cycles, stop_when=stop_when, watchdog=watchdog
+                )
+            return
+        from ..snapshot.preemption import preempt_requested
+
+        while not finished():
+            boundary = ((engine.now // plan.every) + 1) * plan.every
+            limit = min(boundary, max_cycles)
+            before = engine.now
+            try:
+                engine.run(until=limit, stop_when=stop_when, watchdog=watchdog)
+            except (SimulationHang, SimulationDeadlock):
+                self._hang_snapshot()
+                raise
+            if finished() or engine.now >= max_cycles:
+                return
+            if engine.pending == 0 or engine.now <= before:
+                # Queue exhausted (or no progress possible) with work
+                # unfinished; the caller's phase check reports the hang.
+                return
+            if plan.preemptible and preempt_requested():
+                cycle = engine.now
+                if plan.write:
+                    self.snapshot(plan.path, meta={"reason": "preempt"})
+                raise SnapshotPreempted(
+                    f"run preempted at cycle {cycle} "
+                    f"(phase {self._run_phase})",
+                    path=plan.path,
+                    cycle=cycle,
+                )
+            if plan.write:
+                self.snapshot(plan.path, meta={"reason": "periodic"})
+
+    def _hang_snapshot(self) -> None:
+        """Best-effort checkpoint before a hang/deadlock propagates."""
+        plan = self._snapshot_plan
+        if plan is None or not (plan.write and plan.snapshot_on_hang):
+            return
+        try:
+            self.snapshot(plan.path, meta={"reason": "hang"})
+        except Exception:  # pragma: no cover - diagnostic path only
+            pass
+
+    def fingerprint(self) -> str:
+        """Digest of everything that shapes this machine's trajectory.
+
+        Two machines with equal fingerprints are interchangeable for
+        resume purposes: same config contents (not just name), same
+        benchmark multiset and order, same seed, trace mode, checkers,
+        engine kind, and fused-drain arming.  Snapshot files record it
+        and refuse to restore onto a machine with a different one.
+        """
+        from ..service.keys import canonical_json, config_to_dict
+
+        spec = {
+            "config": config_to_dict(self.config),
+            "benchmarks": self._requested_benchmarks,
+            "seed": self._seed,
+            "batched": self._batched,
+            "checkers": self._checker_names,
+            "engine": type(self.engine).__name__,
+            "fused_mc": self.fused_mc_enabled,
+            "workload": self.workload_name,
+        }
+        return hashlib.sha256(
+            canonical_json(spec).encode("utf-8")
+        ).hexdigest()
+
+    def _component_registry(self) -> Dict[str, object]:
+        """Stable path -> object map for snapshot callback encoding.
+
+        Every object whose bound methods can appear in the event queue
+        or on a request callback must be here; paths are derived from
+        the wiring (never from memory addresses) so an identically
+        built machine resolves them to its own objects.
+        """
+        components: Dict[str, object] = {
+            "machine": self,
+            "engine": self.engine,
+            "l2": self.l2,
+            "memory": self.memory,
+        }
+        if self.l3 is not None:
+            components["l3"] = self.l3
+        if self.l4 is not None:
+            components["memory.stack"] = self.l4.stack
+            components["memory.offchip"] = self.l4.offchip
+        for mc in self.memory.controllers:
+            components[f"mc.{mc.mc_id}"] = mc
+        for i, l1 in enumerate(self.l1s):
+            components[f"l1.{i}"] = l1
+        for i, core in enumerate(self.cores):
+            components[f"core.{i}"] = core
+        if self.tuner is not None:
+            components["tuner"] = self.tuner
+        if self.ras is not None:
+            components["ras"] = self.ras
+        if self.checker_set is not None:
+            for checker in self.checker_set:
+                components[f"checker.{checker.name}"] = checker
+        if self._sampler is not None:
+            components["sampler"] = self._sampler
+        return components
+
+    def capture_state(self) -> dict:
+        """Whole-machine state tree (see :mod:`repro.snapshot`)."""
+        from ..common import request as request_mod
+        from ..snapshot.codec import SnapshotContext
+
+        ctx = SnapshotContext(self._component_registry())
+        state = {
+            "v": 1,
+            "phase": self._run_phase,
+            "run_args": self._run_args,
+            "warmup_waiting": self._warmup_waiting,
+            "unfrozen_count": self._unfrozen_count,
+            "measure_l2_start": [
+                (core_id, sorted(counters.items()))
+                for core_id, counters in sorted(self._measure_l2_start.items())
+            ],
+            "core_results": [
+                (
+                    core_id,
+                    [
+                        r.benchmark,
+                        r.ipc,
+                        r.instructions,
+                        r.cycles,
+                        r.l2_mpki,
+                        r.avg_load_latency,
+                    ],
+                )
+                for core_id, r in sorted(self._core_results.items())
+            ],
+            "request_globals": request_mod.capture_globals(),
+            "allocator": self.allocator.capture_state(),
+            "engine": self.engine.capture_state(ctx),
+            "memory": self.memory.capture_state(ctx),
+            "l3": None if self.l3 is None else self.l3.capture_state(ctx),
+            "l2": self.l2.capture_state(ctx),
+            "l1s": [l1.capture_state(ctx) for l1 in self.l1s],
+            "cores": [core.capture_state(ctx) for core in self.cores],
+            "tuner": None if self.tuner is None else self.tuner.capture_state(),
+            "ras": None if self.ras is None else self.ras.capture_state(),
+            "checkers": (
+                None
+                if self.checker_set is None
+                else [(c.name, c.capture_state()) for c in self.checker_set]
+            ),
+            "sampler": (
+                None if self._sampler is None else self._sampler.capture_state()
+            ),
+            "stats": self.registry.capture_state(),
+        }
+        # Interned-object tables go last: every component has declared
+        # its live requests/entries/events by now.
+        state["objects"] = ctx.capture_tables()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild live simulation state from :meth:`capture_state`."""
+        from ..common import request as request_mod
+        from ..common.versioning import check_state_version
+        from ..snapshot.codec import SnapshotContext
+
+        check_state_version(state, 1, "Machine")
+        ctx = SnapshotContext(self._component_registry())
+        # Order matters: the request pool's id counter and the stats
+        # registry come first (components hold bound counter slots);
+        # then the interned objects are rebuilt so component seams can
+        # resolve references into them.
+        request_mod.restore_globals(state["request_globals"])
+        self.registry.restore_state(state["stats"])
+        self.allocator.restore_state(state["allocator"])
+        ctx.build_objects(state["objects"])
+        self.engine.restore_state(state["engine"], ctx)
+        self.memory.restore_state(state["memory"], ctx)
+        if self.l3 is not None or state["l3"] is not None:
+            if self.l3 is None or state["l3"] is None:
+                raise SnapshotError("snapshot and machine disagree on L3")
+            self.l3.restore_state(state["l3"], ctx)
+        self.l2.restore_state(state["l2"], ctx)
+        if len(state["l1s"]) != len(self.l1s):
+            raise SnapshotError(
+                f"snapshot has {len(state['l1s'])} L1s, machine has "
+                f"{len(self.l1s)}"
+            )
+        for l1, l1_state in zip(self.l1s, state["l1s"]):
+            l1.restore_state(l1_state, ctx)
+        if len(state["cores"]) != len(self.cores):
+            raise SnapshotError(
+                f"snapshot has {len(state['cores'])} cores, machine has "
+                f"{len(self.cores)}"
+            )
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.restore_state(core_state, ctx)
+        if (self.tuner is None) != (state["tuner"] is None):
+            raise SnapshotError("snapshot and machine disagree on the tuner")
+        if self.tuner is not None:
+            self.tuner.restore_state(state["tuner"])
+        if (self.ras is None) != (state["ras"] is None):
+            raise SnapshotError("snapshot and machine disagree on RAS")
+        if self.ras is not None:
+            self.ras.restore_state(state["ras"])
+        captured_checkers = state["checkers"]
+        if (self.checker_set is None) != (captured_checkers is None):
+            raise SnapshotError("snapshot and machine disagree on checkers")
+        if self.checker_set is not None:
+            captured = dict(captured_checkers)
+            attached = {c.name for c in self.checker_set}
+            if set(captured) != attached:
+                raise SnapshotError(
+                    f"snapshot checkers {sorted(captured)} do not match "
+                    f"attached {sorted(attached)}"
+                )
+            for checker in self.checker_set:
+                checker.restore_state(captured[checker.name])
+        if state["sampler"] is not None:
+            if self._sampler is None:
+                raise SnapshotError(
+                    "snapshot was taken under a sampled run; resume it "
+                    "with run_sampled()"
+                )
+            self._sampler.restore_state(state["sampler"])
+        self._run_phase = state["phase"]
+        self._run_args = state["run_args"]
+        self._warmup_waiting = state["warmup_waiting"]
+        self._unfrozen_count = state["unfrozen_count"]
+        self._measure_l2_start = {
+            core_id: dict(counters)
+            for core_id, counters in state["measure_l2_start"]
+        }
+        self._core_results = {
+            core_id: CoreResult(*fields)
+            for core_id, fields in state["core_results"]
+        }
+
+    def snapshot(self, path: str, meta: Optional[dict] = None) -> None:
+        """Write an atomic whole-machine checkpoint to ``path``."""
+        from ..snapshot.format import write_snapshot_file
+
+        tree = self.capture_state()
+        file_meta = {
+            "cycle": self.engine.now,
+            "phase": self._run_phase,
+            "config": self.config.name,
+            "workload": self.workload_name,
+        }
+        if meta:
+            file_meta.update(meta)
+        write_snapshot_file(
+            path, tree, config_fingerprint=self.fingerprint(), meta=file_meta
+        )
+
+    def resume(self, path: str, force: bool = False) -> dict:
+        """Prime this (freshly built) machine to continue from ``path``.
+
+        Verifies the file's integrity and config fingerprint (``force``
+        skips only the fingerprint check, never the checksum), then
+        defers the actual state application to the next :meth:`run` /
+        :meth:`run_sampled` call — sampled runs need their controller
+        constructed before callbacks can be decoded.  Returns the
+        snapshot header (cycle/phase/meta) for logging.
+        """
+        from ..snapshot.format import read_snapshot_file
+
+        header, tree = read_snapshot_file(
+            path,
+            expected_fingerprint=None if force else self.fingerprint(),
+        )
+        self._pending_restore = tree
+        return header
+
+    def _apply_restore(self) -> None:
+        tree = self._pending_restore
+        self._pending_restore = None
+        self.restore_state(tree)
 
     def _l2_core_counters(self, core_id: int) -> Dict[str, float]:
         return {
@@ -619,6 +1004,12 @@ class Machine:
         )
 
     def _collect(self) -> MachineResult:
+        from ..common import request as request_mod
+
+        # End-of-run pool hygiene: under REPRO_CHECK (or attached
+        # checkers) assert the request free-list balances — every
+        # acquired request was released and pool occupancy adds up.
+        request_mod.verify_pool()
         return self._build_result(
             [self._core_results[i] for i in range(len(self.cores))], {}
         )
@@ -682,13 +1073,19 @@ def run_workload(
     sampling=None,
     batched: bool = True,
     fused_mc: Optional[bool] = None,
+    snapshot=None,
+    resume_from: Optional[str] = None,
+    force_resume: bool = False,
 ) -> MachineResult:
     """One-call convenience: build a machine and run it.
 
     ``sampling`` accepts a :class:`~repro.sampling.plan.SamplingPlan`
     (or ``None`` for the default full-detail run).  ``fused_mc=False``
     (or ``REPRO_FUSED_MC=0``) disables the memory-controller fused
-    drain while keeping the batched core path.
+    drain while keeping the batched core path.  ``snapshot`` accepts a
+    :class:`~repro.snapshot.SnapshotPlan`; ``resume_from`` primes the
+    machine from an existing checkpoint before running (``force_resume``
+    skips the config-fingerprint check, never the integrity check).
     """
     machine = Machine(
         config,
@@ -699,8 +1096,15 @@ def run_workload(
         batched=batched,
         fused_mc=fused_mc,
     )
+    if resume_from is not None:
+        machine.resume(resume_from, force=force_resume)
     if sampling is not None:
         return machine.run_sampled(
-            sampling, warmup_instructions, measure_instructions
+            sampling,
+            warmup_instructions,
+            measure_instructions,
+            snapshot=snapshot,
         )
-    return machine.run(warmup_instructions, measure_instructions)
+    return machine.run(
+        warmup_instructions, measure_instructions, snapshot=snapshot
+    )

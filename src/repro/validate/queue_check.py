@@ -20,7 +20,8 @@ completion; the chain adds lifecycle ordering on top).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 from ..common.request import MemoryRequest
 from ..memctrl.controller import MemoryController
@@ -96,14 +97,19 @@ class QueueConservationChecker(Checker):
         self.accepts[mc_id] += 1
         self._audit_mrq(mc_id, f"enqueue of #{request.req_id}")
         # Chain the completion callback so retirement is observed.
-        original = request.callback
+        request.callback = partial(
+            self._chain_complete, mc_id, request.callback
+        )
 
-        def _on_complete(req: MemoryRequest, _original=original) -> None:
-            self.on_retire(mc_id, req)
-            if _original is not None:
-                _original(req)
-
-        request.callback = _on_complete
+    def _chain_complete(
+        self,
+        mc_id: int,
+        original: Optional[callable],
+        req: MemoryRequest,
+    ) -> None:
+        self.on_retire(mc_id, req)
+        if original is not None:
+            original(req)
 
     def on_issue(self, mc_id: int, entry: MrqEntry) -> None:
         controller = self._controllers[mc_id]
@@ -184,3 +190,30 @@ class QueueConservationChecker(Checker):
                     f"mc{mc}: #{rid} {state}" for (mc, rid), state in sample
                 ],
             )
+
+    # -- snapshot seam ---------------------------------------------------
+    def capture_state(self) -> dict:
+        """Lifecycle tracking only.  The retire-chain callbacks live on
+        the requests themselves and serialize as partials of
+        :meth:`_chain_complete`."""
+        return {
+            "v": 1,
+            "state": sorted(self._state.items()),
+            "queued_count": sorted(self._queued_count.items()),
+            "accepts": sorted(self.accepts.items()),
+            "retired": sorted(self.retired.items()),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from ..common.versioning import check_state_version
+
+        check_state_version(state, 1, "QueueConservationChecker")
+        queued = dict(state["queued_count"])
+        if set(queued) != set(self._controllers):
+            raise ValueError(
+                "snapshot queue checker covers different controllers"
+            )
+        self._state = {tuple(key): s for key, s in state["state"]}
+        self._queued_count = queued
+        self.accepts = dict(state["accepts"])
+        self.retired = dict(state["retired"])

@@ -91,6 +91,9 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         _spec(
             "S.all", "Stream", 282.2,
             lambda base, seed: syn.stream_all(base, array_bytes=8 * MIB, gap=0),
+            batch_factory=lambda base, seed: syn.stream_all_batches(
+                base, array_bytes=8 * MIB, gap=0,
+            ),
         ),
         _spec("S.triad", "Stream", 254.0, _stream(2, 1, 0),
               batch_factory=_stream_batches(2, 1, 0)),
@@ -126,6 +129,9 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         _spec(
             "soplex", "SpecFP'06", 80.2,
             lambda base, seed: syn.pointer_chase(
+                base, footprint=_BIG, gap=11, seed=seed, write_fraction=0.1,
+            ),
+            batch_factory=lambda base, seed: syn.pointer_chase_batches(
                 base, footprint=_BIG, gap=11, seed=seed, write_fraction=0.1,
             ),
         ),
@@ -174,6 +180,9 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
                 base, footprint=_BIG, gap=27, seed=seed, write_fraction=0.1,
             ),
             base_cpi=0.7,  # heavy dependence chains even off-memory
+            batch_factory=lambda base, seed: syn.pointer_chase_batches(
+                base, footprint=_BIG, gap=27, seed=seed, write_fraction=0.1,
+            ),
         ),
         # --- Moderate miss rates --------------------------------------
         _spec(
@@ -199,6 +208,9 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         _spec(
             "omnetpp", "SpecInt'06", 14.6,
             lambda base, seed: syn.pointer_chase(
+                base, footprint=32 * MIB, gap=67, seed=seed, write_fraction=0.2,
+            ),
+            batch_factory=lambda base, seed: syn.pointer_chase_batches(
                 base, footprint=32 * MIB, gap=67, seed=seed, write_fraction=0.2,
             ),
         ),

@@ -135,6 +135,16 @@ def stream_kernel_batches(
         yield TraceBatch(gaps, addrs, writes, pcs)
 
 
+def _batch_slice(batch: TraceBatch, start: int, stop: int) -> TraceBatch:
+    """A new :class:`TraceBatch` holding items ``[start, stop)`` of ``batch``."""
+    return TraceBatch(
+        batch.gaps[start:stop],
+        batch.addrs[start:stop],
+        batch.writes[start:stop],
+        batch.pcs[start:stop],
+    )
+
+
 def stream_all(
     base: int, array_bytes: int, element_size: int = 8, gap: int = 0
 ) -> Iterator[TraceItem]:
@@ -152,6 +162,54 @@ def stream_all(
         for kernel, count in zip(kernels, per_kernel):
             for _ in range(count):
                 yield next(kernel)
+
+
+def stream_all_batches(
+    base: int,
+    array_bytes: int,
+    element_size: int = 8,
+    gap: int = 0,
+    batch_size: int = TRACE_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Columnar :func:`stream_all`: identical item stream as batches.
+
+    Each rotation segment drains exactly ``per_kernel`` items from that
+    kernel's columnar producer.  Segment lengths need not divide the
+    producer's batch length, so a partial tail batch is buffered and
+    emitted first at the kernel's next turn — the kernels keep their
+    sweep position across rotations, exactly like the per-item version.
+    """
+    producers = [
+        stream_kernel_batches(
+            base, array_bytes, 1, 1, element_size, gap, batch_size),
+        stream_kernel_batches(
+            base + 4 * array_bytes, array_bytes, 1, 1, element_size, gap,
+            batch_size),
+        stream_kernel_batches(
+            base + 8 * array_bytes, array_bytes, 2, 1, element_size, gap,
+            batch_size),
+        stream_kernel_batches(
+            base + 12 * array_bytes, array_bytes, 2, 1, element_size, gap,
+            batch_size),
+    ]
+    elements = max(1, array_bytes // element_size)
+    per_kernel = [elements * n for n in (2, 2, 3, 3)]
+    leftovers: list = [None] * len(producers)
+    while True:
+        for idx, count in enumerate(per_kernel):
+            need = count
+            pending = leftovers[idx]
+            leftovers[idx] = None
+            while need:
+                batch = pending if pending is not None else next(producers[idx])
+                pending = None
+                if batch.length <= need:
+                    need -= batch.length
+                    yield batch
+                else:
+                    yield _batch_slice(batch, 0, need)
+                    leftovers[idx] = _batch_slice(batch, need, batch.length)
+                    need = 0
 
 
 def sequential_scan(
@@ -261,6 +319,52 @@ def pointer_chase(
             continue
         addr = base + state * 64
         yield TraceItem(gap, addr, rng.random() < write_fraction, _pc(3, 0))
+
+
+def pointer_chase_batches(
+    base: int,
+    footprint: int,
+    gap: int = 10,
+    seed: int = 3,
+    write_fraction: float = 0.0,
+    batch_size: int = TRACE_BATCH_SIZE,
+) -> Iterator[TraceBatch]:
+    """Columnar :func:`pointer_chase`: identical item stream as batches.
+
+    The LCG advance (including rejected states ``>= lines``) runs in a
+    tight local-variable loop; the write column draws the RNG once per
+    *emitted* item in emission order, matching the per-item generator
+    draw for draw (the LCG never touches the RNG, so hoisting the draws
+    after the address column preserves the sequence).
+    """
+    lines = max(4, footprint // 64)
+    modulus = 1 << (lines - 1).bit_length()
+    mask = modulus - 1
+    state = seed % modulus
+    rng = random.Random(seed)
+    rnd = rng.random
+    gaps = array("q", [gap]) * batch_size
+    pcs = array("q", [_pc(3, 0)]) * batch_size
+    no_writes = array("b", [0]) * batch_size if write_fraction <= 0.0 else None
+    while True:
+        addrs = array("q", bytes(8 * batch_size))
+        for i in range(batch_size):
+            while True:
+                state = (5 * state + 12345) & mask
+                if state < lines:
+                    break
+            addrs[i] = base + state * 64
+        if no_writes is not None:
+            writes = no_writes
+        else:
+            writes = array(
+                "b",
+                (
+                    1 if rnd() < write_fraction else 0
+                    for _ in range(batch_size)
+                ),
+            )
+        yield TraceBatch(gaps, addrs, writes, pcs)
 
 
 def strided(

@@ -169,6 +169,81 @@ def test_resume_rejects_mismatched_signature(tmp_path, matrix):
         )
 
 
+def test_resume_refuses_edited_config_contents(tmp_path, matrix, counted_runs):
+    """Same config *names*, different contents: structured refusal."""
+    from repro.common.errors import JournalConfigMismatch
+
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    edited = [configs[0].derive(l2_assoc=8), configs[1]]
+    with pytest.raises(JournalConfigMismatch) as excinfo:
+        run_matrix(
+            edited, mixes, TINY, workers=1,
+            policy=RunPolicy(journal_path=journal, resume=True),
+        )
+    assert excinfo.value.found != excinfo.value.expected
+
+    # --force-resume mixes the old cells in anyway (caller's risk).
+    counted_runs.clear()
+    table = run_matrix(
+        edited, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True,
+                         force_resume=True),
+    )
+    assert counted_runs == [] and len(table.cells) == 4
+
+
+def test_resume_accepts_unchanged_config_contents(tmp_path, matrix):
+    """The fingerprint is deterministic: an identical matrix resumes."""
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    rebuilt = [_small("base"), _small("narrow", memory_bus="tsv8")]
+    table = run_matrix(
+        rebuilt, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True),
+    )
+    assert len(table.cells) == 4 and not table.failures
+
+
+def test_legacy_journal_without_fingerprint_needs_force(tmp_path, matrix):
+    """A pre-fingerprint journal has unverifiable contents: same
+    structured refusal, same --force-resume escape."""
+    from repro.common.errors import JournalConfigMismatch
+
+    configs, mixes = matrix
+    journal = tmp_path / "matrix.journal.jsonl"
+    run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal),
+    )
+    # Strip the fingerprint from the recorded header (legacy journal).
+    lines = journal.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["signature"]["config_fingerprint"]
+    lines[0] = json.dumps(header, sort_keys=True)
+    journal.write_text("\n".join(lines) + "\n")
+
+    with pytest.raises(JournalConfigMismatch):
+        run_matrix(
+            configs, mixes, TINY, workers=1,
+            policy=RunPolicy(journal_path=journal, resume=True),
+        )
+    table = run_matrix(
+        configs, mixes, TINY, workers=1,
+        policy=RunPolicy(journal_path=journal, resume=True,
+                         force_resume=True),
+    )
+    assert len(table.cells) == 4
+
+
 def test_journal_tolerates_torn_final_line(tmp_path, matrix, counted_runs):
     configs, mixes = matrix
     journal = tmp_path / "matrix.journal.jsonl"
@@ -273,8 +348,9 @@ def test_journal_records_attempts_and_failures(tmp_path, matrix):
     records = [json.loads(line) for line in journal.read_text().splitlines()]
     assert records[0]["kind"] == "header"
     assert records[0]["signature"] == journal_signature(
-        ["base", "narrow"], ["M1", "M3"], TINY, 42
+        configs, ["M1", "M3"], TINY, 42
     )
+    assert "config_fingerprint" in records[0]["signature"]
     by_cell = {
         (r["config"], r["mix"]): r for r in records if r["kind"] == "result"
     }

@@ -1,0 +1,159 @@
+"""Whole-machine state round-trips, in both directions.
+
+Direction one: a preempted run resumed in a fresh machine must finish
+with the exact result the uninterrupted run produces.  Direction two:
+restoring a snapshot and immediately re-capturing must reproduce the
+snapshot's own state tree — every component's seam is exercised, and a
+field a component forgets to capture (or restores with a default) shows
+up as a tree diff right here, not as a divergence ten thousand cycles
+later.  Nothing below depends on hash ordering, so the suite passes
+under ``PYTHONHASHSEED=random`` (CI runs it that way).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import SnapshotPreempted
+from repro.common.units import MIB
+from repro.ras.config import RasConfig
+from repro.sampling.plan import SamplingPlan
+from repro.snapshot import SnapshotPlan, preemption
+from repro.snapshot.format import read_snapshot_file
+from repro.system.config import config_2d, config_3d_fast, config_l4_cache
+from repro.system.machine import Machine
+
+MIX = ["gzip", "namd", "mesa", "astar"]  # light, quick to simulate
+WARMUP = 500
+MEASURE = 2000
+EVERY = 1000  # snapshot boundary cadence, well inside the run
+
+
+def _small(config):
+    return config.derive(l2_size=1 * MIB, l2_assoc=16, dram_capacity=64 * MIB)
+
+
+def _shapes():
+    fast = _small(config_3d_fast())
+    return [
+        ("plain", fast, {}),
+        ("checkers", _small(config_2d()), {"checkers": "all"}),
+        ("scalar", fast, {"batched": False}),
+        (
+            "fused-mc",
+            fast.derive(name="3d-fast-mh", l2_size=64 * 1024, l2_assoc=8),
+            {"fused_mc": True},
+        ),
+        ("l4-cache", _small(config_l4_cache(base=config_3d_fast())), {}),
+        (
+            "ras-on",
+            fast.derive(
+                name="3d-fast-ras",
+                ras=RasConfig(
+                    enabled=True, transient_rate=1e-4, retention_rate=1e-4
+                ),
+            ),
+            {},
+        ),
+    ]
+
+
+def _build(config, kwargs):
+    return Machine(config, MIX, seed=7, workload_name="test", **kwargs)
+
+
+def _preempt_to_file(config, kwargs, path):
+    machine = _build(config, kwargs)
+    preemption.clear()
+    preemption.request_preemption()
+    try:
+        machine.run(
+            WARMUP, MEASURE,
+            snapshot=SnapshotPlan(path=path, every=EVERY, preemptible=True),
+        )
+    except SnapshotPreempted as exc:
+        return exc
+    finally:
+        preemption.clear()
+    raise AssertionError("run finished without hitting a snapshot boundary")
+
+
+@pytest.mark.parametrize(
+    "name,config,kwargs", _shapes(), ids=[s[0] for s in _shapes()]
+)
+def test_resumed_run_matches_uninterrupted(name, config, kwargs, tmp_path):
+    path = str(tmp_path / "cell.snap")
+    oracle = _build(config, kwargs).run(
+        WARMUP, MEASURE, snapshot=SnapshotPlan(every=EVERY, write=False)
+    )
+    _preempt_to_file(config, kwargs, path)
+    resumed_machine = _build(config, kwargs)
+    resumed_machine.resume(path)
+    resumed = resumed_machine.run(
+        WARMUP, MEASURE, snapshot=SnapshotPlan(every=EVERY, write=False)
+    )
+    assert dataclasses.asdict(resumed) == dataclasses.asdict(oracle)
+
+
+@pytest.mark.parametrize(
+    "name,config,kwargs", _shapes(), ids=[s[0] for s in _shapes()]
+)
+def test_restore_then_recapture_reproduces_the_tree(
+    name, config, kwargs, tmp_path
+):
+    """capture -> restore -> capture is the identity on state trees."""
+    path = str(tmp_path / "cell.snap")
+    exc = _preempt_to_file(config, kwargs, path)
+    header, tree = read_snapshot_file(str(path))
+    assert header["meta"]["cycle"] == exc.cycle
+
+    machine = _build(config, kwargs)
+    machine.resume(path)
+    machine._apply_restore()
+    assert machine.engine.now == exc.cycle
+    recaptured = machine.capture_state()
+    assert recaptured == tree
+
+
+def test_tree_covers_every_wired_component(tmp_path):
+    """Each component the machine registers appears in the state tree."""
+    config = _small(config_l4_cache(base=config_3d_fast()))
+    path = str(tmp_path / "cell.snap")
+    _preempt_to_file(config, {}, path)
+    _, tree = read_snapshot_file(path)
+    machine = _build(config, {})
+    assert len(tree["cores"]) == len(machine.cores)
+    assert len(tree["l1s"]) == len(machine.l1s)
+    for key in ("engine", "memory", "l2", "stats", "objects",
+                "request_globals", "allocator"):
+        assert tree[key] is not None
+
+
+def test_sampled_run_resumes_bit_identically(tmp_path):
+    config = _small(config_3d_fast())
+    plan = SamplingPlan()
+    path = str(tmp_path / "cell.snap")
+    oracle = Machine(config, MIX, seed=7).run_sampled(
+        plan, WARMUP, MEASURE,
+        snapshot=SnapshotPlan(every=EVERY, write=False),
+    )
+    machine = Machine(config, MIX, seed=7)
+    preemption.clear()
+    preemption.request_preemption()
+    with pytest.raises(SnapshotPreempted):
+        try:
+            machine.run_sampled(
+                plan, WARMUP, MEASURE,
+                snapshot=SnapshotPlan(
+                    path=path, every=EVERY, preemptible=True
+                ),
+            )
+        finally:
+            preemption.clear()
+    resumed_machine = Machine(config, MIX, seed=7)
+    resumed_machine.resume(path)
+    resumed = resumed_machine.run_sampled(
+        plan, WARMUP, MEASURE,
+        snapshot=SnapshotPlan(every=EVERY, write=False),
+    )
+    assert dataclasses.asdict(resumed) == dataclasses.asdict(oracle)
